@@ -1,0 +1,39 @@
+# Convenience targets for the wasmcontainers reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench figures results examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Run every benchmark once (tables, figures, ablations, microbenches).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# Regenerate the paper's tables and figures on stdout.
+figures:
+	$(GO) run ./cmd/continuum -exp all
+
+# Regenerate the committed results/ directory (txt + csv per experiment).
+results:
+	$(GO) run ./cmd/continuum -exp all -outdir results > /dev/null
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/standalone-wasm
+	$(GO) run ./examples/hybrid-deployment
+	$(GO) run ./examples/density-sweep
+	$(GO) run ./examples/startup-crossover
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,288 @@
+package wasmcontainers_test
+
+// Root benchmark harness: one testing.B benchmark per table and figure of
+// the paper, plus the ablations DESIGN.md calls out and microbenchmarks of
+// the substrates. Figure benchmarks run the full simulated cluster and
+// report the headline numbers via b.ReportMetric, so
+//
+//	go test -bench=Fig -benchmem
+//
+// regenerates the evaluation. (Figure benches are heavy: hundreds of
+// simulated container starts per iteration.)
+
+import (
+	"testing"
+
+	"wasmcontainers/internal/bench"
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/pylite"
+	"wasmcontainers/internal/wasi"
+	"wasmcontainers/internal/wasm"
+	"wasmcontainers/internal/wasm/exec"
+	"wasmcontainers/internal/workloads"
+)
+
+// runExperiment executes a registered experiment b.N times.
+func runExperiment(b *testing.B, id string) *bench.Table {
+	b.Helper()
+	e, ok := bench.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t
+}
+
+// BenchmarkTable1Stack regenerates Table I (software stack).
+func BenchmarkTable1Stack(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2Overview regenerates Table II (experiment matrix).
+func BenchmarkTable2Overview(b *testing.B) { runExperiment(b, "table2") }
+
+// reportOursVsBest extracts "ours" and the best competitor from a memory
+// figure and reports them as custom metrics.
+func reportOursVsBest(b *testing.B, configs []bench.RuntimeConfig, useFree bool) {
+	b.Helper()
+	var ours, best float64
+	for _, cfg := range configs {
+		m, err := bench.MeasureDeployment(cfg, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := m.MetricsPerContainerMiB
+		if useFree {
+			v = m.FreePerContainerMiB
+		}
+		if cfg.Ours {
+			ours = v
+		} else if best == 0 || v < best {
+			best = v
+		}
+	}
+	b.ReportMetric(ours, "ours-MiB/ctr")
+	b.ReportMetric(best, "best-other-MiB/ctr")
+	b.ReportMetric(100*(1-ours/best), "reduction-%")
+}
+
+// BenchmarkFig3MemoryCrunMetricsServer regenerates Figure 3.
+func BenchmarkFig3MemoryCrunMetricsServer(b *testing.B) {
+	runExperiment(b, "fig3")
+	reportOursVsBest(b, bench.CrunEngineConfigs, false)
+}
+
+// BenchmarkFig4MemoryCrunFree regenerates Figure 4.
+func BenchmarkFig4MemoryCrunFree(b *testing.B) {
+	runExperiment(b, "fig4")
+	reportOursVsBest(b, bench.CrunEngineConfigs, true)
+}
+
+// BenchmarkFig5MemoryRunwasiFree regenerates Figure 5.
+func BenchmarkFig5MemoryRunwasiFree(b *testing.B) {
+	runExperiment(b, "fig5")
+	reportOursVsBest(b, bench.RunwasiConfigs, true)
+}
+
+// BenchmarkFig6MemoryPythonMetricsServer regenerates Figure 6.
+func BenchmarkFig6MemoryPythonMetricsServer(b *testing.B) {
+	runExperiment(b, "fig6")
+	reportOursVsBest(b, bench.PythonConfigs, false)
+}
+
+// BenchmarkFig7MemoryPythonFree regenerates Figure 7.
+func BenchmarkFig7MemoryPythonFree(b *testing.B) {
+	runExperiment(b, "fig7")
+	reportOursVsBest(b, bench.PythonConfigs, true)
+}
+
+// reportStartup measures time-to-last-start for ours at the given density.
+func reportStartup(b *testing.B, density int) {
+	m, err := bench.MeasureDeployment(bench.OursConfig, density)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(m.StartupSeconds, "ours-startup-s")
+}
+
+// BenchmarkFig8Startup10 regenerates Figure 8.
+func BenchmarkFig8Startup10(b *testing.B) {
+	runExperiment(b, "fig8")
+	reportStartup(b, 10)
+}
+
+// BenchmarkFig9Startup400 regenerates Figure 9.
+func BenchmarkFig9Startup400(b *testing.B) {
+	runExperiment(b, "fig9")
+	reportStartup(b, 400)
+}
+
+// BenchmarkFig10MemoryOverview regenerates Figure 10.
+func BenchmarkFig10MemoryOverview(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkAblationDynamicLoading contrasts dynamic vs static engine linking.
+func BenchmarkAblationDynamicLoading(b *testing.B) { runExperiment(b, "ablation-dynload") }
+
+// BenchmarkAblationShimArchitecture contrasts embedded vs shim hosting.
+func BenchmarkAblationShimArchitecture(b *testing.B) { runExperiment(b, "ablation-shim") }
+
+// BenchmarkAblationEngineMode contrasts interpreter vs JIT engine modes.
+func BenchmarkAblationEngineMode(b *testing.B) { runExperiment(b, "ablation-mode") }
+
+// BenchmarkAblationDensity sweeps density to the 500-pods/node limit.
+func BenchmarkAblationDensity(b *testing.B) { runExperiment(b, "ablation-density") }
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkWasmInterpreter measures raw interpreter throughput on the
+// cpu-bound workload (primes below 10000).
+func BenchmarkWasmInterpreter(b *testing.B) {
+	m, err := workloads.Module("cpu-bound")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := exec.NewStore(exec.Config{})
+	inst, err := store.Instantiate(m, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		before := store.InstructionCount()
+		if _, err := inst.Call("count_primes", exec.I32(10_000)); err != nil {
+			b.Fatal(err)
+		}
+		instrs = store.InstructionCount() - before
+	}
+	b.ReportMetric(float64(instrs), "wasm-instrs/op")
+}
+
+// BenchmarkWasmDecodeValidate measures module load time (the engine
+// Compile path every container start exercises).
+func BenchmarkWasmDecodeValidate(b *testing.B) {
+	bin, err := workloads.Binary("minimal-service")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(bin)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := wasm.Decode(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := wasm.Validate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWasmInstantiate measures store+instance setup per container.
+func BenchmarkWasmInstantiate(b *testing.B) {
+	m, err := workloads.Module("minimal-service")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := exec.NewStore(exec.Config{})
+		wasi.New(wasi.Config{}).Register(store)
+		if _, err := store.Instantiate(m, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPyliteInterpreter measures the Python-baseline interpreter on an
+// equivalent primes workload.
+func BenchmarkPyliteInterpreter(b *testing.B) {
+	code, err := pylite.Compile(`
+def is_prime(n):
+    if n < 2:
+        return False
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            return False
+        d = d + 1
+    return True
+
+count = 0
+for i in range(10000):
+    if is_prime(i):
+        count = count + 1
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		vm := pylite.NewVM(nil)
+		if _, err := vm.Run(code); err != nil {
+			b.Fatal(err)
+		}
+		steps = vm.Steps
+	}
+	b.ReportMetric(float64(steps), "pylite-steps/op")
+}
+
+// BenchmarkEngineProfiles measures full engine Compile+Run per profile on
+// the minimal service (the per-container start path).
+func BenchmarkEngineProfiles(b *testing.B) {
+	bin, err := workloads.Binary("minimal-service")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, prof := range engine.Profiles() {
+		b.Run(prof.Name, func(b *testing.B) {
+			eng := engine.New(prof)
+			for i := 0; i < b.N; i++ {
+				cm, err := eng.Compile(bin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(cm, wasi.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterStart measures wall-clock cost of simulating one
+// 100-container deployment end to end (harness overhead, not paper data).
+func BenchmarkClusterStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := bench.MeasureDeployment(bench.OursConfig, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.MetricsPerContainerMiB <= 0 {
+			b.Fatal("no measurement")
+		}
+	}
+}
+
+// TestTableFormatting pins the harness table renderer output.
+func TestTableFormatting(t *testing.T) {
+	t2 := &bench.Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+	}
+	got := t2.Format()
+	want := "demo\na  b\n-  -\n1  2\n"
+	if got != want {
+		t.Fatalf("Format() = %q, want %q", got, want)
+	}
+}
+
+// BenchmarkAblationMultiTenant runs the mixed-tenant future-work scenario.
+func BenchmarkAblationMultiTenant(b *testing.B) { runExperiment(b, "ablation-multitenant") }

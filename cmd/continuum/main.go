@@ -1,0 +1,81 @@
+// Command continuum is the experiment driver (named after the paper's
+// deployment framework): it regenerates the paper's tables and figures on
+// the simulated Kubernetes cluster.
+//
+// Usage:
+//
+//	continuum -list
+//	continuum -exp fig3
+//	continuum -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wasmcontainers/internal/bench"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment id (table1, table2, fig3..fig10, ablation-*, or 'all')")
+		list   = flag.Bool("list", false, "list available experiments")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir = flag.String("outdir", "", "also write each result to <outdir>/<id>.{txt,csv}")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-18s %s\n", e.ID, e.Description)
+		}
+		if *expID == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	run := func(e bench.Experiment) {
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Println(table.Format())
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			base := filepath.Join(*outDir, e.ID)
+			if err := os.WriteFile(base+".txt", []byte(table.Format()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(base+".csv", []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *expID == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.ExperimentByID(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *expID)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,59 @@
+// Command pylite runs Python-subset scripts on the pylite interpreter (the
+// repository's CPython stand-in for the paper's Python container baseline).
+//
+// Usage:
+//
+//	pylite script.py [args...]
+//	pylite -c 'print(1 + 2)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wasmcontainers/internal/pylite"
+)
+
+func main() {
+	var (
+		command  = flag.String("c", "", "program passed as a string")
+		maxSteps = flag.Uint64("max-steps", 0, "abort after this many bytecode steps (0 = unlimited)")
+		stats    = flag.Bool("stats", false, "print execution statistics")
+	)
+	flag.Parse()
+
+	var src string
+	var argv []string
+	switch {
+	case *command != "":
+		src = *command
+		argv = append([]string{"-c"}, flag.Args()...)
+	case flag.NArg() >= 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		src = string(b)
+		argv = flag.Args()
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pylite [-c program] [script.py] [args...]")
+		os.Exit(2)
+	}
+
+	vm := pylite.NewVM(os.Stdout)
+	vm.MaxSteps = *maxSteps
+	vm.Argv = argv
+	if _, err := vm.RunSource(src); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "steps=%d heap=%dB\n", vm.Steps, vm.HeapBytes)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pylite: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Command wasmrun is a standalone WebAssembly runner (in the spirit of
+// WAMR's iwasm): it executes a .wasm command module with WASI on real stdio,
+// or invokes an exported function with integer arguments.
+//
+// Usage:
+//
+//	wasmrun module.wasm [args...]
+//	wasmrun -invoke add module.wasm 2 40
+//	wasmrun -engine wasmtime -dir /tmp module.wasm
+//	wasmrun -workload minimal-service
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/vfs"
+	"wasmcontainers/internal/wasi"
+	"wasmcontainers/internal/wasm"
+	"wasmcontainers/internal/wasm/exec"
+	"wasmcontainers/internal/workloads"
+)
+
+func main() {
+	var (
+		engineName = flag.String("engine", "wamr", "engine profile: wamr, wasmtime, wasmer, wasmedge")
+		invoke     = flag.String("invoke", "", "invoke an exported function instead of _start")
+		dir        = flag.String("dir", "", "preopen an (in-memory) directory at this guest path")
+		workload   = flag.String("workload", "", "run a built-in workload instead of a file")
+		env        = flag.String("env", "", "comma-separated KEY=VALUE environment entries")
+		stats      = flag.Bool("stats", false, "print execution statistics")
+	)
+	flag.Parse()
+
+	prof, ok := engine.ByName(*engineName)
+	if !ok {
+		fatalf("unknown engine %q (want wamr, wasmtime, wasmer, or wasmedge)", *engineName)
+	}
+	eng := engine.New(prof)
+
+	var bin []byte
+	var args []string
+	var err error
+	switch {
+	case *workload != "":
+		bin, err = workloads.Binary(*workload)
+		if err != nil {
+			fatalf("%v (available: %s)", err, strings.Join(workloads.Names(), ", "))
+		}
+		args = append([]string{*workload}, flag.Args()...)
+	case flag.NArg() >= 1:
+		bin, err = os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		args = flag.Args()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cm, err := eng.Compile(bin)
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+
+	if *invoke != "" {
+		runInvoke(cm, *invoke, args[1:])
+		return
+	}
+
+	cfg := wasi.Config{
+		Args:   args,
+		Stdin:  os.Stdin,
+		Stdout: os.Stdout,
+		Stderr: os.Stderr,
+	}
+	if *env != "" {
+		cfg.Env = strings.Split(*env, ",")
+	}
+	if *dir != "" {
+		fsys := vfs.New()
+		if err := fsys.MkdirAll(*dir); err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Preopens = []wasi.Preopen{{GuestPath: *dir, FS: fsys, HostPath: *dir}}
+	}
+	res, err := eng.Run(cm, cfg)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "engine=%s mode=%s instructions=%d memory=%dKiB simulated-exec=%v\n",
+			prof.Name, prof.Mode, res.Instructions, res.GuestMemoryBytes/1024, res.SimulatedExecTime)
+	}
+	os.Exit(int(res.ExitCode))
+}
+
+// runInvoke calls an exported function with i32/i64 arguments inferred from
+// its signature.
+func runInvoke(cm *engine.CompiledModule, fn string, rawArgs []string) {
+	store := exec.NewStore(exec.Config{})
+	w := wasi.New(wasi.Config{Stdout: os.Stdout, Stderr: os.Stderr})
+	w.Register(store)
+	inst, err := store.Instantiate(cm.Module, "main")
+	if err != nil {
+		fatalf("instantiate: %v", err)
+	}
+	ft, ok := inst.FuncType(fn)
+	if !ok {
+		fatalf("no exported function %q", fn)
+	}
+	if len(rawArgs) != len(ft.Params) {
+		fatalf("%s%s expects %d arguments, got %d", fn, ft, len(ft.Params), len(rawArgs))
+	}
+	vals := make([]exec.Value, len(rawArgs))
+	for i, a := range rawArgs {
+		switch ft.Params[i] {
+		case wasm.ValueTypeI32:
+			v, err := strconv.ParseInt(a, 0, 32)
+			if err != nil {
+				fatalf("argument %d: %v", i, err)
+			}
+			vals[i] = exec.I32(int32(v))
+		case wasm.ValueTypeI64:
+			v, err := strconv.ParseInt(a, 0, 64)
+			if err != nil {
+				fatalf("argument %d: %v", i, err)
+			}
+			vals[i] = exec.I64(v)
+		case wasm.ValueTypeF64:
+			v, err := strconv.ParseFloat(a, 64)
+			if err != nil {
+				fatalf("argument %d: %v", i, err)
+			}
+			vals[i] = exec.F64(v)
+		case wasm.ValueTypeF32:
+			v, err := strconv.ParseFloat(a, 32)
+			if err != nil {
+				fatalf("argument %d: %v", i, err)
+			}
+			vals[i] = exec.F32(float32(v))
+		}
+	}
+	res, err := inst.Call(fn, vals...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for i, r := range res {
+		switch ft.Results[i] {
+		case wasm.ValueTypeI32:
+			fmt.Println(exec.AsI32(r))
+		case wasm.ValueTypeI64:
+			fmt.Println(exec.AsI64(r))
+		case wasm.ValueTypeF32:
+			fmt.Println(exec.AsF32(r))
+		case wasm.ValueTypeF64:
+			fmt.Println(exec.AsF64(r))
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "wasmrun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command watc assembles WebAssembly text format into binary modules.
+//
+// Usage:
+//
+//	watc -o out.wasm in.wat
+//	watc -validate in.wat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wasmcontainers/internal/wasm"
+	"wasmcontainers/internal/wat"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (default: input with .wasm extension)")
+		validate = flag.Bool("validate", false, "validate only, write nothing")
+		dump     = flag.Bool("dump", false, "print a module summary")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: watc [-o out.wasm] [-validate] [-dump] in.wat")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	m, err := wat.Compile(string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dump {
+		fmt.Printf("types:     %d\n", len(m.Types))
+		fmt.Printf("imports:   %d\n", len(m.Imports))
+		fmt.Printf("functions: %d\n", len(m.Functions))
+		fmt.Printf("memories:  %d\n", len(m.Memories))
+		fmt.Printf("tables:    %d\n", len(m.Tables))
+		fmt.Printf("globals:   %d\n", len(m.Globals))
+		fmt.Printf("exports:   %d\n", len(m.Exports))
+		fmt.Printf("data segs: %d\n", len(m.Data))
+	}
+	if *validate {
+		fmt.Println("ok")
+		return
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".wat") + ".wasm"
+	}
+	bin := wasm.Encode(m)
+	if err := os.WriteFile(dst, bin, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", dst, len(bin))
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "watc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package wasmcontainers is a from-scratch Go reproduction of "Memory
+// Efficient WebAssembly Containers" (Jansen, Kozub, Iosup, Bonetta — IPPS
+// 2025): the WAMR-crun integration, every substrate it depends on (a
+// WebAssembly VM, WASI, a WAT assembler, a Python-subset interpreter, an
+// OCI runtime layer, containerd with runwasi shims, a miniature Kubernetes,
+// and a discrete-event node simulator), and a benchmark harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+package wasmcontainers

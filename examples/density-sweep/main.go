@@ -1,0 +1,42 @@
+// Density sweep: the paper's core scalability question — how does memory
+// per container behave as deployment density rises from 10 to 400 pods?
+// This example compares the WAMR-crun integration against the best runwasi
+// shim and the Python baseline at each density.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wasmcontainers/internal/bench"
+)
+
+func main() {
+	configs := []bench.RuntimeConfig{
+		bench.OursConfig,
+		{Label: "containerd-shim-wasmtime", RuntimeClass: "wasmtime", Image: bench.WasmImage},
+		{Label: "crun-python", RuntimeClass: "crun", Image: bench.PythonImage},
+	}
+	densities := []int{10, 50, 100, 200, 400}
+
+	fmt.Printf("%-26s", "runtime \\ density")
+	for _, d := range densities {
+		fmt.Printf("%8d", d)
+	}
+	fmt.Println("   (MiB per container, free view)")
+
+	for _, cfg := range configs {
+		fmt.Printf("%-26s", cfg.Label)
+		for _, d := range densities {
+			m, err := bench.MeasureDeployment(cfg, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8.2f", m.FreePerContainerMiB)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nPer-container cost is flat for all runtimes — the paper's scaling")
+	fmt.Println("observation — but the gap between them persists at every density,")
+	fmt.Println("which is what makes runtime choice matter for dense deployments.")
+}

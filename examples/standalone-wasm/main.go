@@ -1,0 +1,93 @@
+// Standalone Wasm: use the engine + WASI layers directly (no containers,
+// no Kubernetes) — the embedding API the WAMR-crun handler is built on.
+// Runs the file-io workload against an in-memory preopened directory and
+// then calls a pure function in the cpu-bound module.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/vfs"
+	"wasmcontainers/internal/wasi"
+	"wasmcontainers/internal/wasm/exec"
+	"wasmcontainers/internal/workloads"
+)
+
+func main() {
+	// 1. A WASI command module with a preopened directory.
+	eng := engine.New(engine.WAMR)
+	bin, err := workloads.Binary("file-io")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := eng.Compile(bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := vfs.New()
+	if err := data.MkdirAll("/data"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(cm, wasi.Config{
+		Args:   []string{"file-io"},
+		Stdout: os.Stdout,
+		Preopens: []wasi.Preopen{
+			{GuestPath: "/data", FS: data, HostPath: "/data"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	content, err := data.ReadFile("/data/state.bin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guest wrote %q to the preopened dir (exit %d, %d instructions)\n",
+		content, res.ExitCode, res.Instructions)
+
+	// 2. A library-style module: call an export directly.
+	cpuBin, err := workloads.Binary("cpu-bound")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuMod, err := eng.Compile(cpuBin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := exec.NewStore(exec.Config{})
+	inst, err := store.Instantiate(cpuMod.Module, "cpu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := inst.Call("count_primes", exec.I32(10_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count_primes(10000) = %d (%d instructions executed)\n",
+		exec.AsI32(out[0]), store.InstructionCount())
+
+	// 3. The same module on every engine profile: identical semantics,
+	// different simulated cost models (interpreter vs JIT speed).
+	for _, prof := range engine.Profiles() {
+		e := engine.New(prof)
+		m, err := e.Compile(cpuBin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := exec.NewStore(exec.Config{})
+		in, err := s.Instantiate(m.Module, prof.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := in.Call("count_primes", exec.I32(1000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		simulated := float64(s.InstructionCount()) * prof.NsPerInstruction / 1e6
+		fmt.Printf("engine %-9s (%-11s): count_primes(1000) = %d, simulated exec %.2f ms\n",
+			prof.Name, prof.Mode, exec.AsI32(v[0]), simulated)
+	}
+}

@@ -1,0 +1,62 @@
+// Startup crossover: the paper's most interesting latency result
+// (Figures 8 vs 9). At 10 containers the runwasi shims start fastest; at
+// 400 the ranking flips and the crun-embedded engines win, because every
+// runwasi start serializes ~200 ms inside the containerd task service
+// while the crun path is bounded by parallel CPU work instead. This
+// example sweeps density and prints the crossover.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wasmcontainers/internal/bench"
+)
+
+func main() {
+	configs := []bench.RuntimeConfig{
+		bench.OursConfig,
+		{Label: "crun-wasmtime", RuntimeClass: "crun-wasmtime", Image: bench.WasmImage},
+		{Label: "containerd-shim-wasmtime", RuntimeClass: "wasmtime", Image: bench.WasmImage},
+		{Label: "containerd-shim-wasmedge", RuntimeClass: "wasmedge", Image: bench.WasmImage},
+	}
+	densities := []int{10, 25, 50, 100, 200, 400}
+
+	results := make(map[string][]float64)
+	for _, cfg := range configs {
+		for _, d := range densities {
+			m, err := bench.MeasureDeployment(cfg, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[cfg.Label] = append(results[cfg.Label], m.StartupSeconds)
+		}
+	}
+
+	fmt.Printf("%-26s", "time-to-start (s) \\ density")
+	for _, d := range densities {
+		fmt.Printf("%8d", d)
+	}
+	fmt.Println()
+	for _, cfg := range configs {
+		fmt.Printf("%-26s", cfg.Label)
+		for _, v := range results[cfg.Label] {
+			fmt.Printf("%8.2f", v)
+		}
+		fmt.Println()
+	}
+
+	// Locate the crossover: first density where ours beats shim-wasmtime.
+	ours := results[bench.OursConfig.Label]
+	shim := results["containerd-shim-wasmtime"]
+	for i, d := range densities {
+		if ours[i] < shim[i] {
+			fmt.Printf("\ncrossover: at %d containers crun-wamr (%.2fs) overtakes the wasmtime shim (%.2fs)\n",
+				d, ours[i], shim[i])
+			fmt.Println("mechanism: each runwasi start holds the containerd task lock ~220ms;")
+			fmt.Println("the crun path holds it ~2ms and spends its time on the 20-core pool instead.")
+			return
+		}
+	}
+	fmt.Println("\nno crossover found (unexpected)")
+}

@@ -1,0 +1,3 @@
+module wasmcontainers
+
+go 1.22

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"wasmcontainers/internal/k8s"
+)
+
+// deployForTest spins a cluster and deploys n pods of one config.
+func deployForTest(t *testing.T, class, image string, n int) (*k8s.Cluster, []*k8s.Pod) {
+	t.Helper()
+	cluster, err := k8s.NewCluster(k8s.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pods, err := cluster.Deploy(k8s.DeployOptions{
+		RuntimeClassName: class, Image: image, Replicas: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run()
+	return cluster, pods
+}
+
+func TestMeasureDeploymentBasics(t *testing.T) {
+	m, err := MeasureDeployment(OursConfig, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MetricsPerContainerMiB <= 0 || m.FreePerContainerMiB <= 0 {
+		t.Fatalf("non-positive measurements: %+v", m)
+	}
+	if m.FreePerContainerMiB <= m.MetricsPerContainerMiB {
+		t.Fatal("free view should exceed metrics view")
+	}
+	if m.StartupSeconds <= 0 {
+		t.Fatal("no startup time")
+	}
+}
+
+func TestMeasurementDeterminism(t *testing.T) {
+	a, err := MeasureDeployment(OursConfig, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureDeployment(OursConfig, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("measurements differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMemoryFigureRendering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure is heavy")
+	}
+	table, ms, err := MemoryFigure("test figure", []RuntimeConfig{OursConfig}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 || len(ms) != len(Densities) {
+		t.Fatalf("rows=%d measurements=%d", len(table.Rows), len(ms))
+	}
+	out := table.Format()
+	if !strings.Contains(out, "crun-wamr (ours)") {
+		t.Fatalf("missing label in:\n%s", out)
+	}
+}
+
+func TestStartupFigureRendering(t *testing.T) {
+	table, ms, err := StartupFigure("startup", []RuntimeConfig{OursConfig}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || len(table.Rows) != 1 {
+		t.Fatal("wrong shape")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"ablation-dynload", "ablation-shim", "ablation-mode", "ablation-density",
+	}
+	got := map[string]bool{}
+	for _, e := range Experiments() {
+		got[e.ID] = true
+		if e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, ok := ExperimentByID("nope"); ok {
+		t.Error("ExperimentByID accepted a bogus id")
+	}
+}
+
+func TestWasmBundleIsWasm(t *testing.T) {
+	b, err := WasmBundle("minimal-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Spec.IsWasm() {
+		t.Fatal("bundle not recognized as wasm")
+	}
+	if _, err := b.Rootfs.Stat("/app.wasm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WasmBundle("no-such-workload"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestTable1HasPaperVersions(t *testing.T) {
+	table, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.Format()
+	for _, v := range []string{"2.1.0", "0.14.0", "4.3.5", "23.0.1", "1.27.0"} {
+		if !strings.Contains(out, v) {
+			t.Errorf("Table I missing version %s:\n%s", v, out)
+		}
+	}
+}
+
+func TestTable2MatchesExperimentMatrix(t *testing.T) {
+	table, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("Table II has %d rows, want 4", len(table.Rows))
+	}
+}
+
+func TestMultiTenantExperiment(t *testing.T) {
+	e, ok := ExperimentByID("ablation-multitenant")
+	if !ok {
+		t.Fatal("missing experiment")
+	}
+	table, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if !strings.HasPrefix(row[1], "40/40") {
+			t.Fatalf("tenant not fully running: %v", row)
+		}
+	}
+	// Shared libraries must be reported as resident once.
+	found := false
+	for _, n := range table.Notes {
+		if strings.Contains(n, "libiwasm.so") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("shared library note missing")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1,5", `quo"te`}},
+	}
+	got := tab.CSV()
+	want := "a,b\n\"1,5\",\"quo\"\"te\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+// TestAllFiguresAtReducedDensity runs every figure function end to end with
+// the density grid shrunk, exercising the full registry quickly.
+func TestAllFiguresAtReducedDensity(t *testing.T) {
+	saved := Densities
+	Densities = []int{5}
+	defer func() { Densities = saved }()
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig10"} {
+		e, ok := ExperimentByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		table, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			t.Fatalf("%s: no rows", id)
+		}
+		for _, row := range table.Rows {
+			if len(row) != len(table.Columns) {
+				t.Fatalf("%s: ragged row %v", id, row)
+			}
+		}
+	}
+	// Startup figures with a smaller density.
+	if _, _, err := StartupFigure("t", []RuntimeConfig{OursConfig}, 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"wasmcontainers/internal/core"
+	"wasmcontainers/internal/oci"
+	"wasmcontainers/internal/simos"
+	"wasmcontainers/internal/vfs"
+	"wasmcontainers/internal/workloads"
+)
+
+// WasmBundle builds an OCI bundle holding the named workload module,
+// annotated for the Wasm handler. Shared by ablations, examples, and tests.
+func WasmBundle(workload string) (*oci.Bundle, error) {
+	bin, err := workloads.Binary(workload)
+	if err != nil {
+		return nil, err
+	}
+	rootfs := vfs.New()
+	if err := rootfs.WriteFile("/app.wasm", bin); err != nil {
+		return nil, err
+	}
+	if err := rootfs.MkdirAll("/tmp"); err != nil {
+		return nil, err
+	}
+	spec := &oci.Spec{
+		Version: oci.SpecVersion,
+		Process: oci.Process{Args: []string{"/app.wasm"}, Env: []string{"PATH=/usr/bin"}, Cwd: "/"},
+		Root:    oci.Root{Path: "rootfs"},
+		Annotations: map[string]string{
+			oci.WasmVariantAnnotation: "compat",
+		},
+		Linux: &oci.Linux{Namespaces: oci.DefaultNamespaces()},
+	}
+	return oci.NewBundle("/run/bundles/"+workload, spec, rootfs)
+}
+
+// measureCrunDirect starts n Wasm containers straight through the crun
+// runtime (no Kubernetes) and returns the free-view MiB per container; used
+// by the dynamic-vs-static linking ablation where the difference is purely a
+// crun property.
+func measureCrunDirect(static bool, n int) (float64, error) {
+	node := simos.NewNode(simos.DefaultNodeConfig())
+	crun := core.New(core.Config{Node: node, StaticEngineLinking: static})
+	for i := 0; i < n; i++ {
+		bundle, err := WasmBundle("minimal-service")
+		if err != nil {
+			return 0, err
+		}
+		bundle.Spec.Linux.CgroupsPath = fmt.Sprintf("/crun/ctr-%d", i)
+		id := fmt.Sprintf("ctr-%d", i)
+		if err := crun.Create(id, bundle); err != nil {
+			return 0, err
+		}
+		if _, err := crun.Start(id); err != nil {
+			return 0, err
+		}
+	}
+	return mib(node.UsedBeyondIdle()) / float64(n), nil
+}

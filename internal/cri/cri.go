@@ -1,0 +1,191 @@
+// Package cri implements the Kubernetes Container Runtime Interface subset
+// the kubelet needs (RunPodSandbox / CreateContainer / StartContainer /
+// StopPodSandbox / RemovePodSandbox), backed by the containerd package. This
+// is the boundary drawn in the paper's Figure 1 between Kubernetes and the
+// high-level container runtime.
+package cri
+
+import (
+	"fmt"
+	"sync"
+
+	"wasmcontainers/internal/containerd"
+	"wasmcontainers/internal/simos"
+)
+
+// PodSandboxConfig describes a pod sandbox.
+type PodSandboxConfig struct {
+	Name      string
+	Namespace string
+	UID       string
+	// CgroupParent is the pod-level cgroup (e.g. /kubepods/pod-<uid>).
+	CgroupParent string
+	// RuntimeHandler selects the containerd runtime (RuntimeClass handler).
+	RuntimeHandler containerd.RuntimeHandler
+}
+
+// ContainerConfig describes one container in a sandbox.
+type ContainerConfig struct {
+	Name  string
+	Image string
+	Args  []string
+	Env   []string
+}
+
+// ContainerStartReport propagates containerd's cost/telemetry to the kubelet.
+type ContainerStartReport = containerd.TaskReport
+
+// RuntimeService is the CRI surface the kubelet consumes.
+type RuntimeService interface {
+	RunPodSandbox(cfg PodSandboxConfig) (string, error)
+	CreateContainer(sandboxID string, cfg ContainerConfig) (string, error)
+	StartContainer(containerID string) (*ContainerStartReport, error)
+	StopPodSandbox(sandboxID string) error
+	RemovePodSandbox(sandboxID string) error
+	ListContainers() []string
+}
+
+// sandbox is the CRI-side record of a pod sandbox.
+type sandbox struct {
+	cfg        PodSandboxConfig
+	pauseProc  *simos.Process
+	containers []string
+}
+
+// Service implements RuntimeService over containerd.
+type Service struct {
+	mu        sync.Mutex
+	client    *containerd.Client
+	node      *simos.Node
+	sandboxes map[string]*sandbox
+	ctrToSbx  map[string]string
+}
+
+// NewService creates the CRI service for a node's containerd.
+func NewService(client *containerd.Client) *Service {
+	return &Service{
+		client:    client,
+		node:      client.Node(),
+		sandboxes: make(map[string]*sandbox),
+		ctrToSbx:  make(map[string]string),
+	}
+}
+
+// RunPodSandbox creates the pod cgroup and pause container.
+func (s *Service) RunPodSandbox(cfg PodSandboxConfig) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := "sbx-" + cfg.UID
+	if _, ok := s.sandboxes[id]; ok {
+		return "", fmt.Errorf("cri: sandbox %s exists", id)
+	}
+	s.node.CreateCgroup(cfg.CgroupParent)
+	pause, err := s.node.Spawn("pause["+cfg.UID+"]", cfg.CgroupParent+"/pause")
+	if err != nil {
+		return "", err
+	}
+	if err := pause.MapPrivate(containerd.PauseContainerBytes); err != nil {
+		pause.Exit()
+		return "", err
+	}
+	s.sandboxes[id] = &sandbox{cfg: cfg, pauseProc: pause}
+	return id, nil
+}
+
+// CreateContainer registers a container in a sandbox.
+func (s *Service) CreateContainer(sandboxID string, cfg ContainerConfig) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sbx, ok := s.sandboxes[sandboxID]
+	if !ok {
+		return "", fmt.Errorf("cri: sandbox %s not found", sandboxID)
+	}
+	ctrID := sandboxID + "/" + cfg.Name
+	_, err := s.client.CreateContainer(ctrID, cfg.Image, sbx.cfg.RuntimeHandler, containerd.ContainerOpts{
+		CgroupsPath: sbx.cfg.CgroupParent + "/" + cfg.Name,
+		ExtraEnv:    cfg.Env,
+		ExtraArgs:   cfg.Args,
+	})
+	if err != nil {
+		return "", err
+	}
+	sbx.containers = append(sbx.containers, ctrID)
+	s.ctrToSbx[ctrID] = sandboxID
+	return ctrID, nil
+}
+
+// StartContainer starts a created container through its shim.
+func (s *Service) StartContainer(containerID string) (*ContainerStartReport, error) {
+	ctr, ok := s.client.Container(containerID)
+	if !ok {
+		return nil, fmt.Errorf("cri: container %s not found", containerID)
+	}
+	task := ctr.Task()
+	if task == nil {
+		var err error
+		task, err = ctr.NewTask()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return task.Start()
+}
+
+// StopPodSandbox kills all containers and the pause process.
+func (s *Service) StopPodSandbox(sandboxID string) error {
+	s.mu.Lock()
+	sbx, ok := s.sandboxes[sandboxID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cri: sandbox %s not found", sandboxID)
+	}
+	for _, ctrID := range sbx.containers {
+		if ctr, ok := s.client.Container(ctrID); ok && ctr.Task() != nil {
+			if err := ctr.Task().Kill(); err != nil {
+				return err
+			}
+		}
+	}
+	if sbx.pauseProc != nil {
+		sbx.pauseProc.Exit()
+		sbx.pauseProc = nil
+	}
+	return nil
+}
+
+// RemovePodSandbox deletes containers, the sandbox record, and pod cgroups.
+func (s *Service) RemovePodSandbox(sandboxID string) error {
+	s.mu.Lock()
+	sbx, ok := s.sandboxes[sandboxID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cri: sandbox %s not found", sandboxID)
+	}
+	for _, ctrID := range sbx.containers {
+		if err := s.client.Delete(ctrID); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		delete(s.ctrToSbx, ctrID)
+		s.mu.Unlock()
+		s.node.RemoveCgroup(sbx.cfg.CgroupParent + "/" + ctrNameFromID(ctrID))
+	}
+	s.node.RemoveCgroup(sbx.cfg.CgroupParent + "/pause")
+	s.node.RemoveCgroup(sbx.cfg.CgroupParent)
+	s.mu.Lock()
+	delete(s.sandboxes, sandboxID)
+	s.mu.Unlock()
+	return nil
+}
+
+func ctrNameFromID(ctrID string) string {
+	for i := len(ctrID) - 1; i >= 0; i-- {
+		if ctrID[i] == '/' {
+			return ctrID[i+1:]
+		}
+	}
+	return ctrID
+}
+
+// ListContainers lists containerd container IDs.
+func (s *Service) ListContainers() []string { return s.client.Containers() }

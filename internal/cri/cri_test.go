@@ -1,0 +1,139 @@
+package cri
+
+import (
+	"strings"
+	"testing"
+
+	"wasmcontainers/internal/containerd"
+	"wasmcontainers/internal/simos"
+)
+
+func testService(t *testing.T) (*Service, *simos.Node) {
+	t.Helper()
+	node := simos.NewNode(simos.NodeConfig{
+		Name: "t", RAMBytes: 32 * simos.GiB, Cores: 8,
+		BaseSystemBytes: 512 * simos.MiB,
+	})
+	images, err := containerd.NewImageStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := containerd.NewClient(node, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewService(client), node
+}
+
+func sandboxCfg(uid string, handler containerd.RuntimeHandler) PodSandboxConfig {
+	return PodSandboxConfig{
+		Name: "pod-" + uid, Namespace: "default", UID: uid,
+		CgroupParent:   "/kubepods/pod-" + uid,
+		RuntimeHandler: handler,
+	}
+}
+
+func TestSandboxLifecycle(t *testing.T) {
+	svc, node := testService(t)
+	sbx, err := svc.RunPodSandbox(sandboxCfg("u1", containerd.HandlerCrunWAMR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pause container charged to the pod cgroup.
+	cg, ok := node.Cgroup("/kubepods/pod-u1")
+	if !ok || cg.MemoryCurrent() != simos.RoundPages(containerd.PauseContainerBytes) {
+		t.Fatalf("pause memory = %d", cg.MemoryCurrent())
+	}
+	// Duplicate sandbox rejected.
+	if _, err := svc.RunPodSandbox(sandboxCfg("u1", containerd.HandlerCrunWAMR)); err == nil {
+		t.Fatal("duplicate sandbox accepted")
+	}
+
+	ctrID, err := svc.CreateContainer(sbx, ContainerConfig{
+		Name: "app", Image: "minimal-service:wasm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.StartContainer(ctrID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stdout != "service ready\n" {
+		t.Fatalf("stdout = %q", rep.Stdout)
+	}
+	if cg.MemoryCurrent() <= simos.RoundPages(containerd.PauseContainerBytes) {
+		t.Fatal("container memory not charged to pod cgroup")
+	}
+
+	if err := svc.StopPodSandbox(sbx); err != nil {
+		t.Fatal(err)
+	}
+	if cg.MemoryCurrent() != 0 {
+		t.Fatalf("memory after stop = %d", cg.MemoryCurrent())
+	}
+	if err := svc.RemovePodSandbox(sbx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := node.Cgroup("/kubepods/pod-u1"); ok {
+		t.Fatal("pod cgroup not removed")
+	}
+	if len(svc.ListContainers()) != 0 {
+		t.Fatal("containers not removed")
+	}
+}
+
+func TestCreateContainerErrors(t *testing.T) {
+	svc, _ := testService(t)
+	if _, err := svc.CreateContainer("sbx-missing", ContainerConfig{Name: "x", Image: "minimal-service:wasm"}); err == nil {
+		t.Fatal("container created in missing sandbox")
+	}
+	sbx, _ := svc.RunPodSandbox(sandboxCfg("u2", containerd.HandlerCrunWAMR))
+	if _, err := svc.CreateContainer(sbx, ContainerConfig{Name: "x", Image: "ghost:image"}); err == nil {
+		t.Fatal("unknown image accepted")
+	}
+	if _, err := svc.StartContainer("nope"); err == nil {
+		t.Fatal("started missing container")
+	}
+	if err := svc.StopPodSandbox("sbx-none"); err == nil {
+		t.Fatal("stopped missing sandbox")
+	}
+	if err := svc.RemovePodSandbox("sbx-none"); err == nil {
+		t.Fatal("removed missing sandbox")
+	}
+}
+
+func TestRuntimeHandlerPropagation(t *testing.T) {
+	svc, _ := testService(t)
+	sbx, _ := svc.RunPodSandbox(sandboxCfg("u3", containerd.HandlerShimWasmEdge))
+	ctrID, err := svc.CreateContainer(sbx, ContainerConfig{Name: "app", Image: "minimal-service:wasm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.StartContainer(ctrID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Handler, "wasmedge") {
+		t.Fatalf("handler = %q, want wasmedge path", rep.Handler)
+	}
+}
+
+func TestContainerArgsAndEnvForwarding(t *testing.T) {
+	svc, _ := testService(t)
+	sbx, _ := svc.RunPodSandbox(sandboxCfg("u4", containerd.HandlerCrunWAMR))
+	ctrID, err := svc.CreateContainer(sbx, ContainerConfig{
+		Name: "app", Image: "echo-args:wasm",
+		Args: []string{"--x", "1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.StartContainer(ctrID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stdout != "/app.wasm\n--x\n1\n" {
+		t.Fatalf("stdout = %q", rep.Stdout)
+	}
+}

@@ -1,0 +1,169 @@
+// Package des is a deterministic discrete-event simulator used to model
+// container startup on a multi-core node: a virtual clock, an event queue,
+// an FCFS core pool, and serially-contended resources (locks). All startup
+// latency numbers in the benchmark harness come from this engine, so runs
+// are exactly reproducible.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is simulated time in nanoseconds since simulation start.
+type Time int64
+
+// Duration aliases time.Duration for readability at call sites.
+type Duration = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker preserving schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine drives the simulation.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine creates an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn at absolute time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+Time(d), fn) }
+
+// Run processes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step processes a single event; it reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// CPUPool models n identical cores scheduled FCFS. Work submitted to the
+// pool starts on the earliest-free core at or after the submission time.
+type CPUPool struct {
+	eng    *Engine
+	freeAt []Time
+	// BusyTime accumulates total core-busy nanoseconds (utilization metric).
+	BusyTime int64
+}
+
+// NewCPUPool creates a pool of n cores.
+func NewCPUPool(eng *Engine, n int) *CPUPool {
+	return &CPUPool{eng: eng, freeAt: make([]Time, n)}
+}
+
+// Cores returns the core count.
+func (p *CPUPool) Cores() int { return len(p.freeAt) }
+
+// Submit enqueues cpuTime of work that becomes ready at the current engine
+// time; done runs (at the finish time) when the work completes.
+func (p *CPUPool) Submit(cpuTime Duration, done func()) {
+	p.SubmitAt(p.eng.now, cpuTime, done)
+}
+
+// SubmitAt enqueues work that becomes ready at time ready.
+func (p *CPUPool) SubmitAt(ready Time, cpuTime Duration, done func()) {
+	// Earliest-free core.
+	best := 0
+	for i, t := range p.freeAt {
+		if t < p.freeAt[best] {
+			best = i
+		}
+	}
+	start := ready
+	if p.freeAt[best] > start {
+		start = p.freeAt[best]
+	}
+	finish := start + Time(cpuTime)
+	p.freeAt[best] = finish
+	p.BusyTime += int64(cpuTime)
+	p.eng.At(finish, done)
+}
+
+// Utilization returns mean core utilization over [0, until].
+func (p *CPUPool) Utilization(until Time) float64 {
+	if until == 0 {
+		return 0
+	}
+	return float64(p.BusyTime) / float64(int64(until)*int64(len(p.freeAt)))
+}
+
+// Resource models a serially-held resource (e.g. the containerd task-service
+// lock). Acquisitions queue FCFS.
+type Resource struct {
+	eng    *Engine
+	freeAt Time
+	// Waits accumulates total queueing delay (contention metric).
+	Waits int64
+	// Acquisitions counts total acquisitions.
+	Acquisitions int64
+}
+
+// NewResource creates an uncontended resource.
+func NewResource(eng *Engine) *Resource { return &Resource{eng: eng} }
+
+// Acquire schedules done to run after the resource has been held for hold
+// nanoseconds, queueing behind earlier holders.
+func (r *Resource) Acquire(hold Duration, done func()) {
+	start := r.eng.now
+	if r.freeAt > start {
+		r.Waits += int64(r.freeAt - start)
+		start = r.freeAt
+	}
+	r.freeAt = start + Time(hold)
+	r.Acquisitions++
+	r.eng.At(r.freeAt, done)
+}

@@ -1,0 +1,174 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.At(30, func() { order = append(order, 3) })
+	eng.At(10, func() { order = append(order, 1) })
+	eng.At(20, func() { order = append(order, 2) })
+	eng.At(10, func() { order = append(order, 11) }) // same time: schedule order
+	end := eng.Run()
+	if end != 30 {
+		t.Fatalf("end time = %d, want 30", end)
+	}
+	want := []int{1, 11, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var fired []Time
+	eng.After(5*time.Nanosecond, func() {
+		fired = append(fired, eng.Now())
+		eng.After(7*time.Nanosecond, func() {
+			fired = append(fired, eng.Now())
+		})
+	})
+	eng.Run()
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 12 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestPastEventsClamp(t *testing.T) {
+	eng := NewEngine()
+	eng.At(100, func() {
+		eng.At(50, func() {
+			if eng.Now() != 100 {
+				t.Errorf("past event ran at %d, want clamped to 100", eng.Now())
+			}
+		})
+	})
+	eng.Run()
+}
+
+func TestCPUPoolSingleCore(t *testing.T) {
+	eng := NewEngine()
+	pool := NewCPUPool(eng, 1)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		pool.Submit(10*time.Nanosecond, func() { done = append(done, eng.Now()) })
+	}
+	eng.Run()
+	// Serialized on one core: 10, 20, 30.
+	if len(done) != 3 || done[0] != 10 || done[1] != 20 || done[2] != 30 {
+		t.Fatalf("done = %v", done)
+	}
+}
+
+func TestCPUPoolParallelism(t *testing.T) {
+	eng := NewEngine()
+	pool := NewCPUPool(eng, 4)
+	var finishes []Time
+	for i := 0; i < 8; i++ {
+		pool.Submit(10*time.Nanosecond, func() { finishes = append(finishes, eng.Now()) })
+	}
+	end := eng.Run()
+	// 8 tasks × 10ns on 4 cores = 2 waves: all finish by t=20.
+	if end != 20 {
+		t.Fatalf("makespan = %d, want 20", end)
+	}
+	first := 0
+	for _, f := range finishes {
+		if f == 10 {
+			first++
+		}
+	}
+	if first != 4 {
+		t.Fatalf("%d tasks finished in the first wave, want 4", first)
+	}
+	if u := pool.Utilization(end); u != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestResourceContention(t *testing.T) {
+	eng := NewEngine()
+	res := NewResource(eng)
+	var finishes []Time
+	// Three immediate acquisitions of 10ns each serialize.
+	for i := 0; i < 3; i++ {
+		res.Acquire(10*time.Nanosecond, func() { finishes = append(finishes, eng.Now()) })
+	}
+	eng.Run()
+	if len(finishes) != 3 || finishes[2] != 30 {
+		t.Fatalf("finishes = %v", finishes)
+	}
+	if res.Waits != 10+20 {
+		t.Fatalf("total waits = %d, want 30", res.Waits)
+	}
+	if res.Acquisitions != 3 {
+		t.Fatalf("acquisitions = %d", res.Acquisitions)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() []Time {
+		eng := NewEngine()
+		pool := NewCPUPool(eng, 3)
+		res := NewResource(eng)
+		var log []Time
+		for i := 0; i < 10; i++ {
+			d := time.Duration(3+i%4) * time.Nanosecond
+			pool.Submit(d, func() {
+				res.Acquire(2*time.Nanosecond, func() { log = append(log, eng.Now()) })
+			})
+		}
+		eng.Run()
+		return log
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	eng := NewEngine()
+	if eng.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	fired := 0
+	eng.At(5, func() { fired++ })
+	eng.At(9, func() { fired++ })
+	if eng.Pending() != 2 {
+		t.Fatalf("pending = %d", eng.Pending())
+	}
+	if !eng.Step() || fired != 1 || eng.Now() != 5 {
+		t.Fatalf("first step: fired=%d now=%d", fired, eng.Now())
+	}
+	if !eng.Step() || fired != 2 || eng.Now() != 9 {
+		t.Fatalf("second step: fired=%d now=%d", fired, eng.Now())
+	}
+	if eng.Step() {
+		t.Fatal("Step past end returned true")
+	}
+}
+
+func TestSubmitAtFutureReadyTime(t *testing.T) {
+	eng := NewEngine()
+	pool := NewCPUPool(eng, 2)
+	var done Time
+	pool.SubmitAt(100, 10*time.Nanosecond, func() { done = eng.Now() })
+	eng.Run()
+	if done != 110 {
+		t.Fatalf("done at %d, want 110", done)
+	}
+	if pool.Cores() != 2 {
+		t.Fatal("core count")
+	}
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wasmcontainers/internal/wasi"
+	"wasmcontainers/internal/workloads"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	profs := Profiles()
+	if len(profs) != 4 {
+		t.Fatalf("%d profiles", len(profs))
+	}
+	names := map[string]bool{}
+	for _, p := range profs {
+		names[p.Name] = true
+		if p.Version == "" || p.Mode == "" {
+			t.Errorf("%s: missing version/mode", p.Name)
+		}
+		if p.EmbedPrivateBytes <= 0 || p.EmbedCPUWork <= 0 || p.NsPerInstruction <= 0 {
+			t.Errorf("%s: incomplete model: %+v", p.Name, p)
+		}
+	}
+	for _, want := range []string{"wamr", "wasmtime", "wasmer", "wasmedge"} {
+		if !names[want] {
+			t.Errorf("missing profile %s", want)
+		}
+	}
+	if _, ok := ByName("wamr"); !ok {
+		t.Error("ByName(wamr) failed")
+	}
+	if _, ok := ByName("v8"); ok {
+		t.Error("ByName accepted unknown engine")
+	}
+}
+
+func TestWAMRIsSmallestAndSlowest(t *testing.T) {
+	// The design trade the paper exploits: WAMR's interpreter is the
+	// smallest footprint but the slowest per instruction.
+	for _, p := range Profiles() {
+		if p.Name == "wamr" {
+			continue
+		}
+		if WAMR.EmbedPrivateBytes >= p.EmbedPrivateBytes {
+			t.Errorf("WAMR footprint (%d) not below %s (%d)",
+				WAMR.EmbedPrivateBytes, p.Name, p.EmbedPrivateBytes)
+		}
+		if WAMR.NsPerInstruction <= p.NsPerInstruction {
+			t.Errorf("WAMR ns/instr (%v) not above %s (%v)",
+				WAMR.NsPerInstruction, p.Name, p.NsPerInstruction)
+		}
+		if WAMR.SharedLibBytes >= p.SharedLibBytes {
+			t.Errorf("WAMR lib (%d) not below %s (%d)",
+				WAMR.SharedLibBytes, p.Name, p.SharedLibBytes)
+		}
+	}
+}
+
+func TestEngineCompileAndRun(t *testing.T) {
+	bin, err := workloads.Binary("minimal-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Profiles() {
+		eng := New(p)
+		cm, err := eng.Compile(bin)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		var out bytes.Buffer
+		res, err := eng.Run(cm, wasi.Config{Stdout: &out})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if out.String() != "service ready\n" || res.ExitCode != 0 {
+			t.Fatalf("%s: out=%q exit=%d", p.Name, out.String(), res.ExitCode)
+		}
+		if res.GuestMemoryBytes != 65536 {
+			t.Fatalf("%s: guest memory %d", p.Name, res.GuestMemoryBytes)
+		}
+		if res.SimulatedExecTime <= 0 {
+			t.Fatalf("%s: no simulated exec time", p.Name)
+		}
+	}
+}
+
+func TestSimulatedExecTimeScalesWithMode(t *testing.T) {
+	bin, _ := workloads.Binary("minimal-service")
+	times := map[string]float64{}
+	for _, p := range Profiles() {
+		eng := New(p)
+		cm, _ := eng.Compile(bin)
+		res, err := eng.Run(cm, wasi.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[p.Name] = float64(res.SimulatedExecTime)
+	}
+	// Same instruction count, so the ratio equals the ns/instr ratio.
+	ratio := times["wamr"] / times["wasmtime"]
+	want := WAMR.NsPerInstruction / Wasmtime.NsPerInstruction
+	if ratio < want*0.99 || ratio > want*1.01 {
+		t.Fatalf("interp/jit ratio = %.1f, want %.1f", ratio, want)
+	}
+}
+
+func TestCompileRejectsGarbage(t *testing.T) {
+	eng := New(WAMR)
+	if _, err := eng.Compile([]byte("not wasm")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := eng.Compile(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Structurally valid but semantically invalid module.
+	bad := []byte("\x00asm\x01\x00\x00\x00")
+	bad = append(bad, 3, 2, 1, 9) // function section referencing type 9
+	if _, err := eng.Compile(bad); err == nil {
+		t.Fatal("invalid module accepted")
+	} else if !strings.Contains(err.Error(), "wamr") {
+		t.Fatalf("error %q does not name the engine", err)
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	eng := New(Wasmtime)
+	guest := int64(65536)
+	if got := eng.EmbedFootprint(guest); got != Wasmtime.EmbedPrivateBytes+guest {
+		t.Fatalf("embed footprint = %d", got)
+	}
+	pod, sys := eng.ShimFootprint(guest)
+	if pod != Wasmtime.ShimPrivateBytes+guest || sys != Wasmtime.ShimSystemBytes {
+		t.Fatalf("shim footprint = %d/%d", pod, sys)
+	}
+}
+
+func TestStartCosts(t *testing.T) {
+	eng := New(WasmEdge)
+	d, c := eng.EmbedStartCost(1000)
+	if d != WasmEdge.EmbedFixedDelay || c != WasmEdge.EmbedCPUWork+1000 {
+		t.Fatalf("embed cost = %v/%v", d, c)
+	}
+	d, c, l := eng.ShimStartCost(1000)
+	if d != WasmEdge.ShimFixedDelay || c != WasmEdge.ShimCPUWork+1000 || l != WasmEdge.ShimTaskLockHold {
+		t.Fatalf("shim cost = %v/%v/%v", d, c, l)
+	}
+}
+
+func TestShimLockDominatesRuncShim(t *testing.T) {
+	// The mechanism behind Figure 9: runwasi shims serialize far longer on
+	// the containerd task service than the shim-runc-v2 path (2ms).
+	for _, p := range []Profile{Wasmtime, Wasmer, WasmEdge} {
+		if p.ShimTaskLockHold < 100*1e6 { // 100ms in ns
+			t.Errorf("%s: shim lock hold %v too small to reproduce Fig 9", p.Name, p.ShimTaskLockHold)
+		}
+	}
+}

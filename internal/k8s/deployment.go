@@ -1,0 +1,120 @@
+package k8s
+
+import (
+	"fmt"
+
+	"wasmcontainers/internal/des"
+)
+
+// Deployment is a minimal Deployment/ReplicaSet analog: it owns a set of
+// identical single-container pods and reconciles the live count toward
+// Replicas. The paper's motivation — "the high velocity of change in the
+// number of running containers in large-scale deployment environments" —
+// is exercised through Scale.
+type Deployment struct {
+	Name      string
+	Namespace string
+	Spec      DeploymentSpec
+	// OwnedPods are the pods currently created for this deployment.
+	OwnedPods []*Pod
+
+	cluster *Cluster
+	serial  int
+}
+
+// DeploymentSpec is the desired state.
+type DeploymentSpec struct {
+	Replicas         int
+	RuntimeClassName string
+	Image            string
+	Args             []string
+	Env              []string
+}
+
+// CreateDeployment registers a deployment and performs the first
+// reconciliation. Call Cluster.Run (or keep stepping the engine) afterwards
+// to let the pods start.
+func (c *Cluster) CreateDeployment(name string, spec DeploymentSpec) (*Deployment, error) {
+	if spec.Replicas < 0 {
+		return nil, fmt.Errorf("k8s: negative replicas")
+	}
+	d := &Deployment{Name: name, Namespace: "default", Spec: spec, cluster: c}
+	if err := d.reconcile(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Scale changes the desired replica count and reconciles immediately:
+// scale-ups create pods; scale-downs stop and remove the newest pods first.
+func (d *Deployment) Scale(replicas int) error {
+	if replicas < 0 {
+		return fmt.Errorf("k8s: negative replicas")
+	}
+	d.Spec.Replicas = replicas
+	return d.reconcile()
+}
+
+func (d *Deployment) reconcile() error {
+	c := d.cluster
+	for len(d.OwnedPods) < d.Spec.Replicas {
+		d.serial++
+		pods, err := c.Deploy(DeployOptions{
+			NamePrefix:       d.Name,
+			RuntimeClassName: d.Spec.RuntimeClassName,
+			Image:            d.Spec.Image,
+			Replicas:         1,
+			Args:             d.Spec.Args,
+			Env:              d.Spec.Env,
+		})
+		if err != nil {
+			return err
+		}
+		d.OwnedPods = append(d.OwnedPods, pods[0])
+	}
+	for len(d.OwnedPods) > d.Spec.Replicas {
+		victim := d.OwnedPods[len(d.OwnedPods)-1]
+		d.OwnedPods = d.OwnedPods[:len(d.OwnedPods)-1]
+		// Pods still mid-startup are torn down once the engine quiesces;
+		// schedule the teardown so in-flight events complete first.
+		c.Engine.After(0, func() {
+			if victim.Status.Phase == PodRunning || victim.Status.Phase == PodScheduled {
+				if err := c.TeardownPods([]*Pod{victim}); err == nil {
+					victim.Status.Phase = PodFailed
+					victim.Status.Message = "scaled down"
+					c.API.Record("PodDeleted", victim.Namespace+"/"+victim.Name, "scaled down")
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// ReadyReplicas counts owned pods whose workload started.
+func (d *Deployment) ReadyReplicas() int {
+	n := 0
+	for _, p := range d.OwnedPods {
+		if p.Status.Phase == PodRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// RolloutComplete reports whether all desired replicas are ready.
+func (d *Deployment) RolloutComplete() bool {
+	return d.ReadyReplicas() == d.Spec.Replicas && len(d.OwnedPods) == d.Spec.Replicas
+}
+
+// LastTransition returns the latest workload start time among owned pods.
+func (d *Deployment) LastTransition() des.Time {
+	var last des.Time
+	for _, p := range d.OwnedPods {
+		for _, cs := range p.Status.Containers {
+			if cs.StartedAt > last {
+				last = cs.StartedAt
+			}
+		}
+	}
+	return last
+}

@@ -1,0 +1,94 @@
+package k8s
+
+import "testing"
+
+func TestDeploymentRollout(t *testing.T) {
+	c := newTestCluster(t)
+	d, err := c.CreateDeployment("svc", DeploymentSpec{
+		Replicas:         8,
+		RuntimeClassName: "crun-wamr",
+		Image:            "minimal-service:wasm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if !d.RolloutComplete() {
+		t.Fatalf("rollout incomplete: %d/%d ready", d.ReadyReplicas(), d.Spec.Replicas)
+	}
+	if d.LastTransition() <= 0 {
+		t.Fatal("no transition time")
+	}
+}
+
+func TestDeploymentScaleUp(t *testing.T) {
+	c := newTestCluster(t)
+	d, err := c.CreateDeployment("svc", DeploymentSpec{
+		Replicas: 3, RuntimeClassName: "crun-wamr", Image: "minimal-service:wasm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	memBefore := c.Nodes[0].OS.UsedBeyondIdle()
+	if err := d.Scale(12); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if d.ReadyReplicas() != 12 {
+		t.Fatalf("ready = %d, want 12", d.ReadyReplicas())
+	}
+	// Memory grows roughly linearly with the new pods.
+	memAfter := c.Nodes[0].OS.UsedBeyondIdle()
+	if memAfter <= memBefore {
+		t.Fatal("scale-up did not grow memory")
+	}
+}
+
+func TestDeploymentScaleDown(t *testing.T) {
+	c := newTestCluster(t)
+	d, err := c.CreateDeployment("svc", DeploymentSpec{
+		Replicas: 10, RuntimeClassName: "crun-wamr", Image: "minimal-service:wasm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	memAt10 := c.Metrics.TotalWorkloadBytes()
+	if err := d.Scale(4); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if d.ReadyReplicas() != 4 || len(d.OwnedPods) != 4 {
+		t.Fatalf("after scale-down: ready=%d owned=%d", d.ReadyReplicas(), len(d.OwnedPods))
+	}
+	memAt4 := c.Metrics.TotalWorkloadBytes()
+	// 6 pods' worth of workload memory must be released.
+	if memAt4 >= memAt10*5/10 {
+		t.Fatalf("scale-down released too little: %d -> %d", memAt10, memAt4)
+	}
+}
+
+func TestDeploymentScaleToZero(t *testing.T) {
+	c := newTestCluster(t)
+	d, err := c.CreateDeployment("svc", DeploymentSpec{
+		Replicas: 5, RuntimeClassName: "wasmtime", Image: "minimal-service:wasm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if err := d.Scale(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if len(d.OwnedPods) != 0 {
+		t.Fatalf("owned = %d", len(d.OwnedPods))
+	}
+	if got := c.Metrics.TotalWorkloadBytes(); got != 0 {
+		t.Fatalf("workload memory after scale-to-zero: %d", got)
+	}
+	if err := d.Scale(-1); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}

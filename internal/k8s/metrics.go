@@ -1,0 +1,74 @@
+package k8s
+
+import (
+	"sort"
+
+	"wasmcontainers/internal/simos"
+)
+
+// PodMetrics is one pod's resource usage as the metrics-server reports it.
+type PodMetrics struct {
+	Namespace string
+	Name      string
+	// MemoryBytes is the pod cgroup's memory.current (workload view).
+	MemoryBytes int64
+}
+
+// MetricsServer mirrors the Kubernetes metrics-server: it reads pod memory
+// from each node's cgroup hierarchy. This is the "measured by Kubernetes"
+// vantage point of Figures 3 and 6; the `free` vantage point comes from
+// simos.Node.Free / UsedBeyondIdle.
+type MetricsServer struct {
+	nodes []*WorkerNode
+}
+
+// NewMetricsServer attaches to the cluster's nodes.
+func NewMetricsServer(nodes []*WorkerNode) *MetricsServer {
+	return &MetricsServer{nodes: nodes}
+}
+
+// PodMetrics scrapes one pod.
+func (m *MetricsServer) PodMetrics(p *Pod) (PodMetrics, bool) {
+	for _, n := range m.nodes {
+		if cg, ok := n.OS.Cgroup(p.CgroupParent()); ok {
+			return PodMetrics{
+				Namespace:   p.Namespace,
+				Name:        p.Name,
+				MemoryBytes: cg.MemoryCurrent(),
+			}, true
+		}
+	}
+	return PodMetrics{}, false
+}
+
+// AllPodMetrics scrapes every pod in the list, sorted by name.
+func (m *MetricsServer) AllPodMetrics(pods []*Pod) []PodMetrics {
+	out := make([]PodMetrics, 0, len(pods))
+	for _, p := range pods {
+		if pm, ok := m.PodMetrics(p); ok {
+			out = append(out, pm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TotalWorkloadBytes sums memory.current over /kubepods on all nodes.
+func (m *MetricsServer) TotalWorkloadBytes() int64 {
+	var total int64
+	for _, n := range m.nodes {
+		if cg, ok := n.OS.Cgroup("/kubepods"); ok {
+			total += cg.MemoryCurrent()
+		}
+	}
+	return total
+}
+
+// NodeFree returns each node's simulated `free` output.
+func (m *MetricsServer) NodeFree() []simos.MemInfo {
+	out := make([]simos.MemInfo, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		out = append(out, n.OS.Free())
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package metrics provides the small statistics toolkit the benchmark
+// harness uses: summary statistics over per-container samples (the paper
+// reports means and notes the per-container deviation is negligible) and
+// percentage-change helpers for the reduction claims.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+	P50    float64
+	P95    float64
+}
+
+// Summarize computes summary statistics; it returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	return s
+}
+
+// percentile takes a pre-sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Reduction returns the percentage by which ours is lower than baseline
+// (positive = ours is smaller).
+func Reduction(ours, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (1 - ours/baseline)
+}
+
+// Increase returns the percentage by which a exceeds b.
+func Increase(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a/b - 1)
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f stddev=%.3f p50=%.3f p95=%.3f",
+		s.N, s.Mean, s.Min, s.Max, s.StdDev, s.P50, s.P95)
+}

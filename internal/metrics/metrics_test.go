@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.P50 != 4.5 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.StdDev != 0 || s.P50 != 42 || s.P95 != 42 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestReductionAndIncrease(t *testing.T) {
+	if r := Reduction(4, 8); r != 50 {
+		t.Fatalf("Reduction(4,8) = %v", r)
+	}
+	if r := Reduction(8, 4); r != -100 {
+		t.Fatalf("Reduction(8,4) = %v", r)
+	}
+	if r := Reduction(1, 0); r != 0 {
+		t.Fatalf("Reduction with zero baseline = %v", r)
+	}
+	if inc := Increase(6, 4); math.Abs(inc-50) > 1e-9 {
+		t.Fatalf("Increase(6,4) = %v", inc)
+	}
+}
+
+// Property: mean is always within [min, max] and percentiles are ordered.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		const eps = 1e-6
+		return s.Mean >= s.Min-eps && s.Mean <= s.Max+eps &&
+			s.P50 >= s.Min-eps && s.P50 <= s.P95+eps && s.P95 <= s.Max+eps &&
+			s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reduction(x, y) and Increase(y/x relationship) are consistent.
+func TestReductionIncreaseDuality(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+1, math.Abs(b)+1 // positive, non-zero
+		r := Reduction(a, b)
+		// ours = baseline*(1 - r/100)
+		back := b * (1 - r/100)
+		return math.Abs(back-a) < 1e-6*math.Max(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

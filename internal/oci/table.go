@@ -1,0 +1,77 @@
+package oci
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Container is the bookkeeping record low-level runtimes keep per container.
+type Container struct {
+	ID     string
+	Bundle *Bundle
+	Status Status
+	Pid    int
+	// Handler names the execution path chosen at start.
+	Handler string
+}
+
+// ContainerTable is the thread-safe container registry shared by all
+// low-level runtime implementations (crun, runC, youki).
+type ContainerTable struct {
+	mu   sync.Mutex
+	ctrs map[string]*Container
+}
+
+// NewContainerTable creates an empty table.
+func NewContainerTable() *ContainerTable {
+	return &ContainerTable{ctrs: make(map[string]*Container)}
+}
+
+// Add registers a new container in the created state.
+func (t *ContainerTable) Add(id string, bundle *Bundle) (*Container, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.ctrs[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	c := &Container{ID: id, Bundle: bundle, Status: StatusCreated}
+	t.ctrs[id] = c
+	return c, nil
+}
+
+// Get looks up a container.
+func (t *ContainerTable) Get(id string) (*Container, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.ctrs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return c, nil
+}
+
+// Remove deletes a container record; the container must be stopped.
+func (t *ContainerTable) Remove(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.ctrs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if c.Status == StatusRunning {
+		return fmt.Errorf("%w: %s is running", ErrBadState, id)
+	}
+	delete(t.ctrs, id)
+	return nil
+}
+
+// List returns all container IDs in insertion-independent order.
+func (t *ContainerTable) List() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.ctrs))
+	for id := range t.ctrs {
+		out = append(out, id)
+	}
+	return out
+}

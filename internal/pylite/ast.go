@@ -1,0 +1,196 @@
+package pylite
+
+// The AST mirrors the supported Python subset. Nodes carry source lines for
+// error reporting.
+
+// Stmt is any statement node.
+type Stmt interface{ stmtNode() }
+
+// Expr is any expression node.
+type Expr interface{ exprNode() }
+
+// Module is the root: a sequence of statements.
+type Module struct {
+	Body []Stmt
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// Assign is NAME = expr, target[idx] = expr, or augmented assignment
+// (op non-empty, e.g. "+").
+type Assign struct {
+	Target Expr // *Name or *Index
+	Op     string
+	Value  Expr
+	Line   int
+}
+
+// If is a chain of conditions and bodies, with an optional else body.
+type If struct {
+	Conds  []Expr
+	Bodies [][]Stmt
+	Else   []Stmt
+	Line   int
+}
+
+// While is a condition-driven loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// For is `for NAME in iterable:`; iterables are range(...) results, lists,
+// strings, and dict keys.
+type For struct {
+	Var  string
+	Iter Expr
+	Body []Stmt
+	Line int
+}
+
+// FuncDef declares a function.
+type FuncDef struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Return exits a function with an optional value.
+type Return struct {
+	Value Expr // nil means None
+	Line  int
+}
+
+// Break exits the innermost loop.
+type Break struct{ Line int }
+
+// Continue restarts the innermost loop.
+type Continue struct{ Line int }
+
+// Pass does nothing.
+type Pass struct{ Line int }
+
+// GlobalDecl marks names as module-globals inside a function.
+type GlobalDecl struct {
+	Names []string
+	Line  int
+}
+
+func (*ExprStmt) stmtNode()   {}
+func (*Assign) stmtNode()     {}
+func (*If) stmtNode()         {}
+func (*While) stmtNode()      {}
+func (*For) stmtNode()        {}
+func (*FuncDef) stmtNode()    {}
+func (*Return) stmtNode()     {}
+func (*Break) stmtNode()      {}
+func (*Continue) stmtNode()   {}
+func (*Pass) stmtNode()       {}
+func (*GlobalDecl) stmtNode() {}
+
+// Name references a variable.
+type Name struct {
+	Ident string
+	Line  int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Line  int
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value float64
+	Line  int
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Value string
+	Line  int
+}
+
+// BoolLit is True or False.
+type BoolLit struct {
+	Value bool
+	Line  int
+}
+
+// NoneLit is None.
+type NoneLit struct{ Line int }
+
+// ListLit is [a, b, ...].
+type ListLit struct {
+	Elems []Expr
+	Line  int
+}
+
+// DictLit is {k: v, ...}.
+type DictLit struct {
+	Keys, Values []Expr
+	Line         int
+}
+
+// BinOp is a binary operation (+ - * / // % ** == != < <= > >= and or in).
+type BinOp struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnaryOp is -x or not x.
+type UnaryOp struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Call invokes fn(args...).
+type Call struct {
+	Fn   Expr
+	Args []Expr
+	Line int
+}
+
+// Index is x[i].
+type Index struct {
+	X, I Expr
+	Line int
+}
+
+// Slice is x[lo:hi]; nil bounds mean start/end.
+type Slice struct {
+	X      Expr
+	Lo, Hi Expr // either may be nil
+	Line   int
+}
+
+// Attr is x.name (used for method calls like list.append).
+type Attr struct {
+	X    Expr
+	Name string
+	Line int
+}
+
+func (*Name) exprNode()     {}
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*StrLit) exprNode()   {}
+func (*BoolLit) exprNode()  {}
+func (*NoneLit) exprNode()  {}
+func (*ListLit) exprNode()  {}
+func (*DictLit) exprNode()  {}
+func (*BinOp) exprNode()    {}
+func (*UnaryOp) exprNode()  {}
+func (*Call) exprNode()     {}
+func (*Index) exprNode()    {}
+func (*Slice) exprNode()    {}
+func (*Attr) exprNode()     {}

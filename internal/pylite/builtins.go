@@ -1,0 +1,232 @@
+package pylite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// builtinTable constructs the builtin namespace shared by all VMs.
+func builtinTable() map[string]*Builtin {
+	bs := []*Builtin{
+		{Name: "print", Arity: -1, Fn: biPrint},
+		{Name: "len", Arity: 1, Fn: biLen},
+		{Name: "range", Arity: -1, Fn: biRange},
+		{Name: "str", Arity: 1, Fn: func(vm *VM, a []Value) (Value, error) { return Str(a[0]), nil }},
+		{Name: "repr", Arity: 1, Fn: func(vm *VM, a []Value) (Value, error) { return Repr(a[0]), nil }},
+		{Name: "int", Arity: 1, Fn: biInt},
+		{Name: "float", Arity: 1, Fn: biFloat},
+		{Name: "bool", Arity: 1, Fn: func(vm *VM, a []Value) (Value, error) { return Truthy(a[0]), nil }},
+		{Name: "abs", Arity: 1, Fn: biAbs},
+		{Name: "min", Arity: -1, Fn: biMin},
+		{Name: "max", Arity: -1, Fn: biMax},
+		{Name: "sum", Arity: 1, Fn: biSum},
+		{Name: "sorted", Arity: 1, Fn: biSorted},
+		{Name: "ord", Arity: 1, Fn: biOrd},
+		{Name: "chr", Arity: 1, Fn: biChr},
+		{Name: "argv", Arity: 0, Fn: biArgv},
+		{Name: "type", Arity: 1, Fn: func(vm *VM, a []Value) (Value, error) { return TypeName(a[0]), nil }},
+	}
+	out := make(map[string]*Builtin, len(bs))
+	for _, b := range bs {
+		out[b.Name] = b
+	}
+	return out
+}
+
+func biPrint(vm *VM, args []Value) (Value, error) {
+	if vm.Stdout == nil {
+		return nil, nil
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = Str(a)
+	}
+	fmt.Fprintln(vm.Stdout, strings.Join(parts, " "))
+	return nil, nil
+}
+
+func biLen(vm *VM, args []Value) (Value, error) {
+	switch x := args[0].(type) {
+	case string:
+		return int64(len(x)), nil
+	case *List:
+		return int64(len(x.Items)), nil
+	case *Dict:
+		return int64(x.Len()), nil
+	case *Range:
+		if x.Step > 0 && x.Stop > x.Start {
+			return (x.Stop - x.Start + x.Step - 1) / x.Step, nil
+		}
+		if x.Step < 0 && x.Stop < x.Start {
+			return (x.Start - x.Stop - x.Step - 1) / -x.Step, nil
+		}
+		return int64(0), nil
+	}
+	return nil, fmt.Errorf("object of type %s has no len()", TypeName(args[0]))
+}
+
+func biRange(vm *VM, args []Value) (Value, error) {
+	ints := make([]int64, len(args))
+	for i, a := range args {
+		n, ok := toInt(a)
+		if !ok {
+			return nil, fmt.Errorf("range() arguments must be integers")
+		}
+		ints[i] = n
+	}
+	switch len(ints) {
+	case 1:
+		return &Range{Start: 0, Stop: ints[0], Step: 1}, nil
+	case 2:
+		return &Range{Start: ints[0], Stop: ints[1], Step: 1}, nil
+	case 3:
+		if ints[2] == 0 {
+			return nil, fmt.Errorf("range() step must not be zero")
+		}
+		return &Range{Start: ints[0], Stop: ints[1], Step: ints[2]}, nil
+	}
+	return nil, fmt.Errorf("range() takes 1 to 3 arguments")
+}
+
+func biInt(vm *VM, args []Value) (Value, error) {
+	switch x := args[0].(type) {
+	case int64:
+		return x, nil
+	case float64:
+		return int64(math.Trunc(x)), nil
+	case bool:
+		if x {
+			return int64(1), nil
+		}
+		return int64(0), nil
+	case string:
+		v, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid literal for int(): %q", x)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("int() argument must be a string or a number")
+}
+
+func biFloat(vm *VM, args []Value) (Value, error) {
+	if f, ok := toFloat(args[0]); ok {
+		return f, nil
+	}
+	if s, ok := args[0].(string); ok {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("could not convert string to float: %q", s)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("float() argument must be a string or a number")
+}
+
+func biAbs(vm *VM, args []Value) (Value, error) {
+	switch x := args[0].(type) {
+	case int64:
+		if x < 0 {
+			return -x, nil
+		}
+		return x, nil
+	case float64:
+		return math.Abs(x), nil
+	}
+	return nil, fmt.Errorf("bad operand type for abs(): %s", TypeName(args[0]))
+}
+
+func extremum(args []Value, wantLess bool) (Value, error) {
+	var items []Value
+	if len(args) == 1 {
+		if lst, ok := args[0].(*List); ok {
+			items = lst.Items
+		} else {
+			return nil, fmt.Errorf("single argument must be a list")
+		}
+	} else {
+		items = args
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("arg is an empty sequence")
+	}
+	best := items[0]
+	for _, it := range items[1:] {
+		if valueLess(it, best) == wantLess {
+			best = it
+		}
+	}
+	return best, nil
+}
+
+func biMin(vm *VM, args []Value) (Value, error) { return extremum(args, true) }
+func biMax(vm *VM, args []Value) (Value, error) { return extremum(args, false) }
+
+func biSum(vm *VM, args []Value) (Value, error) {
+	lst, ok := args[0].(*List)
+	if !ok {
+		return nil, fmt.Errorf("sum() argument must be a list")
+	}
+	var isum int64
+	var fsum float64
+	isFloat := false
+	for _, it := range lst.Items {
+		switch v := it.(type) {
+		case int64:
+			isum += v
+			fsum += float64(v)
+		case float64:
+			isFloat = true
+			fsum += v
+		case bool:
+			if v {
+				isum++
+				fsum++
+			}
+		default:
+			return nil, fmt.Errorf("unsupported operand type for sum: %s", TypeName(it))
+		}
+	}
+	if isFloat {
+		return fsum, nil
+	}
+	return isum, nil
+}
+
+func biSorted(vm *VM, args []Value) (Value, error) {
+	lst, ok := args[0].(*List)
+	if !ok {
+		return nil, fmt.Errorf("sorted() argument must be a list")
+	}
+	out := append([]Value(nil), lst.Items...)
+	sort.SliceStable(out, func(i, j int) bool { return valueLess(out[i], out[j]) })
+	vm.HeapBytes += int64(16 + 8*len(out))
+	return &List{Items: out}, nil
+}
+
+func biOrd(vm *VM, args []Value) (Value, error) {
+	s, ok := args[0].(string)
+	if !ok || len(s) != 1 {
+		return nil, fmt.Errorf("ord() expected a character")
+	}
+	return int64(s[0]), nil
+}
+
+func biChr(vm *VM, args []Value) (Value, error) {
+	n, ok := toInt(args[0])
+	if !ok || n < 0 || n > 255 {
+		return nil, fmt.Errorf("chr() arg not in range(256)")
+	}
+	return string(rune(n)), nil
+}
+
+func biArgv(vm *VM, args []Value) (Value, error) {
+	out := make([]Value, len(vm.Argv))
+	for i, a := range vm.Argv {
+		out[i] = a
+	}
+	return &List{Items: out}, nil
+}

@@ -1,0 +1,227 @@
+// Package pylite implements a small Python-subset interpreter: an
+// indentation-aware lexer, a recursive-descent parser, a bytecode compiler,
+// and a stack-based virtual machine with a tracked heap. It serves as the
+// CPython stand-in for the paper's non-Wasm Python container baseline: the
+// benchmark applications actually execute, and the interpreter reports
+// instruction counts and heap usage that feed the simulated process
+// footprint model.
+package pylite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokName
+	TokInt
+	TokFloat
+	TokString
+	TokOp      // operators and punctuation
+	TokKeyword // def, if, while, ...
+)
+
+var keywords = map[string]bool{
+	"def": true, "return": true, "if": true, "elif": true, "else": true,
+	"while": true, "for": true, "in": true, "break": true, "continue": true,
+	"pass": true, "and": true, "or": true, "not": true,
+	"True": true, "False": true, "None": true, "global": true,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pylite: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func synErr(line, col int, format string, args ...interface{}) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes source, inserting INDENT/DEDENT/NEWLINE tokens per Python's
+// layout rules (spaces only; tabs count as 8).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	indents := []int{0}
+	lines := strings.Split(src, "\n")
+	parenDepth := 0
+
+	for li := 0; li < len(lines); li++ {
+		line := lines[li]
+		lineNo := li + 1
+
+		// Measure indentation (skip blank/comment-only lines entirely when
+		// not inside parentheses).
+		if parenDepth == 0 {
+			trimmed := strings.TrimLeft(line, " \t")
+			if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+				continue
+			}
+			indent := 0
+			for _, c := range line {
+				if c == ' ' {
+					indent++
+				} else if c == '\t' {
+					indent += 8 - indent%8
+				} else {
+					break
+				}
+			}
+			cur := indents[len(indents)-1]
+			if indent > cur {
+				indents = append(indents, indent)
+				toks = append(toks, Token{Kind: TokIndent, Line: lineNo})
+			}
+			for indent < indents[len(indents)-1] {
+				indents = indents[:len(indents)-1]
+				toks = append(toks, Token{Kind: TokDedent, Line: lineNo})
+			}
+			if indent != indents[len(indents)-1] {
+				return nil, synErr(lineNo, 1, "inconsistent indentation")
+			}
+		}
+
+		// Tokenize the line content.
+		col := 0
+		for col < len(line) {
+			c := line[col]
+			switch {
+			case c == ' ' || c == '\t':
+				col++
+			case c == '#':
+				col = len(line)
+			case c >= '0' && c <= '9':
+				start := col
+				isFloat := false
+				for col < len(line) && (isDigit(line[col]) || line[col] == '.' || line[col] == '_') {
+					if line[col] == '.' {
+						if isFloat {
+							break
+						}
+						isFloat = true
+					}
+					col++
+				}
+				kind := TokInt
+				if isFloat {
+					kind = TokFloat
+				}
+				toks = append(toks, Token{Kind: kind, Text: strings.ReplaceAll(line[start:col], "_", ""), Line: lineNo, Col: start + 1})
+			case isNameStart(c):
+				start := col
+				for col < len(line) && isNameChar(line[col]) {
+					col++
+				}
+				text := line[start:col]
+				kind := TokName
+				if keywords[text] {
+					kind = TokKeyword
+				}
+				toks = append(toks, Token{Kind: kind, Text: text, Line: lineNo, Col: start + 1})
+			case c == '"' || c == '\'':
+				quote := c
+				col++
+				var sb strings.Builder
+				closed := false
+				for col < len(line) {
+					if line[col] == '\\' && col+1 < len(line) {
+						switch line[col+1] {
+						case 'n':
+							sb.WriteByte('\n')
+						case 't':
+							sb.WriteByte('\t')
+						case '\\':
+							sb.WriteByte('\\')
+						case quote:
+							sb.WriteByte(quote)
+						default:
+							sb.WriteByte(line[col+1])
+						}
+						col += 2
+						continue
+					}
+					if line[col] == quote {
+						closed = true
+						col++
+						break
+					}
+					sb.WriteByte(line[col])
+					col++
+				}
+				if !closed {
+					return nil, synErr(lineNo, col, "unterminated string")
+				}
+				toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: lineNo, Col: col})
+			default:
+				op, n := scanOp(line[col:])
+				if n == 0 {
+					return nil, synErr(lineNo, col+1, "unexpected character %q", string(c))
+				}
+				switch op {
+				case "(", "[", "{":
+					parenDepth++
+				case ")", "]", "}":
+					if parenDepth > 0 {
+						parenDepth--
+					}
+				}
+				toks = append(toks, Token{Kind: TokOp, Text: op, Line: lineNo, Col: col + 1})
+				col += n
+			}
+		}
+		if parenDepth == 0 {
+			toks = append(toks, Token{Kind: TokNewline, Line: lineNo})
+		}
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		toks = append(toks, Token{Kind: TokDedent, Line: len(lines)})
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: len(lines)})
+	return toks, nil
+}
+
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+func isNameStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isNameChar(c byte) bool  { return isNameStart(c) || isDigit(c) }
+
+// twoCharOps lists multi-character operators, longest first.
+var twoCharOps = []string{
+	"//", "**", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=",
+}
+
+var oneCharOps = "+-*/%<>=(),[]{}:."
+
+func scanOp(s string) (string, int) {
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(s, op) {
+			return op, len(op)
+		}
+	}
+	if strings.IndexByte(oneCharOps, s[0]) >= 0 {
+		return s[:1], 1
+	}
+	return "", 0
+}

@@ -1,0 +1,651 @@
+package pylite
+
+import "strconv"
+
+// Parse lexes and parses source into a module AST.
+func Parse(src string) (*Module, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	body, err := p.statements(func() bool { return p.peek().Kind == TokEOF })
+	if err != nil {
+		return nil, err
+	}
+	return &Module{Body: body}, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := text
+		if want == "" {
+			want = kindName(kind)
+		}
+		return t, synErr(t.Line, t.Col, "expected %s, got %q", want, tokenDesc(t))
+	}
+	return p.next(), nil
+}
+
+func kindName(k TokKind) string {
+	switch k {
+	case TokNewline:
+		return "newline"
+	case TokIndent:
+		return "indent"
+	case TokDedent:
+		return "dedent"
+	case TokName:
+		return "identifier"
+	default:
+		return "token"
+	}
+}
+
+func tokenDesc(t Token) string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokNewline:
+		return "newline"
+	case TokIndent:
+		return "indent"
+	case TokDedent:
+		return "dedent"
+	default:
+		return t.Text
+	}
+}
+
+// statements parses until stop() is true, consuming statement terminators.
+func (p *parser) statements(stop func() bool) ([]Stmt, error) {
+	var out []Stmt
+	for !stop() {
+		if p.accept(TokNewline, "") {
+			continue
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// block parses NEWLINE INDENT statements DEDENT.
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokOp, ":"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline, ""); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokIndent, ""); err != nil {
+		return nil, err
+	}
+	body, err := p.statements(func() bool { return p.peek().Kind == TokDedent || p.peek().Kind == TokEOF })
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokDedent, "")
+	return body, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "def":
+			return p.funcDef()
+		case "if":
+			return p.ifStmt()
+		case "while":
+			return p.whileStmt()
+		case "for":
+			return p.forStmt()
+		case "return":
+			p.next()
+			var val Expr
+			if p.peek().Kind != TokNewline {
+				var err error
+				val, err = p.expr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			p.accept(TokNewline, "")
+			return &Return{Value: val, Line: t.Line}, nil
+		case "break":
+			p.next()
+			p.accept(TokNewline, "")
+			return &Break{Line: t.Line}, nil
+		case "continue":
+			p.next()
+			p.accept(TokNewline, "")
+			return &Continue{Line: t.Line}, nil
+		case "pass":
+			p.next()
+			p.accept(TokNewline, "")
+			return &Pass{Line: t.Line}, nil
+		case "global":
+			p.next()
+			var names []string
+			for {
+				n, err := p.expect(TokName, "")
+				if err != nil {
+					return nil, err
+				}
+				names = append(names, n.Text)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			p.accept(TokNewline, "")
+			return &GlobalDecl{Names: names, Line: t.Line}, nil
+		}
+	}
+	// Expression or assignment.
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	tok := p.peek()
+	if tok.Kind == TokOp {
+		switch tok.Text {
+		case "=":
+			p.next()
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(TokNewline, "")
+			if !assignable(lhs) {
+				return nil, synErr(tok.Line, tok.Col, "cannot assign to this expression")
+			}
+			return &Assign{Target: lhs, Value: rhs, Line: tok.Line}, nil
+		case "+=", "-=", "*=", "/=", "%=":
+			p.next()
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(TokNewline, "")
+			if !assignable(lhs) {
+				return nil, synErr(tok.Line, tok.Col, "cannot assign to this expression")
+			}
+			return &Assign{Target: lhs, Op: tok.Text[:1], Value: rhs, Line: tok.Line}, nil
+		}
+	}
+	p.accept(TokNewline, "")
+	return &ExprStmt{X: lhs, Line: t.Line}, nil
+}
+
+func assignable(e Expr) bool {
+	switch e.(type) {
+	case *Name, *Index:
+		return true
+	}
+	return false
+}
+
+func (p *parser) funcDef() (Stmt, error) {
+	t := p.next() // def
+	name, err := p.expect(TokName, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for p.peek().Kind == TokName {
+		params = append(params, p.next().Text)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDef{Name: name.Text, Params: params, Body: body, Line: t.Line}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	node := &If{Line: t.Line}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node.Conds = append(node.Conds, cond)
+	node.Bodies = append(node.Bodies, body)
+	for p.peek().Kind == TokKeyword && p.peek().Text == "elif" {
+		p.next()
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		node.Conds = append(node.Conds, c)
+		node.Bodies = append(node.Bodies, b)
+	}
+	if p.peek().Kind == TokKeyword && p.peek().Text == "else" {
+		p.next()
+		b, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = b
+	}
+	return node, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	t := p.next()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, Line: t.Line}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.next()
+	name, err := p.expect(TokName, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "in"); err != nil {
+		return nil, err
+	}
+	iter, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &For{Var: name.Text, Iter: iter, Body: body, Line: t.Line}, nil
+}
+
+// Expression grammar (precedence climbing):
+//   or > and > not > comparison > add > mul > unary > power > postfix > atom
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokKeyword && p.peek().Text == "or" {
+		t := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "or", L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokKeyword && p.peek().Text == "and" {
+		t := p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "and", L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.peek().Kind == TokKeyword && p.peek().Text == "not" {
+		t := p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{Op: "not", X: x, Line: t.Line}, nil
+	}
+	return p.comparison()
+}
+
+var compareOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && compareOps[t.Text] {
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: t.Text, L: l, R: r, Line: t.Line}
+			continue
+		}
+		if t.Kind == TokKeyword && t.Text == "in" {
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "in", L: l, R: r, Line: t.Line}
+			continue
+		}
+		if t.Kind == TokKeyword && t.Text == "not" && p.toks[p.pos+1].Text == "in" {
+			p.next()
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &UnaryOp{Op: "not", X: &BinOp{Op: "in", L: l, R: r, Line: t.Line}, Line: t.Line}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: t.Text, L: l, R: r, Line: t.Line}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/" || t.Text == "//" || t.Text == "%") {
+			p.next()
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: t.Text, L: l, R: r, Line: t.Line}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && (t.Text == "-" || t.Text == "+") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if t.Text == "+" {
+			return x, nil
+		}
+		return &UnaryOp{Op: "-", X: x, Line: t.Line}, nil
+	}
+	return p.power()
+}
+
+func (p *parser) power() (Expr, error) {
+	l, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokOp && p.peek().Text == "**" {
+		t := p.next()
+		r, err := p.unary() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "**", L: l, R: r, Line: t.Line}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp {
+			return x, nil
+		}
+		switch t.Text {
+		case "(":
+			p.next()
+			var args []Expr
+			for !(p.peek().Kind == TokOp && p.peek().Text == ")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			x = &Call{Fn: x, Args: args, Line: t.Line}
+		case "[":
+			p.next()
+			// Slice with empty lower bound: x[:hi]
+			if p.peek().Kind == TokOp && p.peek().Text == ":" {
+				p.next()
+				var hi Expr
+				if !(p.peek().Kind == TokOp && p.peek().Text == "]") {
+					var err error
+					hi, err = p.expr()
+					if err != nil {
+						return nil, err
+					}
+				}
+				if _, err := p.expect(TokOp, "]"); err != nil {
+					return nil, err
+				}
+				x = &Slice{X: x, Hi: hi, Line: t.Line}
+				continue
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			// Slice with a lower bound: x[lo:...]
+			if p.peek().Kind == TokOp && p.peek().Text == ":" {
+				p.next()
+				var hi Expr
+				if !(p.peek().Kind == TokOp && p.peek().Text == "]") {
+					hi, err = p.expr()
+					if err != nil {
+						return nil, err
+					}
+				}
+				if _, err := p.expect(TokOp, "]"); err != nil {
+					return nil, err
+				}
+				x = &Slice{X: x, Lo: idx, Hi: hi, Line: t.Line}
+				continue
+			}
+			if _, err := p.expect(TokOp, "]"); err != nil {
+				return nil, err
+			}
+			x = &Index{X: x, I: idx, Line: t.Line}
+		case ".":
+			p.next()
+			name, err := p.expect(TokName, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &Attr{X: x, Name: name.Text, Line: t.Line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, synErr(t.Line, t.Col, "invalid integer %q", t.Text)
+		}
+		return &IntLit{Value: v, Line: t.Line}, nil
+	case TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, synErr(t.Line, t.Col, "invalid float %q", t.Text)
+		}
+		return &FloatLit{Value: v, Line: t.Line}, nil
+	case TokString:
+		p.next()
+		return &StrLit{Value: t.Text, Line: t.Line}, nil
+	case TokName:
+		p.next()
+		return &Name{Ident: t.Text, Line: t.Line}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "True":
+			p.next()
+			return &BoolLit{Value: true, Line: t.Line}, nil
+		case "False":
+			p.next()
+			return &BoolLit{Value: false, Line: t.Line}, nil
+		case "None":
+			p.next()
+			return &NoneLit{Line: t.Line}, nil
+		}
+	case TokOp:
+		switch t.Text {
+		case "(":
+			p.next()
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		case "[":
+			p.next()
+			lit := &ListLit{Line: t.Line}
+			for !(p.peek().Kind == TokOp && p.peek().Text == "]") {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Elems = append(lit.Elems, e)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokOp, "]"); err != nil {
+				return nil, err
+			}
+			return lit, nil
+		case "{":
+			p.next()
+			lit := &DictLit{Line: t.Line}
+			for !(p.peek().Kind == TokOp && p.peek().Text == "}") {
+				k, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokOp, ":"); err != nil {
+					return nil, err
+				}
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Keys = append(lit.Keys, k)
+				lit.Values = append(lit.Values, v)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokOp, "}"); err != nil {
+				return nil, err
+			}
+			return lit, nil
+		}
+	}
+	return nil, synErr(t.Line, t.Col, "unexpected %q", tokenDesc(t))
+}

@@ -1,0 +1,237 @@
+package pylite
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// evalExpr runs `print(expr)` and returns stdout without the newline.
+func evalExpr(t *testing.T, expr string) string {
+	t.Helper()
+	var out bytes.Buffer
+	vm := NewVM(&out)
+	if _, err := vm.RunSource("print(" + expr + ")"); err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	s := out.String()
+	return s[:len(s)-1]
+}
+
+// Property: integer arithmetic matches Python semantics (floored division
+// and modulo), checked against a Go reference implementation.
+func TestPropertyIntegerDivMod(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		av, bv := int64(a), int64(b)
+		gotDiv := evalExprQ(t, fmt.Sprintf("%d // %d", av, bv))
+		gotMod := evalExprQ(t, fmt.Sprintf("%d %% %d", av, bv))
+		wantDiv := floorDivInt(av, bv)
+		wantMod := pyModInt(av, bv)
+		return gotDiv == fmt.Sprint(wantDiv) && gotMod == fmt.Sprint(wantMod)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func evalExprQ(t *testing.T, expr string) string {
+	var out bytes.Buffer
+	vm := NewVM(&out)
+	if _, err := vm.RunSource("print(" + expr + ")"); err != nil {
+		return "error"
+	}
+	s := out.String()
+	if len(s) == 0 {
+		return ""
+	}
+	return s[:len(s)-1]
+}
+
+// Property: floored div/mod identity a == (a//b)*b + a%b.
+func TestPropertyDivModIdentity(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		q := floorDivInt(int64(a), int64(b))
+		r := pyModInt(int64(a), int64(b))
+		// Remainder has the sign of the divisor.
+		if r != 0 && (r < 0) != (b < 0) {
+			return false
+		}
+		return q*int64(b)+r == int64(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: list append/pop round-trips arbitrary int sequences.
+func TestPropertyListRoundTrip(t *testing.T) {
+	f := func(xs []int16) bool {
+		if len(xs) > 50 {
+			xs = xs[:50]
+		}
+		vm := NewVM(nil)
+		vm.Globals["input"] = goList(xs)
+		_, err := vm.RunSource(`
+out = []
+for x in input:
+    out.append(x)
+n = len(out)
+`)
+		if err != nil {
+			return false
+		}
+		n, _ := vm.Globals["n"].(int64)
+		out, _ := vm.Globals["out"].(*List)
+		if int(n) != len(xs) || out == nil || len(out.Items) != len(xs) {
+			return false
+		}
+		for i, x := range xs {
+			if out.Items[i].(int64) != int64(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func goList(xs []int16) *List {
+	l := &List{}
+	for _, x := range xs {
+		l.Items = append(l.Items, int64(x))
+	}
+	return l
+}
+
+// Property: sorted() output is ordered and a permutation of the input.
+func TestPropertySorted(t *testing.T) {
+	f := func(xs []int32) bool {
+		if len(xs) > 40 {
+			xs = xs[:40]
+		}
+		vm := NewVM(nil)
+		in := &List{}
+		counts := map[int64]int{}
+		for _, x := range xs {
+			in.Items = append(in.Items, int64(x))
+			counts[int64(x)]++
+		}
+		vm.Globals["xs"] = in
+		if _, err := vm.RunSource("ys = sorted(xs)"); err != nil {
+			return false
+		}
+		ys := vm.Globals["ys"].(*List)
+		if len(ys.Items) != len(xs) {
+			return false
+		}
+		var prev int64 = math.MinInt64
+		for _, it := range ys.Items {
+			v := it.(int64)
+			if v < prev {
+				return false
+			}
+			prev = v
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dict set/get is consistent for int keys.
+func TestPropertyDictConsistency(t *testing.T) {
+	f := func(keys []int16, vals []int16) bool {
+		d := NewDict()
+		want := map[int64]int64{}
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			k, v := int64(keys[i]), int64(vals[i])
+			if err := d.Set(k, v); err != nil {
+				return false
+			}
+			want[k] = v
+		}
+		if d.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			got, ok, err := d.Get(k)
+			if err != nil || !ok || got.(int64) != v {
+				return false
+			}
+		}
+		// Keys() preserves first-insertion order and contains each key once.
+		seen := map[string]bool{}
+		for _, k := range d.Keys() {
+			s, _ := dictKey(k)
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return len(seen) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string repr round-trips through str() for printable subsets.
+func TestPropertyStrFormatting(t *testing.T) {
+	if got := evalExpr(t, "str(True) + str(False) + str(None)"); got != "TrueFalseNone" {
+		t.Fatalf("got %q", got)
+	}
+	f := func(v int64) bool {
+		return evalExprQ(t, fmt.Sprintf("str(%d)", v)) == fmt.Sprint(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the VM is deterministic — same program, same output and step
+// count.
+func TestPropertyDeterminism(t *testing.T) {
+	src := `
+acc = 0
+for i in range(500):
+    if i % 3 == 0:
+        acc += i
+    else:
+        acc -= 1
+print(acc)
+`
+	run := func() (string, uint64) {
+		var out bytes.Buffer
+		vm := NewVM(&out)
+		if _, err := vm.RunSource(src); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), vm.Steps
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if o1 != o2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%q,%d) vs (%q,%d)", o1, s1, o2, s2)
+	}
+}

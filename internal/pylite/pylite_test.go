@@ -1,0 +1,466 @@
+package pylite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runSrc executes source and returns stdout.
+func runSrc(t *testing.T, src string) string {
+	t.Helper()
+	var out bytes.Buffer
+	vm := NewVM(&out)
+	if _, err := vm.RunSource(src); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+// runErr executes source and returns the error.
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	vm := NewVM(nil)
+	_, err := vm.RunSource(src)
+	return err
+}
+
+func TestPrintAndArithmetic(t *testing.T) {
+	out := runSrc(t, `
+x = 2 + 3 * 4
+y = (2 + 3) * 4
+print(x, y)
+print(7 // 2, 7 % 2, 7 / 2)
+print(-7 // 2, -7 % 2)
+print(2 ** 10)
+`)
+	want := "14 20\n3 1 3.5\n-4 1\n1024\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestWhileLoopAndAugAssign(t *testing.T) {
+	out := runSrc(t, `
+total = 0
+i = 1
+while i <= 100:
+    total += i
+    i += 1
+print(total)
+`)
+	if out != "5050\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestForRangeAndBreakContinue(t *testing.T) {
+	out := runSrc(t, `
+evens = []
+for i in range(20):
+    if i % 2 == 1:
+        continue
+    if i > 10:
+        break
+    evens.append(i)
+print(evens)
+print(len(evens))
+`)
+	want := "[0, 2, 4, 6, 8, 10]\n6\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	out := runSrc(t, `
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def fact(n):
+    result = 1
+    for i in range(2, n + 1):
+        result = result * i
+    return result
+
+print(fib(15), fact(10))
+`)
+	if out != "610 3628800\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestGlobalsDeclaration(t *testing.T) {
+	out := runSrc(t, `
+counter = 0
+
+def bump():
+    global counter
+    counter = counter + 1
+
+bump()
+bump()
+bump()
+print(counter)
+`)
+	if out != "3\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestListsAndMethods(t *testing.T) {
+	out := runSrc(t, `
+xs = [3, 1, 2]
+xs.append(10)
+xs.sort()
+print(xs)
+print(xs.pop())
+print(xs.index(2))
+xs.reverse()
+print(xs)
+print(xs + [99])
+print([0] * 4)
+`)
+	want := "[1, 2, 3, 10]\n10\n1\n[3, 2, 1]\n[3, 2, 1, 99]\n[0, 0, 0, 0]\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestDicts(t *testing.T) {
+	out := runSrc(t, `
+d = {"a": 1, "b": 2}
+d["c"] = 3
+print(d["a"], d["c"])
+print(d.get("missing", 42))
+print("b" in d, "z" in d)
+print(len(d))
+total = 0
+for k in d:
+    total += d[k]
+print(total)
+print(d.keys())
+`)
+	want := "1 3\n42\nTrue False\n3\n6\n['a', 'b', 'c']\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestStringsAndMethods(t *testing.T) {
+	out := runSrc(t, `
+s = "Hello, World"
+print(s.upper())
+print(s.lower())
+print(s.split(", "))
+print("-".join(["a", "b", "c"]))
+print(s[0], s[-1])
+print(len(s))
+print("Wor" in s)
+print(s.replace("World", "WASM"))
+print(s.startswith("Hell"), s.find("World"))
+`)
+	want := "HELLO, WORLD\nhello, world\n['Hello', 'World']\na-b-c\nH d\n12\nTrue\nHello, WASM\nTrue 7\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	out := runSrc(t, `
+print(abs(-5), abs(2.5))
+print(min(3, 1, 2), max([4, 9, 2]))
+print(sum([1, 2, 3, 4]))
+print(sorted([3, 1, 2]))
+print(int("42") + 1, float("2.5") * 2)
+print(str(99) + "!")
+print(ord("A"), chr(66))
+print(bool(0), bool("x"), bool([]))
+print(type(1), type("s"), type([]))
+`)
+	want := "5 2.5\n1 9\n10\n[1, 2, 3]\n43 5.0\n99!\n65 B\nFalse True False\nint str list\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestBooleanShortCircuit(t *testing.T) {
+	out := runSrc(t, `
+def boom():
+    print("boom")
+    return True
+
+x = False and boom()
+y = True or boom()
+print(x, y)
+print(1 and 2)
+print(0 or "fallback")
+print(not 0, not "x")
+`)
+	want := "False True\n2\nfallback\nTrue False\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestElifChains(t *testing.T) {
+	src := `
+def classify(n):
+    if n < 0:
+        return "neg"
+    elif n == 0:
+        return "zero"
+    elif n < 100:
+        return "small"
+    else:
+        return "big"
+
+print(classify(-1), classify(0), classify(50), classify(1000))
+`
+	out := runSrc(t, src)
+	if out != "neg zero small big\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"div by zero", `x = 1 / 0`, "division by zero"},
+		{"undefined name", `print(nothing)`, "not defined"},
+		{"index range", `xs = [1]
+print(xs[5])`, "out of range"},
+		{"key error", `d = {}
+print(d["k"])`, "KeyError"},
+		{"not callable", `x = 5
+x()`, "not callable"},
+		{"recursion", `
+def f():
+    return f()
+f()`, "recursion"},
+		{"bad arity", `
+def g(a, b):
+    return a
+g(1)`, "takes 2 arguments"},
+	}
+	for _, c := range cases {
+		err := runErr(t, c.src)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`def f(`,
+		`if x`,
+		"x = 1\n  y = 2",
+		`x = "unterminated`,
+		`return 5`,
+		`break`,
+	}
+	for _, src := range cases {
+		vm := NewVM(nil)
+		if _, err := vm.RunSource(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	vm := NewVM(nil)
+	vm.MaxSteps = 10_000
+	_, err := vm.RunSource(`
+while True:
+    pass
+`)
+	if err != ErrTooManySteps {
+		t.Fatalf("got %v, want ErrTooManySteps", err)
+	}
+}
+
+func TestHeapAccounting(t *testing.T) {
+	vm := NewVM(nil)
+	if _, err := vm.RunSource(`
+xs = []
+for i in range(1000):
+    xs.append(i)
+`); err != nil {
+		t.Fatal(err)
+	}
+	if vm.HeapBytes < 8000 {
+		t.Fatalf("heap bytes = %d, want >= 8000", vm.HeapBytes)
+	}
+	if vm.Steps == 0 {
+		t.Fatal("no steps counted")
+	}
+}
+
+func TestMinimalServiceApp(t *testing.T) {
+	// The exact program the Python-container baseline runs.
+	src := `
+counters = []
+i = 0
+while i < 256:
+    counters.append(0)
+    i = i + 1
+print("service ready")
+`
+	out := runSrc(t, src)
+	if out != "service ready\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	out := runSrc(t, `
+print(1.5, 2.0, 1 / 4)
+print(3.14159)
+`)
+	want := "1.5 2.0 0.25\n3.14159\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestComparisonsAndIn(t *testing.T) {
+	out := runSrc(t, `
+print(1 < 2, 2 <= 2, 3 > 4, "a" < "b")
+print(2 in range(5), 7 in range(5))
+print(3 in [1, 2, 3], 9 not in [1, 2, 3])
+print("ab" == "ab", 1 == 1.0, [1, 2] == [1, 2])
+`)
+	want := "True True False True\nTrue False\nTrue True\nTrue True True\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestArgvBuiltin(t *testing.T) {
+	var out bytes.Buffer
+	vm := NewVM(&out)
+	vm.Argv = []string{"app.py", "--port", "8080"}
+	if _, err := vm.RunSource(`print(argv())`); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "['app.py', '--port', '8080']\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+func TestSlicing(t *testing.T) {
+	out := runSrc(t, `
+s = "hello world"
+print(s[0:5], s[6:], s[:5], s[:])
+print(s[-5:], s[:-6])
+print(s[8:3])
+xs = [0, 1, 2, 3, 4, 5]
+print(xs[1:4], xs[:2], xs[4:], xs[-2:])
+ys = xs[:]
+ys.append(6)
+print(len(xs), len(ys))
+print(xs[2:100], xs[-100:2])
+`)
+	want := "hello world hello hello world\nworld hello\n\n[1, 2, 3] [0, 1] [4, 5] [4, 5]\n6 7\n[2, 3, 4, 5] [0, 1]\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	if err := runErr(t, `x = 5
+y = x[1:2]`); err == nil {
+		t.Fatal("sliced an int")
+	}
+	if err := runErr(t, `xs = [1]
+y = xs["a":2]`); err == nil {
+		t.Fatal("string slice bound accepted")
+	}
+}
+
+func TestMultiLineCollections(t *testing.T) {
+	out := runSrc(t, `
+xs = [
+    1,
+    2,
+    3,
+]
+d = {
+    "a": 1,
+    "b": 2,
+}
+y = (1 +
+     2 +
+     3)
+print(len(xs), len(d), y)
+`)
+	if out != "3 2 6\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestNestedDataStructures(t *testing.T) {
+	out := runSrc(t, `
+grid = [[1, 2], [3, 4], [5, 6]]
+total = 0
+for row in grid:
+    for v in row:
+        total += v
+print(total, grid[1][0])
+registry = {"svc": {"port": 8080, "replicas": 3}}
+print(registry["svc"]["port"])
+registry["svc"]["replicas"] += 1
+print(registry["svc"]["replicas"])
+`)
+	if out != "21 3\n8080\n4\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestDictItemsAndPop(t *testing.T) {
+	out := runSrc(t, `
+d = {"x": 1, "y": 2, "z": 3}
+for pair in d.items():
+    print(pair[0], pair[1])
+v = d.pop("y")
+print(v, len(d), "y" in d)
+print(d.pop("missing", 42))
+`)
+	want := "x 1\ny 2\nz 3\n2 2 False\n42\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+	// pop of a missing key without default raises.
+	if err := runErr(t, `d = {}
+d.pop("k")`); err == nil {
+		t.Fatal("pop missing key succeeded")
+	}
+}
+
+func TestDictDeleteReindexing(t *testing.T) {
+	out := runSrc(t, `
+d = {}
+for i in range(6):
+    d[i] = i * 10
+d.pop(2)
+d.pop(0)
+print(d.keys())
+d[99] = 1
+print(d.keys())
+print(d[5], d[99])
+`)
+	want := "[1, 3, 4, 5]\n[1, 3, 4, 5, 99]\n50 1\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}

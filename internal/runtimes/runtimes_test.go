@@ -1,0 +1,157 @@
+package runtimes
+
+import (
+	"errors"
+	"testing"
+
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/oci"
+	"wasmcontainers/internal/simos"
+	"wasmcontainers/internal/vfs"
+	"wasmcontainers/internal/workloads"
+)
+
+func testNode() *simos.Node {
+	return simos.NewNode(simos.NodeConfig{
+		Name: "t", RAMBytes: 16 * simos.GiB, Cores: 4,
+		BaseSystemBytes: 256 * simos.MiB,
+	})
+}
+
+func pyBundle(t *testing.T, cgroup string) *oci.Bundle {
+	t.Helper()
+	rootfs := vfs.New()
+	rootfs.MkdirAll("/app")
+	if err := rootfs.WriteFile("/app/app.py", []byte(workloads.MinimalServicePy)); err != nil {
+		t.Fatal(err)
+	}
+	spec := &oci.Spec{
+		Version: oci.SpecVersion,
+		Process: oci.Process{Args: []string{"python3", "/app/app.py"}, Cwd: "/"},
+		Root:    oci.Root{Path: "rootfs"},
+		Linux:   &oci.Linux{CgroupsPath: cgroup},
+	}
+	b, err := oci.NewBundle("/b", spec, rootfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func wasmBundle(t *testing.T, cgroup string) *oci.Bundle {
+	t.Helper()
+	bin, err := workloads.Binary("minimal-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootfs := vfs.New()
+	rootfs.WriteFile("/app.wasm", bin)
+	spec := &oci.Spec{
+		Version:     oci.SpecVersion,
+		Process:     oci.Process{Args: []string{"/app.wasm"}, Cwd: "/"},
+		Root:        oci.Root{Path: "rootfs"},
+		Annotations: map[string]string{oci.WasmVariantAnnotation: "compat"},
+		Linux:       &oci.Linux{CgroupsPath: cgroup},
+	}
+	b, err := oci.NewBundle("/b", spec, rootfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRunCPythonLifecycle(t *testing.T) {
+	node := testNode()
+	rc := NewRunC(node)
+	if rc.Name() != "runc" || rc.Version() == "" {
+		t.Fatal("identity")
+	}
+	b := pyBundle(t, "/pods/p/app")
+	if err := rc.Create("c1", b); err != nil {
+		t.Fatal(err)
+	}
+	report, err := rc.Start("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Stdout != "service ready\n" {
+		t.Fatalf("stdout = %q", report.Stdout)
+	}
+	if report.Handler != "native:pylite" {
+		t.Fatalf("handler = %q", report.Handler)
+	}
+	// runC is slower to start than crun (the paper's Section III-B point).
+	if report.Cost.CPUWork <= runcCreateCPUWork {
+		t.Fatalf("cost %v should include runc create work", report.Cost.CPUWork)
+	}
+	st, _ := rc.State("c1")
+	if st.Status != oci.StatusRunning {
+		t.Fatalf("status = %s", st.Status)
+	}
+	// libcontainer state lives in the system slice, not the pod cgroup.
+	sysCg, ok := node.Cgroup("/system.slice/runc")
+	if !ok || sysCg.MemoryCurrent() != simos.RoundPages(runcStateBytes) {
+		t.Fatalf("runc state memory not charged system-side")
+	}
+	if err := rc.Kill("c1", 9); err != nil {
+		t.Fatal(err)
+	}
+	if sysCg.MemoryCurrent() != 0 {
+		t.Fatal("runc state leaked after kill")
+	}
+	if err := rc.Delete("c1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCRejectsWasmBundles(t *testing.T) {
+	rc := NewRunC(testNode())
+	err := rc.Create("w", wasmBundle(t, "/pods/w/app"))
+	if !errors.Is(err, oci.ErrNoHandler) {
+		t.Fatalf("expected ErrNoHandler, got %v", err)
+	}
+}
+
+func TestRunCLifecycleErrors(t *testing.T) {
+	rc := NewRunC(testNode())
+	if _, err := rc.Start("ghost"); !errors.Is(err, oci.ErrNotFound) {
+		t.Fatalf("start missing: %v", err)
+	}
+	if err := rc.Kill("ghost", 9); !errors.Is(err, oci.ErrNotFound) {
+		t.Fatalf("kill missing: %v", err)
+	}
+	b := pyBundle(t, "/pods/x/app")
+	rc.Create("x", b)
+	if err := rc.Kill("x", 9); !errors.Is(err, oci.ErrBadState) {
+		t.Fatalf("kill created: %v", err)
+	}
+	rc.Start("x")
+	if _, err := rc.Start("x"); !errors.Is(err, oci.ErrBadState) {
+		t.Fatalf("double start: %v", err)
+	}
+	if err := rc.Delete("x"); !errors.Is(err, oci.ErrBadState) {
+		t.Fatalf("delete running: %v", err)
+	}
+	if len(rc.List()) != 1 {
+		t.Fatal("list")
+	}
+}
+
+func TestYoukiRunsWasm(t *testing.T) {
+	node := testNode()
+	y := NewYouki(node, engine.WasmEdge)
+	if y.Name() != "youki" {
+		t.Fatalf("name = %s", y.Name())
+	}
+	b := wasmBundle(t, "/pods/y/app")
+	if err := y.Create("w", b); err != nil {
+		t.Fatal(err)
+	}
+	report, err := y.Start("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Stdout != "service ready\n" || report.Handler != "wasm:wasmedge" {
+		t.Fatalf("report = %+v", report)
+	}
+}

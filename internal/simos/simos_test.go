@@ -1,0 +1,239 @@
+package simos
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newTestNode() *Node {
+	return NewNode(NodeConfig{
+		Name: "test", RAMBytes: 8 * GiB, Cores: 4,
+		BaseSystemBytes: 512 * MiB, BaseCacheBytes: 128 * MiB,
+	})
+}
+
+func TestSpawnAndMemoryAccounting(t *testing.T) {
+	n := newTestNode()
+	p, err := n.Spawn("svc", "/pods/p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MapPrivate(10 * MiB); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PrivateBytes(); got != 10*MiB {
+		t.Fatalf("private = %d, want %d", got, 10*MiB)
+	}
+	free := n.Free()
+	wantUsed := 512*MiB + 128*MiB + 10*MiB
+	if free.UsedBytes != wantUsed {
+		t.Fatalf("used = %d, want %d", free.UsedBytes, wantUsed)
+	}
+	if n.UsedBeyondIdle() != 10*MiB {
+		t.Fatalf("beyond idle = %d", n.UsedBeyondIdle())
+	}
+}
+
+func TestSharedLibraryCountedOnce(t *testing.T) {
+	n := newTestNode()
+	var procs []*Process
+	for i := 0; i < 10; i++ {
+		p, err := n.Spawn("crun", "/pods/shared")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.MapShared("libwamr.so", 2*MiB)
+		procs = append(procs, p)
+	}
+	// Ten processes map the same 2 MiB library: the node pays once.
+	if got := n.UsedBeyondIdle(); got != 2*MiB {
+		t.Fatalf("beyond idle = %d, want %d (library charged once)", got, 2*MiB)
+	}
+	// RSS attributes a proportional share to each process.
+	if rss := procs[0].RSS(); rss != 2*MiB/10 {
+		t.Fatalf("rss share = %d, want %d", rss, 2*MiB/10)
+	}
+	// Last process exiting releases the library.
+	for _, p := range procs {
+		p.Exit()
+	}
+	if got := n.UsedBeyondIdle(); got != 0 {
+		t.Fatalf("after exits, beyond idle = %d, want 0", got)
+	}
+	if len(n.SharedLibs()) != 0 {
+		t.Fatal("library not released")
+	}
+}
+
+func TestCgroupHierarchyCharging(t *testing.T) {
+	n := newTestNode()
+	p1, _ := n.Spawn("app1", "/kubepods/pod1/ctr1")
+	p2, _ := n.Spawn("app2", "/kubepods/pod1/ctr2")
+	p3, _ := n.Spawn("app3", "/kubepods/pod2/ctr1")
+	p1.MapPrivate(4 * MiB)
+	p2.MapPrivate(6 * MiB)
+	p3.MapPrivate(10 * MiB)
+	p1.ChargeCache(1 * MiB)
+
+	pod1, ok := n.Cgroup("/kubepods/pod1")
+	if !ok {
+		t.Fatal("pod1 cgroup missing")
+	}
+	if got := pod1.MemoryCurrent(); got != 11*MiB {
+		t.Fatalf("pod1 memory.current = %d, want %d", got, 11*MiB)
+	}
+	root, _ := n.Cgroup("/kubepods")
+	if got := root.MemoryCurrent(); got != 21*MiB {
+		t.Fatalf("kubepods memory.current = %d, want %d", got, 21*MiB)
+	}
+	// The metrics-server view (cgroup) excludes base system memory; the free
+	// view includes it.
+	if free := n.Free(); free.UsedBytes <= root.MemoryCurrent() {
+		t.Fatal("free view should exceed cgroup view")
+	}
+}
+
+func TestExitReleasesEverything(t *testing.T) {
+	n := newTestNode()
+	p, _ := n.Spawn("tmp", "/pods/x")
+	p.MapPrivate(20 * MiB)
+	p.ChargeCache(5 * MiB)
+	p.MapShared("libpython3.so", 3*MiB)
+	p.Exit()
+	if n.UsedBeyondIdle() != 0 {
+		t.Fatalf("leaked %d bytes after exit", n.UsedBeyondIdle())
+	}
+	if n.NumProcesses() != 0 {
+		t.Fatal("process still listed")
+	}
+	// Double exit is harmless.
+	p.Exit()
+}
+
+func TestOutOfMemory(t *testing.T) {
+	n := NewNode(NodeConfig{RAMBytes: 1 * GiB, Cores: 1, BaseSystemBytes: 900 * MiB})
+	p, err := n.Spawn("big", "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MapPrivate(500 * MiB); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestPageRounding(t *testing.T) {
+	if RoundPages(1) != PageSize {
+		t.Fatalf("RoundPages(1) = %d", RoundPages(1))
+	}
+	if RoundPages(PageSize) != PageSize {
+		t.Fatalf("RoundPages(PageSize) = %d", RoundPages(PageSize))
+	}
+	if RoundPages(PageSize+1) != 2*PageSize {
+		t.Fatalf("RoundPages(PageSize+1) = %d", RoundPages(PageSize+1))
+	}
+	if RoundPages(0) != 0 || RoundPages(-5) != 0 {
+		t.Fatal("non-positive rounding")
+	}
+}
+
+func TestCgroupRemoval(t *testing.T) {
+	n := newTestNode()
+	p, _ := n.Spawn("a", "/pods/gone")
+	if err := n.RemoveCgroup("/pods/gone"); err == nil {
+		t.Fatal("removed non-empty cgroup")
+	}
+	p.Exit()
+	if err := n.RemoveCgroup("/pods/gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Cgroup("/pods/gone"); ok {
+		t.Fatal("cgroup still present")
+	}
+	if err := n.RemoveCgroup("/pods/gone"); !errors.Is(err, ErrNoSuchCgroup) {
+		t.Fatalf("expected ErrNoSuchCgroup, got %v", err)
+	}
+}
+
+func TestProcessListing(t *testing.T) {
+	n := newTestNode()
+	n.Spawn("z-proc", "/a")
+	n.Spawn("a-proc", "/b")
+	ps := n.Processes()
+	if len(ps) != 2 || ps[0].PID >= ps[1].PID {
+		t.Fatalf("process list = %+v", ps)
+	}
+}
+
+// Property: memory accounting is conservative — after any sequence of
+// spawn/map/share/cache/exit operations, exiting everything returns the
+// node to its idle baseline.
+func TestPropertyMemoryConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		n := newTestNode()
+		var procs []*Process
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				p, err := n.Spawn("p", "/g/cg")
+				if err != nil {
+					return false
+				}
+				procs = append(procs, p)
+			case 1:
+				if len(procs) > 0 {
+					procs[int(op)%len(procs)].MapPrivate(int64(op) * 1024)
+				}
+			case 2:
+				if len(procs) > 0 {
+					procs[int(op)%len(procs)].MapShared("lib"+string(rune('a'+op%3)), int64(op+1)*2048)
+				}
+			case 3:
+				if len(procs) > 0 {
+					procs[int(op)%len(procs)].ChargeCache(int64(op) * 512)
+				}
+			case 4:
+				if len(procs) > 0 {
+					i := int(op) % len(procs)
+					procs[i].Exit()
+					procs = append(procs[:i], procs[i+1:]...)
+				}
+			}
+		}
+		for _, p := range procs {
+			p.Exit()
+		}
+		return n.UsedBeyondIdle() == 0 && n.NumProcesses() == 0 && len(n.SharedLibs()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the free view always exceeds or equals the cgroup view of any
+// subtree, since free additionally counts base system memory.
+func TestPropertyFreeDominatesCgroups(t *testing.T) {
+	f := func(privates []uint16) bool {
+		n := newTestNode()
+		for i, pv := range privates {
+			if i >= 30 {
+				break
+			}
+			p, err := n.Spawn("w", "/kubepods/pod")
+			if err != nil {
+				return false
+			}
+			if err := p.MapPrivate(int64(pv) * 256); err != nil {
+				return false
+			}
+		}
+		cg, ok := n.Cgroup("/kubepods")
+		if !ok {
+			return len(privates) == 0
+		}
+		return n.Free().UsedBytes >= cg.MemoryCurrent()+n.Config().BaseSystemBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

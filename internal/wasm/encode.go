@@ -1,0 +1,347 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Encode serializes the module to the WebAssembly binary format. The module
+// is assumed to be structurally well-formed (Encode does not validate);
+// Decode(Encode(m)) reproduces an equivalent module.
+func Encode(m *Module) []byte {
+	out := make([]byte, 0, 1024)
+	out = append(out, magic...)
+	out = append(out, version...)
+
+	if len(m.Types) > 0 {
+		out = appendSection(out, SectionType, encodeTypeSection(m))
+	}
+	if len(m.Imports) > 0 {
+		out = appendSection(out, SectionImport, encodeImportSection(m))
+	}
+	if len(m.Functions) > 0 {
+		var b []byte
+		b = appendU32(b, uint32(len(m.Functions)))
+		for _, ti := range m.Functions {
+			b = appendU32(b, ti)
+		}
+		out = appendSection(out, SectionFunction, b)
+	}
+	if len(m.Tables) > 0 {
+		var b []byte
+		b = appendU32(b, uint32(len(m.Tables)))
+		for _, t := range m.Tables {
+			b = append(b, byte(t.ElemType))
+			b = appendLimits(b, t.Limits)
+		}
+		out = appendSection(out, SectionTable, b)
+	}
+	if len(m.Memories) > 0 {
+		var b []byte
+		b = appendU32(b, uint32(len(m.Memories)))
+		for _, mem := range m.Memories {
+			b = appendLimits(b, mem.Limits)
+		}
+		out = appendSection(out, SectionMemory, b)
+	}
+	if len(m.Globals) > 0 {
+		var b []byte
+		b = appendU32(b, uint32(len(m.Globals)))
+		for _, g := range m.Globals {
+			b = append(b, byte(g.Type.ValType))
+			if g.Type.Mutable {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = appendConstExpr(b, g.Init)
+		}
+		out = appendSection(out, SectionGlobal, b)
+	}
+	if len(m.Exports) > 0 {
+		var b []byte
+		b = appendU32(b, uint32(len(m.Exports)))
+		for _, e := range m.Exports {
+			b = appendName(b, e.Name)
+			b = append(b, byte(e.Kind))
+			b = appendU32(b, e.Index)
+		}
+		out = appendSection(out, SectionExport, b)
+	}
+	if m.StartSet {
+		var b []byte
+		b = appendU32(b, m.Start)
+		out = appendSection(out, SectionStart, b)
+	}
+	if len(m.Elements) > 0 {
+		var b []byte
+		b = appendU32(b, uint32(len(m.Elements)))
+		for _, seg := range m.Elements {
+			b = appendU32(b, seg.TableIndex)
+			b = appendConstExpr(b, seg.Offset)
+			b = appendU32(b, uint32(len(seg.Indices)))
+			for _, fi := range seg.Indices {
+				b = appendU32(b, fi)
+			}
+		}
+		out = appendSection(out, SectionElement, b)
+	}
+	if len(m.Codes) > 0 {
+		var b []byte
+		b = appendU32(b, uint32(len(m.Codes)))
+		for _, c := range m.Codes {
+			body := encodeCode(c)
+			b = appendU32(b, uint32(len(body)))
+			b = append(b, body...)
+		}
+		out = appendSection(out, SectionCode, b)
+	}
+	if len(m.Data) > 0 {
+		var b []byte
+		b = appendU32(b, uint32(len(m.Data)))
+		for _, seg := range m.Data {
+			b = appendU32(b, seg.MemoryIndex)
+			b = appendConstExpr(b, seg.Offset)
+			b = appendU32(b, uint32(len(seg.Data)))
+			b = append(b, seg.Data...)
+		}
+		out = appendSection(out, SectionData, b)
+	}
+	for _, cs := range m.Customs {
+		var b []byte
+		b = appendName(b, cs.Name)
+		b = append(b, cs.Data...)
+		out = appendSection(out, SectionCustom, b)
+	}
+	return out
+}
+
+func appendSection(out []byte, id SectionID, payload []byte) []byte {
+	out = append(out, byte(id))
+	out = appendU32(out, uint32(len(payload)))
+	return append(out, payload...)
+}
+
+func appendName(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendLimits(b []byte, l Limits) []byte {
+	if l.HasMax {
+		b = append(b, 1)
+		b = appendU32(b, l.Min)
+		return appendU32(b, l.Max)
+	}
+	b = append(b, 0)
+	return appendU32(b, l.Min)
+}
+
+func appendConstExpr(b []byte, ce ConstExpr) []byte {
+	switch ce.Op {
+	case ConstI32:
+		b = append(b, byte(OpI32Const))
+		b = appendS32(b, int32(uint32(ce.Value)))
+	case ConstI64:
+		b = append(b, byte(OpI64Const))
+		b = appendS64(b, int64(ce.Value))
+	case ConstF32:
+		b = append(b, byte(OpF32Const))
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], uint32(ce.Value))
+		b = append(b, buf[:]...)
+	case ConstF64:
+		b = append(b, byte(OpF64Const))
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], ce.Value)
+		b = append(b, buf[:]...)
+	case ConstGlobalGet:
+		b = append(b, byte(OpGlobalGet))
+		b = appendU32(b, uint32(ce.Value))
+	}
+	return append(b, byte(OpEnd))
+}
+
+func encodeCode(c Code) []byte {
+	// Compress runs of equal local types into (count, type) groups.
+	var groups []struct {
+		count uint32
+		vt    ValueType
+	}
+	for _, vt := range c.Locals {
+		if n := len(groups); n > 0 && groups[n-1].vt == vt {
+			groups[n-1].count++
+		} else {
+			groups = append(groups, struct {
+				count uint32
+				vt    ValueType
+			}{1, vt})
+		}
+	}
+	var b []byte
+	b = appendU32(b, uint32(len(groups)))
+	for _, g := range groups {
+		b = appendU32(b, g.count)
+		b = append(b, byte(g.vt))
+	}
+	return append(b, c.Body...)
+}
+
+// BodyBuilder incrementally assembles a function body instruction stream.
+// It is used by the WAT assembler and by tests that construct modules
+// programmatically.
+type BodyBuilder struct {
+	buf []byte
+}
+
+// Bytes returns the assembled body. The caller must have emitted the final
+// End for the implicit function block.
+func (b *BodyBuilder) Bytes() []byte { return b.buf }
+
+// Op appends a bare opcode.
+func (b *BodyBuilder) Op(op Opcode) *BodyBuilder {
+	b.buf = append(b.buf, byte(op))
+	return b
+}
+
+// OpU32 appends an opcode with a single u32 immediate (call, local.get, br …).
+func (b *BodyBuilder) OpU32(op Opcode, v uint32) *BodyBuilder {
+	b.buf = append(b.buf, byte(op))
+	b.buf = appendU32(b.buf, v)
+	return b
+}
+
+// Block appends a block/loop/if opcode with the given block type (a value
+// type, or BlockTypeEmpty, or a type index >= 0 encoded as s33).
+func (b *BodyBuilder) Block(op Opcode, blockType int64) *BodyBuilder {
+	b.buf = append(b.buf, byte(op))
+	b.buf = appendS64(b.buf, blockType)
+	return b
+}
+
+// I32Const appends an i32.const instruction.
+func (b *BodyBuilder) I32Const(v int32) *BodyBuilder {
+	b.buf = append(b.buf, byte(OpI32Const))
+	b.buf = appendS32(b.buf, v)
+	return b
+}
+
+// I64Const appends an i64.const instruction.
+func (b *BodyBuilder) I64Const(v int64) *BodyBuilder {
+	b.buf = append(b.buf, byte(OpI64Const))
+	b.buf = appendS64(b.buf, v)
+	return b
+}
+
+// F32Const appends an f32.const instruction.
+func (b *BodyBuilder) F32Const(v float32) *BodyBuilder {
+	b.buf = append(b.buf, byte(OpF32Const))
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+	b.buf = append(b.buf, buf[:]...)
+	return b
+}
+
+// F64Const appends an f64.const instruction.
+func (b *BodyBuilder) F64Const(v float64) *BodyBuilder {
+	b.buf = append(b.buf, byte(OpF64Const))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	b.buf = append(b.buf, buf[:]...)
+	return b
+}
+
+// MemArg appends a load/store opcode with align and offset immediates.
+func (b *BodyBuilder) MemArg(op Opcode, align, offset uint32) *BodyBuilder {
+	b.buf = append(b.buf, byte(op))
+	b.buf = appendU32(b.buf, align)
+	b.buf = appendU32(b.buf, offset)
+	return b
+}
+
+// BrTable appends a br_table with the given targets and default.
+func (b *BodyBuilder) BrTable(targets []uint32, def uint32) *BodyBuilder {
+	b.buf = append(b.buf, byte(OpBrTable))
+	b.buf = appendU32(b.buf, uint32(len(targets)))
+	for _, t := range targets {
+		b.buf = appendU32(b.buf, t)
+	}
+	b.buf = appendU32(b.buf, def)
+	return b
+}
+
+// CallIndirect appends call_indirect with type index ti on table 0.
+func (b *BodyBuilder) CallIndirect(ti uint32) *BodyBuilder {
+	b.buf = append(b.buf, byte(OpCallIndirect))
+	b.buf = appendU32(b.buf, ti)
+	b.buf = append(b.buf, 0x00) // reserved table index
+	return b
+}
+
+// MemoryOp appends memory.size or memory.grow (reserved zero immediate).
+func (b *BodyBuilder) MemoryOp(op Opcode) *BodyBuilder {
+	b.buf = append(b.buf, byte(op))
+	b.buf = append(b.buf, 0x00)
+	return b
+}
+
+// Misc appends a 0xFC-prefixed instruction. memory.copy carries two reserved
+// zero bytes and memory.fill one; the saturating truncations carry none.
+func (b *BodyBuilder) Misc(sub uint32) *BodyBuilder {
+	b.buf = append(b.buf, byte(OpMisc))
+	b.buf = appendU32(b.buf, sub)
+	switch sub {
+	case MiscMemoryCopy:
+		b.buf = append(b.buf, 0x00, 0x00)
+	case MiscMemoryFill:
+		b.buf = append(b.buf, 0x00)
+	}
+	return b
+}
+
+// End appends the end opcode.
+func (b *BodyBuilder) End() *BodyBuilder { return b.Op(OpEnd) }
+
+func encodeTypeSection(m *Module) []byte {
+	var b []byte
+	b = appendU32(b, uint32(len(m.Types)))
+	for _, t := range m.Types {
+		b = append(b, 0x60)
+		b = appendU32(b, uint32(len(t.Params)))
+		for _, p := range t.Params {
+			b = append(b, byte(p))
+		}
+		b = appendU32(b, uint32(len(t.Results)))
+		for _, r := range t.Results {
+			b = append(b, byte(r))
+		}
+	}
+	return b
+}
+
+func encodeImportSection(m *Module) []byte {
+	var b []byte
+	b = appendU32(b, uint32(len(m.Imports)))
+	for _, imp := range m.Imports {
+		b = appendName(b, imp.Module)
+		b = appendName(b, imp.Name)
+		b = append(b, byte(imp.Kind))
+		switch imp.Kind {
+		case ExternalFunc:
+			b = appendU32(b, imp.Func)
+		case ExternalTable:
+			b = append(b, byte(imp.Table.ElemType))
+			b = appendLimits(b, imp.Table.Limits)
+		case ExternalMemory:
+			b = appendLimits(b, imp.Memory.Limits)
+		case ExternalGlobal:
+			b = append(b, byte(imp.Global.ValType))
+			if imp.Global.Mutable {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+	}
+	return b
+}

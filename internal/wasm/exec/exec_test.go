@@ -1,0 +1,680 @@
+package exec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wasmcontainers/internal/wasm"
+)
+
+// buildModule assembles, validates, and returns a module; it fails the test
+// on any error.
+func buildModule(t testing.TB, m *wasm.Module) *wasm.Module {
+	t.Helper()
+	// Round-trip through the binary format so decode/encode are exercised by
+	// every interpreter test.
+	bin := wasm.Encode(m)
+	decoded, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatalf("Decode(Encode(m)): %v", err)
+	}
+	if err := wasm.Validate(decoded); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return decoded
+}
+
+func instantiate(t testing.TB, m *wasm.Module) *Instance {
+	t.Helper()
+	s := NewStore(Config{})
+	inst, err := s.Instantiate(m, "test")
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	return inst
+}
+
+// i32 (p...)->(r) module with a single function exported as "f".
+func singleFunc(params, results []wasm.ValueType, locals []wasm.ValueType, body *wasm.BodyBuilder) *wasm.Module {
+	return &wasm.Module{
+		Types:     []wasm.FuncType{{Params: params, Results: results}},
+		Functions: []uint32{0},
+		Codes:     []wasm.Code{{Locals: locals, Body: body.Bytes()}},
+		Exports:   []wasm.Export{{Name: "f", Kind: wasm.ExternalFunc, Index: 0}},
+	}
+}
+
+var i32 = wasm.ValueTypeI32
+var i64t = wasm.ValueTypeI64
+var f32t = wasm.ValueTypeF32
+var f64t = wasm.ValueTypeF64
+
+func TestI32Arithmetic(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).
+		OpU32(wasm.OpLocalGet, 1).
+		Op(wasm.OpI32Add).
+		End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{i32, i32}, []wasm.ValueType{i32}, nil, b))
+	inst := instantiate(t, m)
+	res, err := inst.Call("f", I32(2), I32(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 42 {
+		t.Fatalf("2+40 = %d, want 42", got)
+	}
+	// Wrapping behaviour.
+	res, _ = inst.Call("f", I32(math.MaxInt32), I32(1))
+	if got := AsI32(res[0]); got != math.MinInt32 {
+		t.Fatalf("overflow add = %d, want MinInt32", got)
+	}
+}
+
+func TestFactorialLoop(t *testing.T) {
+	// local0 = n (param), local1 = acc
+	// acc = 1; loop { if n <= 1 break; acc *= n; n -= 1; continue }
+	b := new(wasm.BodyBuilder)
+	b.I32Const(1).OpU32(wasm.OpLocalSet, 1)
+	b.Block(wasm.OpBlock, wasm.BlockTypeEmpty)
+	b.Block(wasm.OpLoop, wasm.BlockTypeEmpty)
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(1).Op(wasm.OpI32LeS).OpU32(wasm.OpBrIf, 1)
+	b.OpU32(wasm.OpLocalGet, 1).OpU32(wasm.OpLocalGet, 0).Op(wasm.OpI32Mul).OpU32(wasm.OpLocalSet, 1)
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(1).Op(wasm.OpI32Sub).OpU32(wasm.OpLocalSet, 0)
+	b.OpU32(wasm.OpBr, 0)
+	b.End() // loop
+	b.End() // block
+	b.OpU32(wasm.OpLocalGet, 1)
+	b.End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, []wasm.ValueType{i32}, b))
+	inst := instantiate(t, m)
+	cases := map[int32]int32{0: 1, 1: 1, 5: 120, 10: 3628800}
+	for n, want := range cases {
+		res, err := inst.Call("f", I32(n))
+		if err != nil {
+			t.Fatalf("fact(%d): %v", n, err)
+		}
+		if got := AsI32(res[0]); got != want {
+			t.Fatalf("fact(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRecursiveFib(t *testing.T) {
+	// fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+	b := new(wasm.BodyBuilder)
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(2).Op(wasm.OpI32LtS)
+	b.Block(wasm.OpIf, wasm.BlockTypeEmpty)
+	b.OpU32(wasm.OpLocalGet, 0).Op(wasm.OpReturn)
+	b.End()
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(1).Op(wasm.OpI32Sub).OpU32(wasm.OpCall, 0)
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(2).Op(wasm.OpI32Sub).OpU32(wasm.OpCall, 0)
+	b.Op(wasm.OpI32Add)
+	b.End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b))
+	inst := instantiate(t, m)
+	res, err := inst.Call("f", I32(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 610 {
+		t.Fatalf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	// store (addr, val); load back with offset immediate.
+	b := new(wasm.BodyBuilder)
+	b.OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).MemArg(wasm.OpI32Store, 2, 0)
+	b.OpU32(wasm.OpLocalGet, 0).MemArg(wasm.OpI32Load, 2, 0)
+	b.End()
+	m := singleFunc([]wasm.ValueType{i32, i32}, []wasm.ValueType{i32}, nil, b)
+	m.Memories = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}}}
+	inst := instantiate(t, buildModule(t, m))
+	res, err := inst.Call("f", I32(128), I32(0x1234abcd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsU32(res[0]); got != 0x1234abcd {
+		t.Fatalf("load = %#x, want 0x1234abcd", got)
+	}
+	// Out-of-bounds store must trap.
+	_, err = inst.Call("f", I32(65533), I32(1))
+	if !IsTrap(err, TrapMemoryOutOfBounds) {
+		t.Fatalf("expected OOB trap, got %v", err)
+	}
+}
+
+func TestDivTraps(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).
+		OpU32(wasm.OpLocalGet, 1).
+		Op(wasm.OpI32DivS).
+		End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{i32, i32}, []wasm.ValueType{i32}, nil, b))
+	inst := instantiate(t, m)
+	if _, err := inst.Call("f", I32(1), I32(0)); !IsTrap(err, TrapIntegerDivideByZero) {
+		t.Fatalf("div by zero: got %v", err)
+	}
+	if _, err := inst.Call("f", I32(math.MinInt32), I32(-1)); !IsTrap(err, TrapIntegerOverflow) {
+		t.Fatalf("MinInt32 / -1: got %v", err)
+	}
+	res, err := inst.Call("f", I32(-7), I32(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != -3 {
+		t.Fatalf("-7/2 = %d, want -3 (truncated)", got)
+	}
+}
+
+func TestBrTable(t *testing.T) {
+	// switch(n): case 0 -> 100, case 1 -> 200, default -> 999
+	b := new(wasm.BodyBuilder)
+	b.Block(wasm.OpBlock, wasm.BlockTypeEmpty) // depth 2 -> default
+	b.Block(wasm.OpBlock, wasm.BlockTypeEmpty) // depth 1 -> case 1
+	b.Block(wasm.OpBlock, wasm.BlockTypeEmpty) // depth 0 -> case 0
+	b.OpU32(wasm.OpLocalGet, 0)
+	b.BrTable([]uint32{0, 1}, 2)
+	b.End()
+	b.I32Const(100).Op(wasm.OpReturn)
+	b.End()
+	b.I32Const(200).Op(wasm.OpReturn)
+	b.End()
+	b.I32Const(999)
+	b.End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b))
+	inst := instantiate(t, m)
+	cases := map[int32]int32{0: 100, 1: 200, 2: 999, 50: 999}
+	for n, want := range cases {
+		res, err := inst.Call("f", I32(n))
+		if err != nil {
+			t.Fatalf("case %d: %v", n, err)
+		}
+		if got := AsI32(res[0]); got != want {
+			t.Fatalf("case %d = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCallIndirect(t *testing.T) {
+	// Table with [add, mul]; f(sel, a, b) = table[sel](a, b)
+	add := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).Op(wasm.OpI32Add).End()
+	mul := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).Op(wasm.OpI32Mul).End()
+	main := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 1).OpU32(wasm.OpLocalGet, 2).OpU32(wasm.OpLocalGet, 0).
+		CallIndirect(0).End()
+	m := &wasm.Module{
+		Types: []wasm.FuncType{
+			{Params: []wasm.ValueType{i32, i32}, Results: []wasm.ValueType{i32}},
+			{Params: []wasm.ValueType{i32, i32, i32}, Results: []wasm.ValueType{i32}},
+		},
+		Functions: []uint32{0, 0, 1},
+		Tables:    []wasm.TableType{{ElemType: wasm.ValueTypeFuncref, Limits: wasm.Limits{Min: 4}}},
+		Elements: []wasm.ElementSegment{
+			{TableIndex: 0, Offset: wasm.I32Const(0), Indices: []uint32{0, 1}},
+		},
+		Codes: []wasm.Code{
+			{Body: add.Bytes()},
+			{Body: mul.Bytes()},
+			{Body: main.Bytes()},
+		},
+		Exports: []wasm.Export{{Name: "f", Kind: wasm.ExternalFunc, Index: 2}},
+	}
+	inst := instantiate(t, buildModule(t, m))
+	res, err := inst.Call("f", I32(0), I32(6), I32(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 13 {
+		t.Fatalf("table[0](6,7) = %d, want 13", got)
+	}
+	res, err = inst.Call("f", I32(1), I32(6), I32(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 42 {
+		t.Fatalf("table[1](6,7) = %d, want 42", got)
+	}
+	// Uninitialized element traps.
+	if _, err := inst.Call("f", I32(3), I32(1), I32(1)); !IsTrap(err, TrapUninitializedElement) {
+		t.Fatalf("uninitialized element: got %v", err)
+	}
+	// Out-of-range index traps.
+	if _, err := inst.Call("f", I32(9), I32(1), I32(1)); !IsTrap(err, TrapTableOutOfBounds) {
+		t.Fatalf("out of range: got %v", err)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	// counter global; f() { counter += 1; return counter }
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpGlobalGet, 0).I32Const(1).Op(wasm.OpI32Add).
+		OpU32(wasm.OpGlobalSet, 0).
+		OpU32(wasm.OpGlobalGet, 0).
+		End()
+	m := singleFunc(nil, []wasm.ValueType{i32}, nil, b)
+	m.Globals = []wasm.Global{{
+		Type: wasm.GlobalType{ValType: i32, Mutable: true},
+		Init: wasm.I32Const(10),
+	}}
+	inst := instantiate(t, buildModule(t, m))
+	for want := int32(11); want <= 13; want++ {
+		res, err := inst.Call("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := AsI32(res[0]); got != want {
+			t.Fatalf("counter = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestHostFunctionAndMemorySharing(t *testing.T) {
+	// The module calls an imported host function that doubles its argument
+	// and also writes a marker into guest memory.
+	s := NewStore(Config{})
+	s.NewHostModule("env").AddFunc("double", HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValueType{i32}, Results: []wasm.ValueType{i32}},
+		Fn: func(ctx *HostContext, args []Value) ([]Value, error) {
+			ctx.Memory.WriteUint32(0, 0xfeedface)
+			return []Value{I32(AsI32(args[0]) * 2)}, nil
+		},
+	})
+	b := new(wasm.BodyBuilder).OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpCall, 0).End()
+	m := &wasm.Module{
+		Types: []wasm.FuncType{{Params: []wasm.ValueType{i32}, Results: []wasm.ValueType{i32}}},
+		Imports: []wasm.Import{
+			{Module: "env", Name: "double", Kind: wasm.ExternalFunc, Func: 0},
+		},
+		Functions: []uint32{0},
+		Memories:  []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}}},
+		Codes:     []wasm.Code{{Body: b.Bytes()}},
+		Exports:   []wasm.Export{{Name: "f", Kind: wasm.ExternalFunc, Index: 1}},
+	}
+	if err := wasm.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("f", I32(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 42 {
+		t.Fatalf("double(21) = %d, want 42", got)
+	}
+	if v, _ := inst.Memory().ReadUint32(0); v != 0xfeedface {
+		t.Fatalf("host write not visible: %#x", v)
+	}
+}
+
+func TestMemoryGrowAndSize(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).MemoryOp(wasm.OpMemoryGrow).Op(wasm.OpDrop).
+		MemoryOp(wasm.OpMemorySize).
+		End()
+	m := singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b)
+	m.Memories = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1, Max: 4, HasMax: true}}}
+	inst := instantiate(t, buildModule(t, m))
+	res, err := inst.Call("f", I32(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 3 {
+		t.Fatalf("size after grow(2) = %d, want 3", got)
+	}
+	// Growing past max fails (-1) but size stays.
+	res, err = inst.Call("f", I32(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 3 {
+		t.Fatalf("size after failed grow = %d, want 3", got)
+	}
+}
+
+func TestCallStackExhaustion(t *testing.T) {
+	// Infinite recursion must trap, not crash.
+	b := new(wasm.BodyBuilder).OpU32(wasm.OpCall, 0).End()
+	m := buildModule(t, singleFunc(nil, nil, nil, b))
+	s := NewStore(Config{MaxCallDepth: 100})
+	inst, err := s.Instantiate(m, "rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Call("f"); !IsTrap(err, TrapCallStackExhausted) {
+		t.Fatalf("expected stack exhaustion, got %v", err)
+	}
+}
+
+func TestFuelMetering(t *testing.T) {
+	// Infinite loop with finite fuel.
+	b := new(wasm.BodyBuilder)
+	b.Block(wasm.OpLoop, wasm.BlockTypeEmpty)
+	b.OpU32(wasm.OpBr, 0)
+	b.End()
+	b.End()
+	m := buildModule(t, singleFunc(nil, nil, nil, b))
+	s := NewStore(Config{Fuel: 10000})
+	inst, err := s.Instantiate(m, "spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Call("f"); !IsTrap(err, TrapOutOfFuel) {
+		t.Fatalf("expected out of fuel, got %v", err)
+	}
+	if s.FuelLeft() != 0 {
+		t.Fatalf("fuel left = %d, want 0", s.FuelLeft())
+	}
+}
+
+func TestUnreachableTrap(t *testing.T) {
+	b := new(wasm.BodyBuilder).Op(wasm.OpUnreachable).End()
+	m := buildModule(t, singleFunc(nil, nil, nil, b))
+	inst := instantiate(t, m)
+	if _, err := inst.Call("f"); !IsTrap(err, TrapUnreachable) {
+		t.Fatalf("expected unreachable trap, got %v", err)
+	}
+}
+
+func TestFloatSemantics(t *testing.T) {
+	// f64 min with -0 and NaN handling.
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).Op(wasm.OpF64Min).End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{f64t, f64t}, []wasm.ValueType{f64t}, nil, b))
+	inst := instantiate(t, m)
+
+	res, _ := inst.Call("f", F64(math.Copysign(0, -1)), F64(0))
+	if got := AsF64(res[0]); !math.Signbit(got) || got != 0 {
+		t.Fatalf("min(-0, +0) = %v (signbit %v), want -0", got, math.Signbit(got))
+	}
+	res, _ = inst.Call("f", F64(math.NaN()), F64(1))
+	if got := AsF64(res[0]); !math.IsNaN(got) {
+		t.Fatalf("min(NaN, 1) = %v, want NaN", got)
+	}
+	res, _ = inst.Call("f", F64(1.5), F64(2.5))
+	if got := AsF64(res[0]); got != 1.5 {
+		t.Fatalf("min(1.5, 2.5) = %v, want 1.5", got)
+	}
+}
+
+func TestTruncTraps(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).Op(wasm.OpI32TruncF64S).End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{f64t}, []wasm.ValueType{i32}, nil, b))
+	inst := instantiate(t, m)
+	if _, err := inst.Call("f", F64(math.NaN())); !IsTrap(err, TrapInvalidConversion) {
+		t.Fatalf("trunc NaN: got %v", err)
+	}
+	if _, err := inst.Call("f", F64(3e9)); !IsTrap(err, TrapIntegerOverflow) {
+		t.Fatalf("trunc 3e9: got %v", err)
+	}
+	res, err := inst.Call("f", F64(-2.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != -2 {
+		t.Fatalf("trunc -2.9 = %d, want -2", got)
+	}
+}
+
+func TestTruncSat(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).Misc(wasm.MiscI32TruncSatF64S).End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{f64t}, []wasm.ValueType{i32}, nil, b))
+	inst := instantiate(t, m)
+	cases := []struct {
+		in   float64
+		want int32
+	}{
+		{math.NaN(), 0},
+		{3e9, math.MaxInt32},
+		{-3e9, math.MinInt32},
+		{-2.9, -2},
+	}
+	for _, c := range cases {
+		res, err := inst.Call("f", F64(c.in))
+		if err != nil {
+			t.Fatalf("trunc_sat(%v): %v", c.in, err)
+		}
+		if got := AsI32(res[0]); got != c.want {
+			t.Fatalf("trunc_sat(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDataSegmentsAndMemoryInit(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).MemArg(wasm.OpI32Load8U, 0, 0).End()
+	m := singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b)
+	m.Memories = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}}}
+	m.Data = []wasm.DataSegment{{Offset: wasm.I32Const(16), Data: []byte("hi")}}
+	inst := instantiate(t, buildModule(t, m))
+	res, _ := inst.Call("f", I32(16))
+	if got := AsI32(res[0]); got != 'h' {
+		t.Fatalf("mem[16] = %d, want 'h'", got)
+	}
+	res, _ = inst.Call("f", I32(17))
+	if got := AsI32(res[0]); got != 'i' {
+		t.Fatalf("mem[17] = %d, want 'i'", got)
+	}
+}
+
+func TestStartFunction(t *testing.T) {
+	// start writes 7 to global; exported getter reads it.
+	start := new(wasm.BodyBuilder).I32Const(7).OpU32(wasm.OpGlobalSet, 0).End()
+	get := new(wasm.BodyBuilder).OpU32(wasm.OpGlobalGet, 0).End()
+	m := &wasm.Module{
+		Types: []wasm.FuncType{
+			{},
+			{Results: []wasm.ValueType{i32}},
+		},
+		Functions: []uint32{0, 1},
+		Globals: []wasm.Global{{
+			Type: wasm.GlobalType{ValType: i32, Mutable: true},
+			Init: wasm.I32Const(0),
+		}},
+		StartSet: true,
+		Start:    0,
+		Codes:    []wasm.Code{{Body: start.Bytes()}, {Body: get.Bytes()}},
+		Exports:  []wasm.Export{{Name: "f", Kind: wasm.ExternalFunc, Index: 1}},
+	}
+	inst := instantiate(t, buildModule(t, m))
+	res, err := inst.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 7 {
+		t.Fatalf("global after start = %d, want 7", got)
+	}
+}
+
+func TestIfElseMultilevel(t *testing.T) {
+	// f(x) = x > 10 ? (x > 100 ? 3 : 2) : 1, via nested if/else with results.
+	b := new(wasm.BodyBuilder)
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(10).Op(wasm.OpI32GtS)
+	b.Block(wasm.OpIf, wasm.BlockTypeOf(i32))
+	{
+		b.OpU32(wasm.OpLocalGet, 0).I32Const(100).Op(wasm.OpI32GtS)
+		b.Block(wasm.OpIf, wasm.BlockTypeOf(i32))
+		b.I32Const(3)
+		b.Op(wasm.OpElse)
+		b.I32Const(2)
+		b.End()
+	}
+	b.Op(wasm.OpElse)
+	b.I32Const(1)
+	b.End()
+	b.End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b))
+	inst := instantiate(t, m)
+	cases := map[int32]int32{5: 1, 50: 2, 500: 3}
+	for x, want := range cases {
+		res, err := inst.Call("f", I32(x))
+		if err != nil {
+			t.Fatalf("f(%d): %v", x, err)
+		}
+		if got := AsI32(res[0]); got != want {
+			t.Fatalf("f(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestBranchWithValues(t *testing.T) {
+	// block (result i32): push 5, push 37, br 0 keeps only top... but with
+	// result arity 1 the branch carries 37 and drops 5.
+	b := new(wasm.BodyBuilder)
+	b.Block(wasm.OpBlock, wasm.BlockTypeOf(i32))
+	b.I32Const(5)
+	b.I32Const(37)
+	b.OpU32(wasm.OpBr, 0)
+	b.End()
+	b.End()
+	m := buildModule(t, singleFunc(nil, []wasm.ValueType{i32}, nil, b))
+	inst := instantiate(t, m)
+	res, err := inst.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 37 {
+		t.Fatalf("br with value = %d, want 37", got)
+	}
+}
+
+func TestSignExtensionOps(t *testing.T) {
+	b := new(wasm.BodyBuilder).OpU32(wasm.OpLocalGet, 0).Op(wasm.OpI32Extend8S).End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b))
+	inst := instantiate(t, m)
+	res, _ := inst.Call("f", I32(0x80))
+	if got := AsI32(res[0]); got != -128 {
+		t.Fatalf("extend8_s(0x80) = %d, want -128", got)
+	}
+	res, _ = inst.Call("f", I32(0x7f))
+	if got := AsI32(res[0]); got != 127 {
+		t.Fatalf("extend8_s(0x7f) = %d, want 127", got)
+	}
+}
+
+func TestMemoryCopyFill(t *testing.T) {
+	// fill [0,8) with 0xAB then copy [0,8) to [8,16); read back byte 12.
+	b := new(wasm.BodyBuilder)
+	b.I32Const(0).I32Const(0xAB).I32Const(8).Misc(wasm.MiscMemoryFill)
+	b.I32Const(8).I32Const(0).I32Const(8).Misc(wasm.MiscMemoryCopy)
+	b.I32Const(12).MemArg(wasm.OpI32Load8U, 0, 0)
+	b.End()
+	m := singleFunc(nil, []wasm.ValueType{i32}, nil, b)
+	m.Memories = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}}}
+	inst := instantiate(t, buildModule(t, m))
+	res, err := inst.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsI32(res[0]); got != 0xAB {
+		t.Fatalf("mem[12] = %#x, want 0xAB", got)
+	}
+}
+
+func TestInstructionCounting(t *testing.T) {
+	b := new(wasm.BodyBuilder).I32Const(1).I32Const(2).Op(wasm.OpI32Add).Op(wasm.OpDrop).End()
+	m := buildModule(t, singleFunc(nil, nil, nil, b))
+	s := NewStore(Config{})
+	inst, err := s.Instantiate(m, "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.InstructionCount()
+	if _, err := inst.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	delta := s.InstructionCount() - before
+	// const, const, add, drop, return = 5
+	if delta != 5 {
+		t.Fatalf("instruction count delta = %d, want 5", delta)
+	}
+}
+
+func TestHostPanicBecomesTrap(t *testing.T) {
+	s := NewStore(Config{})
+	s.NewHostModule("env").AddFunc("boom", HostFunc{
+		Type: wasm.FuncType{},
+		Fn: func(ctx *HostContext, args []Value) ([]Value, error) {
+			panic("host bug")
+		},
+	})
+	b := new(wasm.BodyBuilder).OpU32(wasm.OpCall, 0).End()
+	m := &wasm.Module{
+		Types:     []wasm.FuncType{{}},
+		Imports:   []wasm.Import{{Module: "env", Name: "boom", Kind: wasm.ExternalFunc, Func: 0}},
+		Functions: []uint32{0},
+		Codes:     []wasm.Code{{Body: b.Bytes()}},
+		Exports:   []wasm.Export{{Name: "f", Kind: wasm.ExternalFunc, Index: 1}},
+	}
+	if err := wasm.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = inst.Call("f")
+	if !IsTrap(err, TrapHostError) {
+		t.Fatalf("expected host-error trap, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error %q does not mention the panic", err)
+	}
+	// The store remains usable after the contained panic.
+	if _, err := inst.Call("f"); !IsTrap(err, TrapHostError) {
+		t.Fatal("store unusable after host panic")
+	}
+}
+
+func TestTrapCarriesWasmStack(t *testing.T) {
+	// Build via WAT-equivalent: named funcs outer -> inner -> unreachable.
+	inner := new(wasm.BodyBuilder).Op(wasm.OpUnreachable).End()
+	outer := new(wasm.BodyBuilder).OpU32(wasm.OpCall, 0).End()
+	m := &wasm.Module{
+		Types:     []wasm.FuncType{{}},
+		Functions: []uint32{0, 0},
+		Codes:     []wasm.Code{{Body: inner.Bytes()}, {Body: outer.Bytes()}},
+		Exports:   []wasm.Export{{Name: "f", Kind: wasm.ExternalFunc, Index: 1}},
+	}
+	wasm.EncodeNameSection(m, wasm.NameMap{FuncNames: map[uint32]string{0: "inner", 1: "outer"}})
+	inst := instantiate(t, buildModule(t, m))
+	_, err := inst.Call("f")
+	if !IsTrap(err, TrapUnreachable) {
+		t.Fatalf("got %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "$inner") || !strings.Contains(msg, "$outer") {
+		t.Fatalf("trap message missing stack: %q", msg)
+	}
+	// Innermost first.
+	if strings.Index(msg, "$inner") > strings.Index(msg, "$outer") {
+		t.Fatalf("stack order wrong: %q", msg)
+	}
+}
+
+func TestTrapStackBounded(t *testing.T) {
+	b := new(wasm.BodyBuilder).OpU32(wasm.OpCall, 0).End()
+	m := buildModule(t, singleFunc(nil, nil, nil, b))
+	s := NewStore(Config{MaxCallDepth: 500})
+	inst, err := s.Instantiate(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = inst.Call("f")
+	tr, ok := err.(*Trap)
+	if !ok || tr.Code != TrapCallStackExhausted {
+		t.Fatalf("got %v", err)
+	}
+	if len(tr.Frames) > 16 {
+		t.Fatalf("trap stack unbounded: %d frames", len(tr.Frames))
+	}
+}

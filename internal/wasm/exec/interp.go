@@ -1,0 +1,824 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"wasmcontainers/internal/wasm"
+)
+
+// invoke runs f with the given arguments, dispatching to host functions or
+// the interpreter loop.
+func (inst *Instance) invoke(f *function, args []Value) ([]Value, error) {
+	s := inst.store
+	if f.host != nil {
+		res, err := inst.callHost(f.host, args)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	s.depth++
+	if s.depth > s.cfg.MaxCallDepth {
+		s.depth--
+		return nil, newTrap(TrapCallStackExhausted)
+	}
+	res, err := f.inst.run(f, args)
+	s.depth--
+	return res, pushFrame(err, f)
+}
+
+// pushFrame appends f to a propagating trap's wasm stack (bounded, so a
+// deep recursion trap stays readable).
+func pushFrame(err error, f *function) error {
+	t, ok := err.(*Trap)
+	if !ok {
+		return err
+	}
+	const maxFrames = 16
+	if len(t.Frames) < maxFrames {
+		t.Frames = append(t.Frames, f.inst.funcLabel(f.idx))
+	}
+	return err
+}
+
+// run executes a compiled wasm function body.
+func (inst *Instance) run(f *function, args []Value) ([]Value, error) {
+	s := inst.store
+	code := f.code
+	locals := make([]Value, f.numParams+f.numLocals)
+	copy(locals, args)
+	stack := make([]Value, 0, code.maxHeight)
+	mem := inst.mem
+
+	instrs := code.instrs
+	pc := 0
+	// Batch global instruction accounting to keep the hot loop lean.
+	executed := uint64(0)
+	defer func() { s.instrCount += executed }()
+
+	for {
+		in := &instrs[pc]
+		executed++
+		if s.fueled {
+			if s.fuelLeft == 0 {
+				return nil, newTrap(TrapOutOfFuel)
+			}
+			s.fuelLeft--
+		}
+		switch in.op {
+		case wasm.OpUnreachable:
+			return nil, newTrap(TrapUnreachable)
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpEnd:
+			// Structure markers: no effect at runtime.
+		case wasm.OpIf:
+			cond := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cond == 0 {
+				pc = int(in.a)
+				continue
+			}
+		case wasm.OpElse:
+			// Jump emitted at the end of a then-branch.
+			pc = int(in.a)
+			continue
+		case wasm.OpBr:
+			stack = adjustStack(stack, in.b)
+			pc = int(in.a)
+			continue
+		case wasm.OpBrIf:
+			cond := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cond != 0 {
+				stack = adjustStack(stack, in.b)
+				pc = int(in.a)
+				continue
+			}
+		case wasm.OpBrTable:
+			idx := AsU32(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+			table := code.brTables[in.misc]
+			ent := table[len(table)-1] // default
+			if int(idx) < len(table)-1 {
+				ent = table[idx]
+			}
+			stack = adjustStack(stack, ent.dropKeep)
+			pc = int(ent.pc)
+			continue
+		case wasm.OpReturn:
+			_, keep := unpackDropKeep(in.b)
+			res := make([]Value, keep)
+			copy(res, stack[len(stack)-keep:])
+			return res, nil
+		case wasm.OpCall:
+			callee := inst.funcs[in.a]
+			np := len(callee.typ.Params)
+			callArgs := stack[len(stack)-np:]
+			res, err := inst.invokeNested(callee, callArgs)
+			if err != nil {
+				return nil, err
+			}
+			stack = stack[:len(stack)-np]
+			stack = append(stack, res...)
+		case wasm.OpCallIndirect:
+			ti := uint32(in.a)
+			elemIdx := AsU32(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+			if inst.table == nil || int(elemIdx) >= inst.table.Len() {
+				return nil, newTrap(TrapTableOutOfBounds)
+			}
+			callee := inst.table.elems[elemIdx]
+			if callee == nil {
+				return nil, newTrap(TrapUninitializedElement)
+			}
+			if !callee.typ.Equal(inst.Module.Types[ti]) {
+				return nil, newTrap(TrapIndirectCallTypeMismatch)
+			}
+			np := len(callee.typ.Params)
+			callArgs := stack[len(stack)-np:]
+			res, err := inst.invokeNested(callee, callArgs)
+			if err != nil {
+				return nil, err
+			}
+			stack = stack[:len(stack)-np]
+			stack = append(stack, res...)
+		case wasm.OpDrop:
+			stack = stack[:len(stack)-1]
+		case wasm.OpSelect:
+			c := stack[len(stack)-1]
+			v2 := stack[len(stack)-2]
+			v1 := stack[len(stack)-3]
+			stack = stack[:len(stack)-3]
+			if c != 0 {
+				stack = append(stack, v1)
+			} else {
+				stack = append(stack, v2)
+			}
+		case wasm.OpLocalGet:
+			stack = append(stack, locals[in.a])
+		case wasm.OpLocalSet:
+			locals[in.a] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case wasm.OpLocalTee:
+			locals[in.a] = stack[len(stack)-1]
+		case wasm.OpGlobalGet:
+			stack = append(stack, inst.globals[in.a].Val)
+		case wasm.OpGlobalSet:
+			inst.globals[in.a].Val = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case wasm.OpMemorySize:
+			stack = append(stack, I32(int32(mem.Pages())))
+		case wasm.OpMemoryGrow:
+			delta := AsU32(stack[len(stack)-1])
+			stack[len(stack)-1] = I32(mem.Grow(delta))
+		case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+			stack = append(stack, in.a)
+		case wasm.OpMisc:
+			var err error
+			stack, err = inst.execMisc(in, stack, mem)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			var err error
+			stack, err = execNumericOrMem(in, stack, mem)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pc++
+	}
+}
+
+// callHost invokes a host function, containing panics as traps so a buggy
+// host callback cannot take down the embedder (engines isolate host faults
+// the same way).
+func (inst *Instance) callHost(hf *HostFunc, args []Value) (res []Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Trap{Code: TrapHostError, Wrapped: fmt.Errorf("host function panicked: %v", r)}
+		}
+	}()
+	ctx := &HostContext{Store: inst.store, Instance: inst, Memory: inst.mem}
+	res, err = hf.Fn(ctx, args)
+	if err != nil {
+		switch err.(type) {
+		case *Trap, *ExitError:
+			return nil, err
+		}
+		return nil, &Trap{Code: TrapHostError, Wrapped: err}
+	}
+	return res, nil
+}
+
+// invokeNested dispatches a call from inside the interpreter loop.
+func (inst *Instance) invokeNested(callee *function, args []Value) ([]Value, error) {
+	if callee.host != nil {
+		return inst.callHost(callee.host, args)
+	}
+	s := inst.store
+	s.depth++
+	if s.depth > s.cfg.MaxCallDepth {
+		s.depth--
+		return nil, newTrap(TrapCallStackExhausted)
+	}
+	// Copy args: the callee's locals must not alias the caller's stack.
+	a := make([]Value, len(args))
+	copy(a, args)
+	res, err := callee.inst.run(callee, a)
+	s.depth--
+	return res, pushFrame(err, callee)
+}
+
+// adjustStack applies a branch's drop/keep fixup.
+func adjustStack(stack []Value, dropKeep uint64) []Value {
+	drop, keep := unpackDropKeep(dropKeep)
+	if drop == 0 {
+		return stack
+	}
+	n := len(stack)
+	copy(stack[n-keep-drop:], stack[n-keep:])
+	return stack[:n-drop]
+}
+
+func (inst *Instance) execMisc(in *instr, stack []Value, mem *Memory) ([]Value, error) {
+	switch in.misc {
+	case wasm.MiscI32TruncSatF32S:
+		v := AsF32(stack[len(stack)-1])
+		stack[len(stack)-1] = I32(truncSatI32(float64(v)))
+	case wasm.MiscI32TruncSatF32U:
+		v := AsF32(stack[len(stack)-1])
+		stack[len(stack)-1] = uint64(truncSatU32(float64(v)))
+	case wasm.MiscI32TruncSatF64S:
+		v := AsF64(stack[len(stack)-1])
+		stack[len(stack)-1] = I32(truncSatI32(v))
+	case wasm.MiscI32TruncSatF64U:
+		v := AsF64(stack[len(stack)-1])
+		stack[len(stack)-1] = uint64(truncSatU32(v))
+	case wasm.MiscI64TruncSatF32S:
+		v := AsF32(stack[len(stack)-1])
+		stack[len(stack)-1] = I64(truncSatI64(float64(v)))
+	case wasm.MiscI64TruncSatF32U:
+		v := AsF32(stack[len(stack)-1])
+		stack[len(stack)-1] = truncSatU64(float64(v))
+	case wasm.MiscI64TruncSatF64S:
+		v := AsF64(stack[len(stack)-1])
+		stack[len(stack)-1] = I64(truncSatI64(v))
+	case wasm.MiscI64TruncSatF64U:
+		v := AsF64(stack[len(stack)-1])
+		stack[len(stack)-1] = truncSatU64(v)
+	case wasm.MiscMemoryCopy:
+		n := AsU32(stack[len(stack)-1])
+		src := AsU32(stack[len(stack)-2])
+		dst := AsU32(stack[len(stack)-3])
+		stack = stack[:len(stack)-3]
+		if uint64(src)+uint64(n) > uint64(mem.Size()) || uint64(dst)+uint64(n) > uint64(mem.Size()) {
+			return nil, newTrap(TrapMemoryOutOfBounds)
+		}
+		copy(mem.data[dst:dst+n], mem.data[src:src+n])
+	case wasm.MiscMemoryFill:
+		n := AsU32(stack[len(stack)-1])
+		val := byte(stack[len(stack)-2])
+		dst := AsU32(stack[len(stack)-3])
+		stack = stack[:len(stack)-3]
+		if uint64(dst)+uint64(n) > uint64(mem.Size()) {
+			return nil, newTrap(TrapMemoryOutOfBounds)
+		}
+		for i := uint32(0); i < n; i++ {
+			mem.data[dst+i] = val
+		}
+	}
+	return stack, nil
+}
+
+// Saturating truncation helpers.
+func truncSatI32(v float64) int32 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v <= math.MinInt32 {
+		return math.MinInt32
+	}
+	if v >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(v)
+}
+
+func truncSatU32(v float64) uint32 {
+	if math.IsNaN(v) || v <= -1 {
+		return 0
+	}
+	if v >= math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+func truncSatI64(v float64) int64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v <= math.MinInt64 {
+		return math.MinInt64
+	}
+	if v >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+func truncSatU64(v float64) uint64 {
+	if math.IsNaN(v) || v <= -1 {
+		return 0
+	}
+	if v >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return uint64(v)
+}
+
+// Trapping truncation helpers (the MVP trunc instructions).
+func truncI32(v float64) (int32, error) {
+	if math.IsNaN(v) {
+		return 0, newTrap(TrapInvalidConversion)
+	}
+	t := math.Trunc(v)
+	if t < math.MinInt32 || t > math.MaxInt32 {
+		return 0, newTrap(TrapIntegerOverflow)
+	}
+	return int32(t), nil
+}
+
+func truncU32(v float64) (uint32, error) {
+	if math.IsNaN(v) {
+		return 0, newTrap(TrapInvalidConversion)
+	}
+	t := math.Trunc(v)
+	if t <= -1 || t > math.MaxUint32 {
+		return 0, newTrap(TrapIntegerOverflow)
+	}
+	return uint32(t), nil
+}
+
+func truncI64(v float64) (int64, error) {
+	if math.IsNaN(v) {
+		return 0, newTrap(TrapInvalidConversion)
+	}
+	t := math.Trunc(v)
+	// Note: 2^63 is exactly representable; values >= 2^63 overflow, and
+	// values < -2^63 overflow (but -2^63 itself is fine).
+	if t < math.MinInt64 || t >= math.MaxInt64 {
+		return 0, newTrap(TrapIntegerOverflow)
+	}
+	return int64(t), nil
+}
+
+func truncU64(v float64) (uint64, error) {
+	if math.IsNaN(v) {
+		return 0, newTrap(TrapInvalidConversion)
+	}
+	t := math.Trunc(v)
+	if t <= -1 || t >= math.MaxUint64 {
+		return 0, newTrap(TrapIntegerOverflow)
+	}
+	return uint64(t), nil
+}
+
+// fmin/fmax follow wasm semantics: NaN-propagating, -0 < +0.
+func fmin64(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	if a == 0 && b == 0 {
+		if math.Signbit(a) || math.Signbit(b) {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	return math.Min(a, b)
+}
+
+func fmax64(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	if a == 0 && b == 0 {
+		if !math.Signbit(a) || !math.Signbit(b) {
+			return 0
+		}
+		return math.Copysign(0, -1)
+	}
+	return math.Max(a, b)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// execNumericOrMem executes all fixed-signature instructions.
+func execNumericOrMem(in *instr, stack []Value, mem *Memory) ([]Value, error) {
+	op := in.op
+	n := len(stack)
+	switch op {
+	// Loads.
+	case wasm.OpI32Load, wasm.OpI64Load, wasm.OpF32Load, wasm.OpF64Load,
+		wasm.OpI32Load8U, wasm.OpI32Load16U, wasm.OpI64Load8U, wasm.OpI64Load16U, wasm.OpI64Load32U:
+		addr := AsU32(stack[n-1])
+		v, ok := mem.load(addr, uint32(in.a), int(in.misc))
+		if !ok {
+			return nil, newTrap(TrapMemoryOutOfBounds)
+		}
+		stack[n-1] = v
+		return stack, nil
+	case wasm.OpI32Load8S:
+		return loadSigned(in, stack, mem, 8, true)
+	case wasm.OpI32Load16S:
+		return loadSigned(in, stack, mem, 16, true)
+	case wasm.OpI64Load8S:
+		return loadSigned(in, stack, mem, 8, false)
+	case wasm.OpI64Load16S:
+		return loadSigned(in, stack, mem, 16, false)
+	case wasm.OpI64Load32S:
+		return loadSigned(in, stack, mem, 32, false)
+	// Stores.
+	case wasm.OpI32Store, wasm.OpI64Store, wasm.OpF32Store, wasm.OpF64Store,
+		wasm.OpI32Store8, wasm.OpI32Store16, wasm.OpI64Store8, wasm.OpI64Store16, wasm.OpI64Store32:
+		val := stack[n-1]
+		addr := AsU32(stack[n-2])
+		if !mem.store(addr, uint32(in.a), int(in.misc), val) {
+			return nil, newTrap(TrapMemoryOutOfBounds)
+		}
+		return stack[:n-2], nil
+	}
+
+	// Unary operators.
+	if v, err, ok := unaryOp(op, stack[n-1]); ok {
+		if err != nil {
+			return nil, err
+		}
+		stack[n-1] = v
+		return stack, nil
+	}
+
+	// Binary operators.
+	rhs, lhs := stack[n-1], stack[n-2]
+	v, err := binaryOp(op, lhs, rhs)
+	if err != nil {
+		return nil, err
+	}
+	stack[n-2] = v
+	return stack[:n-1], nil
+}
+
+func loadSigned(in *instr, stack []Value, mem *Memory, width int, to32 bool) ([]Value, error) {
+	n := len(stack)
+	addr := AsU32(stack[n-1])
+	raw, ok := mem.load(addr, uint32(in.a), width/8)
+	if !ok {
+		return nil, newTrap(TrapMemoryOutOfBounds)
+	}
+	var sv int64
+	switch width {
+	case 8:
+		sv = int64(int8(raw))
+	case 16:
+		sv = int64(int16(raw))
+	default:
+		sv = int64(int32(raw))
+	}
+	if to32 {
+		stack[n-1] = I32(int32(sv))
+	} else {
+		stack[n-1] = I64(sv)
+	}
+	return stack, nil
+}
+
+// unaryOp computes a unary instruction, or reports ok=false when op is not
+// unary.
+func unaryOp(op wasm.Opcode, v Value) (Value, error, bool) {
+	switch op {
+	case wasm.OpI32Eqz:
+		return boolVal(AsU32(v) == 0), nil, true
+	case wasm.OpI64Eqz:
+		return boolVal(v == 0), nil, true
+	case wasm.OpI32Clz:
+		return I32(int32(bits.LeadingZeros32(AsU32(v)))), nil, true
+	case wasm.OpI32Ctz:
+		return I32(int32(bits.TrailingZeros32(AsU32(v)))), nil, true
+	case wasm.OpI32Popcnt:
+		return I32(int32(bits.OnesCount32(AsU32(v)))), nil, true
+	case wasm.OpI64Clz:
+		return I64(int64(bits.LeadingZeros64(v))), nil, true
+	case wasm.OpI64Ctz:
+		return I64(int64(bits.TrailingZeros64(v))), nil, true
+	case wasm.OpI64Popcnt:
+		return I64(int64(bits.OnesCount64(v))), nil, true
+	case wasm.OpF32Abs:
+		return F32(float32(math.Abs(float64(AsF32(v))))), nil, true
+	case wasm.OpF32Neg:
+		return F32(-AsF32(v)), nil, true
+	case wasm.OpF32Ceil:
+		return F32(float32(math.Ceil(float64(AsF32(v))))), nil, true
+	case wasm.OpF32Floor:
+		return F32(float32(math.Floor(float64(AsF32(v))))), nil, true
+	case wasm.OpF32Trunc:
+		return F32(float32(math.Trunc(float64(AsF32(v))))), nil, true
+	case wasm.OpF32Nearest:
+		return F32(float32(math.RoundToEven(float64(AsF32(v))))), nil, true
+	case wasm.OpF32Sqrt:
+		return F32(float32(math.Sqrt(float64(AsF32(v))))), nil, true
+	case wasm.OpF64Abs:
+		return F64(math.Abs(AsF64(v))), nil, true
+	case wasm.OpF64Neg:
+		return F64(-AsF64(v)), nil, true
+	case wasm.OpF64Ceil:
+		return F64(math.Ceil(AsF64(v))), nil, true
+	case wasm.OpF64Floor:
+		return F64(math.Floor(AsF64(v))), nil, true
+	case wasm.OpF64Trunc:
+		return F64(math.Trunc(AsF64(v))), nil, true
+	case wasm.OpF64Nearest:
+		return F64(math.RoundToEven(AsF64(v))), nil, true
+	case wasm.OpF64Sqrt:
+		return F64(math.Sqrt(AsF64(v))), nil, true
+	case wasm.OpI32WrapI64:
+		return I32(int32(v)), nil, true
+	case wasm.OpI32TruncF32S:
+		r, err := truncI32(float64(AsF32(v)))
+		return I32(r), err, true
+	case wasm.OpI32TruncF32U:
+		r, err := truncU32(float64(AsF32(v)))
+		return uint64(r), err, true
+	case wasm.OpI32TruncF64S:
+		r, err := truncI32(AsF64(v))
+		return I32(r), err, true
+	case wasm.OpI32TruncF64U:
+		r, err := truncU32(AsF64(v))
+		return uint64(r), err, true
+	case wasm.OpI64ExtendI32S:
+		return I64(int64(AsI32(v))), nil, true
+	case wasm.OpI64ExtendI32U:
+		return uint64(AsU32(v)), nil, true
+	case wasm.OpI64TruncF32S:
+		r, err := truncI64(float64(AsF32(v)))
+		return I64(r), err, true
+	case wasm.OpI64TruncF32U:
+		r, err := truncU64(float64(AsF32(v)))
+		return r, err, true
+	case wasm.OpI64TruncF64S:
+		r, err := truncI64(AsF64(v))
+		return I64(r), err, true
+	case wasm.OpI64TruncF64U:
+		r, err := truncU64(AsF64(v))
+		return r, err, true
+	case wasm.OpF32ConvertI32S:
+		return F32(float32(AsI32(v))), nil, true
+	case wasm.OpF32ConvertI32U:
+		return F32(float32(AsU32(v))), nil, true
+	case wasm.OpF32ConvertI64S:
+		return F32(float32(AsI64(v))), nil, true
+	case wasm.OpF32ConvertI64U:
+		return F32(float32(v)), nil, true
+	case wasm.OpF32DemoteF64:
+		return F32(float32(AsF64(v))), nil, true
+	case wasm.OpF64ConvertI32S:
+		return F64(float64(AsI32(v))), nil, true
+	case wasm.OpF64ConvertI32U:
+		return F64(float64(AsU32(v))), nil, true
+	case wasm.OpF64ConvertI64S:
+		return F64(float64(AsI64(v))), nil, true
+	case wasm.OpF64ConvertI64U:
+		return F64(float64(v)), nil, true
+	case wasm.OpF64PromoteF32:
+		return F64(float64(AsF32(v))), nil, true
+	case wasm.OpI32ReinterpretF32, wasm.OpF32ReinterpretI32:
+		return v & math.MaxUint32, nil, true
+	case wasm.OpI64ReinterpretF64, wasm.OpF64ReinterpretI64:
+		return v, nil, true
+	case wasm.OpI32Extend8S:
+		return I32(int32(int8(v))), nil, true
+	case wasm.OpI32Extend16S:
+		return I32(int32(int16(v))), nil, true
+	case wasm.OpI64Extend8S:
+		return I64(int64(int8(v))), nil, true
+	case wasm.OpI64Extend16S:
+		return I64(int64(int16(v))), nil, true
+	case wasm.OpI64Extend32S:
+		return I64(int64(int32(v))), nil, true
+	}
+	return 0, nil, false
+}
+
+// binaryOp computes a binary instruction over raw values.
+func binaryOp(op wasm.Opcode, lhs, rhs Value) (Value, error) {
+	switch op {
+	// i32 comparisons.
+	case wasm.OpI32Eq:
+		return boolVal(AsU32(lhs) == AsU32(rhs)), nil
+	case wasm.OpI32Ne:
+		return boolVal(AsU32(lhs) != AsU32(rhs)), nil
+	case wasm.OpI32LtS:
+		return boolVal(AsI32(lhs) < AsI32(rhs)), nil
+	case wasm.OpI32LtU:
+		return boolVal(AsU32(lhs) < AsU32(rhs)), nil
+	case wasm.OpI32GtS:
+		return boolVal(AsI32(lhs) > AsI32(rhs)), nil
+	case wasm.OpI32GtU:
+		return boolVal(AsU32(lhs) > AsU32(rhs)), nil
+	case wasm.OpI32LeS:
+		return boolVal(AsI32(lhs) <= AsI32(rhs)), nil
+	case wasm.OpI32LeU:
+		return boolVal(AsU32(lhs) <= AsU32(rhs)), nil
+	case wasm.OpI32GeS:
+		return boolVal(AsI32(lhs) >= AsI32(rhs)), nil
+	case wasm.OpI32GeU:
+		return boolVal(AsU32(lhs) >= AsU32(rhs)), nil
+	// i64 comparisons.
+	case wasm.OpI64Eq:
+		return boolVal(lhs == rhs), nil
+	case wasm.OpI64Ne:
+		return boolVal(lhs != rhs), nil
+	case wasm.OpI64LtS:
+		return boolVal(AsI64(lhs) < AsI64(rhs)), nil
+	case wasm.OpI64LtU:
+		return boolVal(lhs < rhs), nil
+	case wasm.OpI64GtS:
+		return boolVal(AsI64(lhs) > AsI64(rhs)), nil
+	case wasm.OpI64GtU:
+		return boolVal(lhs > rhs), nil
+	case wasm.OpI64LeS:
+		return boolVal(AsI64(lhs) <= AsI64(rhs)), nil
+	case wasm.OpI64LeU:
+		return boolVal(lhs <= rhs), nil
+	case wasm.OpI64GeS:
+		return boolVal(AsI64(lhs) >= AsI64(rhs)), nil
+	case wasm.OpI64GeU:
+		return boolVal(lhs >= rhs), nil
+	// Float comparisons.
+	case wasm.OpF32Eq:
+		return boolVal(AsF32(lhs) == AsF32(rhs)), nil
+	case wasm.OpF32Ne:
+		return boolVal(AsF32(lhs) != AsF32(rhs)), nil
+	case wasm.OpF32Lt:
+		return boolVal(AsF32(lhs) < AsF32(rhs)), nil
+	case wasm.OpF32Gt:
+		return boolVal(AsF32(lhs) > AsF32(rhs)), nil
+	case wasm.OpF32Le:
+		return boolVal(AsF32(lhs) <= AsF32(rhs)), nil
+	case wasm.OpF32Ge:
+		return boolVal(AsF32(lhs) >= AsF32(rhs)), nil
+	case wasm.OpF64Eq:
+		return boolVal(AsF64(lhs) == AsF64(rhs)), nil
+	case wasm.OpF64Ne:
+		return boolVal(AsF64(lhs) != AsF64(rhs)), nil
+	case wasm.OpF64Lt:
+		return boolVal(AsF64(lhs) < AsF64(rhs)), nil
+	case wasm.OpF64Gt:
+		return boolVal(AsF64(lhs) > AsF64(rhs)), nil
+	case wasm.OpF64Le:
+		return boolVal(AsF64(lhs) <= AsF64(rhs)), nil
+	case wasm.OpF64Ge:
+		return boolVal(AsF64(lhs) >= AsF64(rhs)), nil
+	// i32 arithmetic.
+	case wasm.OpI32Add:
+		return I32(AsI32(lhs) + AsI32(rhs)), nil
+	case wasm.OpI32Sub:
+		return I32(AsI32(lhs) - AsI32(rhs)), nil
+	case wasm.OpI32Mul:
+		return I32(AsI32(lhs) * AsI32(rhs)), nil
+	case wasm.OpI32DivS:
+		l, r := AsI32(lhs), AsI32(rhs)
+		if r == 0 {
+			return 0, newTrap(TrapIntegerDivideByZero)
+		}
+		if l == math.MinInt32 && r == -1 {
+			return 0, newTrap(TrapIntegerOverflow)
+		}
+		return I32(l / r), nil
+	case wasm.OpI32DivU:
+		l, r := AsU32(lhs), AsU32(rhs)
+		if r == 0 {
+			return 0, newTrap(TrapIntegerDivideByZero)
+		}
+		return uint64(l / r), nil
+	case wasm.OpI32RemS:
+		l, r := AsI32(lhs), AsI32(rhs)
+		if r == 0 {
+			return 0, newTrap(TrapIntegerDivideByZero)
+		}
+		if l == math.MinInt32 && r == -1 {
+			return 0, nil
+		}
+		return I32(l % r), nil
+	case wasm.OpI32RemU:
+		l, r := AsU32(lhs), AsU32(rhs)
+		if r == 0 {
+			return 0, newTrap(TrapIntegerDivideByZero)
+		}
+		return uint64(l % r), nil
+	case wasm.OpI32And:
+		return (lhs & rhs) & math.MaxUint32, nil
+	case wasm.OpI32Or:
+		return (lhs | rhs) & math.MaxUint32, nil
+	case wasm.OpI32Xor:
+		return (lhs ^ rhs) & math.MaxUint32, nil
+	case wasm.OpI32Shl:
+		return I32(AsI32(lhs) << (AsU32(rhs) & 31)), nil
+	case wasm.OpI32ShrS:
+		return I32(AsI32(lhs) >> (AsU32(rhs) & 31)), nil
+	case wasm.OpI32ShrU:
+		return uint64(AsU32(lhs) >> (AsU32(rhs) & 31)), nil
+	case wasm.OpI32Rotl:
+		return uint64(bits.RotateLeft32(AsU32(lhs), int(AsU32(rhs)&31))), nil
+	case wasm.OpI32Rotr:
+		return uint64(bits.RotateLeft32(AsU32(lhs), -int(AsU32(rhs)&31))), nil
+	// i64 arithmetic.
+	case wasm.OpI64Add:
+		return lhs + rhs, nil
+	case wasm.OpI64Sub:
+		return lhs - rhs, nil
+	case wasm.OpI64Mul:
+		return lhs * rhs, nil
+	case wasm.OpI64DivS:
+		l, r := AsI64(lhs), AsI64(rhs)
+		if r == 0 {
+			return 0, newTrap(TrapIntegerDivideByZero)
+		}
+		if l == math.MinInt64 && r == -1 {
+			return 0, newTrap(TrapIntegerOverflow)
+		}
+		return I64(l / r), nil
+	case wasm.OpI64DivU:
+		if rhs == 0 {
+			return 0, newTrap(TrapIntegerDivideByZero)
+		}
+		return lhs / rhs, nil
+	case wasm.OpI64RemS:
+		l, r := AsI64(lhs), AsI64(rhs)
+		if r == 0 {
+			return 0, newTrap(TrapIntegerDivideByZero)
+		}
+		if l == math.MinInt64 && r == -1 {
+			return 0, nil
+		}
+		return I64(l % r), nil
+	case wasm.OpI64RemU:
+		if rhs == 0 {
+			return 0, newTrap(TrapIntegerDivideByZero)
+		}
+		return lhs % rhs, nil
+	case wasm.OpI64And:
+		return lhs & rhs, nil
+	case wasm.OpI64Or:
+		return lhs | rhs, nil
+	case wasm.OpI64Xor:
+		return lhs ^ rhs, nil
+	case wasm.OpI64Shl:
+		return lhs << (rhs & 63), nil
+	case wasm.OpI64ShrS:
+		return I64(AsI64(lhs) >> (rhs & 63)), nil
+	case wasm.OpI64ShrU:
+		return lhs >> (rhs & 63), nil
+	case wasm.OpI64Rotl:
+		return bits.RotateLeft64(lhs, int(rhs&63)), nil
+	case wasm.OpI64Rotr:
+		return bits.RotateLeft64(lhs, -int(rhs&63)), nil
+	// f32 arithmetic.
+	case wasm.OpF32Add:
+		return F32(AsF32(lhs) + AsF32(rhs)), nil
+	case wasm.OpF32Sub:
+		return F32(AsF32(lhs) - AsF32(rhs)), nil
+	case wasm.OpF32Mul:
+		return F32(AsF32(lhs) * AsF32(rhs)), nil
+	case wasm.OpF32Div:
+		return F32(AsF32(lhs) / AsF32(rhs)), nil
+	case wasm.OpF32Min:
+		return F32(float32(fmin64(float64(AsF32(lhs)), float64(AsF32(rhs))))), nil
+	case wasm.OpF32Max:
+		return F32(float32(fmax64(float64(AsF32(lhs)), float64(AsF32(rhs))))), nil
+	case wasm.OpF32Copysign:
+		return F32(float32(math.Copysign(float64(AsF32(lhs)), float64(AsF32(rhs))))), nil
+	// f64 arithmetic.
+	case wasm.OpF64Add:
+		return F64(AsF64(lhs) + AsF64(rhs)), nil
+	case wasm.OpF64Sub:
+		return F64(AsF64(lhs) - AsF64(rhs)), nil
+	case wasm.OpF64Mul:
+		return F64(AsF64(lhs) * AsF64(rhs)), nil
+	case wasm.OpF64Div:
+		return F64(AsF64(lhs) / AsF64(rhs)), nil
+	case wasm.OpF64Min:
+		return F64(fmin64(AsF64(lhs), AsF64(rhs))), nil
+	case wasm.OpF64Max:
+		return F64(fmax64(AsF64(lhs), AsF64(rhs))), nil
+	case wasm.OpF64Copysign:
+		return F64(math.Copysign(AsF64(lhs), AsF64(rhs))), nil
+	}
+	panic("exec: unhandled opcode " + wasm.OpcodeName(op))
+}

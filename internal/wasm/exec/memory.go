@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"encoding/binary"
+
+	"wasmcontainers/internal/wasm"
+)
+
+// Memory is a linear memory instance. Data is always a multiple of the
+// 64 KiB page size long.
+type Memory struct {
+	Type wasm.MemoryType
+	data []byte
+	// maxPages caps growth; defaults to the type's max or the engine limit.
+	maxPages uint32
+	// grows counts successful memory.grow calls (telemetry for the
+	// engine-profile memory models).
+	grows int
+}
+
+// NewMemory allocates a memory instance for the given type. limitPages is an
+// engine-imposed cap applied on top of the type's own maximum.
+func NewMemory(t wasm.MemoryType, limitPages uint32) *Memory {
+	max := uint32(wasm.MaxMemoryPages)
+	if t.Limits.HasMax && t.Limits.Max < max {
+		max = t.Limits.Max
+	}
+	if limitPages > 0 && limitPages < max {
+		max = limitPages
+	}
+	return &Memory{
+		Type:     t,
+		data:     make([]byte, int(t.Limits.Min)*wasm.PageSize),
+		maxPages: max,
+	}
+}
+
+// Pages returns the current size in 64 KiB pages.
+func (m *Memory) Pages() uint32 { return uint32(len(m.data) / wasm.PageSize) }
+
+// Size returns the current size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Grows returns how many times the memory has grown since instantiation.
+func (m *Memory) Grows() int { return m.grows }
+
+// Grow extends the memory by delta pages, returning the previous page count
+// or -1 (as per memory.grow semantics) if the limit would be exceeded.
+func (m *Memory) Grow(delta uint32) int32 {
+	cur := m.Pages()
+	if delta == 0 {
+		return int32(cur)
+	}
+	newPages := uint64(cur) + uint64(delta)
+	if newPages > uint64(m.maxPages) {
+		return -1
+	}
+	grown := make([]byte, int(newPages)*wasm.PageSize)
+	copy(grown, m.data)
+	m.data = grown
+	m.grows++
+	return int32(cur)
+}
+
+// Bytes exposes the backing store. Callers must not resize it.
+func (m *Memory) Bytes() []byte { return m.data }
+
+// inBounds reports whether [addr, addr+n) lies within the memory. n must be
+// small (access width); the arithmetic is done in uint64 to avoid overflow.
+func (m *Memory) inBounds(addr uint32, offset uint32, n int) (uint64, bool) {
+	ea := uint64(addr) + uint64(offset)
+	return ea, ea+uint64(n) <= uint64(len(m.data))
+}
+
+// Read copies n bytes at addr into a fresh slice, returning false on OOB.
+func (m *Memory) Read(addr, n uint32) ([]byte, bool) {
+	ea := uint64(addr)
+	if ea+uint64(n) > uint64(len(m.data)) {
+		return nil, false
+	}
+	out := make([]byte, n)
+	copy(out, m.data[ea:])
+	return out, true
+}
+
+// View returns a slice aliasing memory [addr, addr+n), or false on OOB.
+func (m *Memory) View(addr, n uint32) ([]byte, bool) {
+	ea := uint64(addr)
+	if ea+uint64(n) > uint64(len(m.data)) {
+		return nil, false
+	}
+	return m.data[ea : ea+uint64(n)], true
+}
+
+// Write copies b into memory at addr, returning false on OOB.
+func (m *Memory) Write(addr uint32, b []byte) bool {
+	ea := uint64(addr)
+	if ea+uint64(len(b)) > uint64(len(m.data)) {
+		return false
+	}
+	copy(m.data[ea:], b)
+	return true
+}
+
+// ReadUint32 reads a little-endian u32, returning false on OOB.
+func (m *Memory) ReadUint32(addr uint32) (uint32, bool) {
+	if ea, ok := m.inBounds(addr, 0, 4); ok {
+		return binary.LittleEndian.Uint32(m.data[ea:]), true
+	}
+	return 0, false
+}
+
+// WriteUint32 writes a little-endian u32, returning false on OOB.
+func (m *Memory) WriteUint32(addr uint32, v uint32) bool {
+	if ea, ok := m.inBounds(addr, 0, 4); ok {
+		binary.LittleEndian.PutUint32(m.data[ea:], v)
+		return true
+	}
+	return false
+}
+
+// ReadUint64 reads a little-endian u64, returning false on OOB.
+func (m *Memory) ReadUint64(addr uint32) (uint64, bool) {
+	if ea, ok := m.inBounds(addr, 0, 8); ok {
+		return binary.LittleEndian.Uint64(m.data[ea:]), true
+	}
+	return 0, false
+}
+
+// WriteUint64 writes a little-endian u64, returning false on OOB.
+func (m *Memory) WriteUint64(addr uint32, v uint64) bool {
+	if ea, ok := m.inBounds(addr, 0, 8); ok {
+		binary.LittleEndian.PutUint64(m.data[ea:], v)
+		return true
+	}
+	return false
+}
+
+// ReadString reads n bytes at addr as a string, returning false on OOB.
+func (m *Memory) ReadString(addr, n uint32) (string, bool) {
+	b, ok := m.Read(addr, n)
+	if !ok {
+		return "", false
+	}
+	return string(b), true
+}
+
+// load fetches width bytes for the interpreter; returns the zero-extended
+// little-endian value.
+func (m *Memory) load(addr, offset uint32, width int) (uint64, bool) {
+	ea, ok := m.inBounds(addr, offset, width)
+	if !ok {
+		return 0, false
+	}
+	switch width {
+	case 1:
+		return uint64(m.data[ea]), true
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.data[ea:])), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.data[ea:])), true
+	default:
+		return binary.LittleEndian.Uint64(m.data[ea:]), true
+	}
+}
+
+// store writes width bytes for the interpreter.
+func (m *Memory) store(addr, offset uint32, width int, v uint64) bool {
+	ea, ok := m.inBounds(addr, offset, width)
+	if !ok {
+		return false
+	}
+	switch width {
+	case 1:
+		m.data[ea] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.data[ea:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[ea:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(m.data[ea:], v)
+	}
+	return true
+}
+
+// Table is a table instance holding function references.
+type Table struct {
+	Type wasm.TableType
+	// elems holds function indices into the owning instance's function space;
+	// nil entries are uninitialized.
+	elems []*function
+}
+
+// NewTable allocates a table instance.
+func NewTable(t wasm.TableType) *Table {
+	return &Table{Type: t, elems: make([]*function, t.Limits.Min)}
+}
+
+// Len returns the current table length.
+func (t *Table) Len() int { return len(t.elems) }
+
+// GlobalVar is a global variable instance.
+type GlobalVar struct {
+	Type wasm.GlobalType
+	Val  Value
+}
+
+// Get returns the current value.
+func (g *GlobalVar) Get() Value { return g.Val }
+
+// Set updates a mutable global. Setting an immutable global is a bug in the
+// embedder; the interpreter never does it.
+func (g *GlobalVar) Set(v Value) { g.Val = v }

@@ -1,0 +1,421 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wasmcontainers/internal/wasm"
+)
+
+// Config bounds execution inside a Store.
+type Config struct {
+	// MaxCallDepth limits wasm call nesting; 0 means the default (2048).
+	MaxCallDepth int
+	// MemoryLimitPages caps every linear memory; 0 means the 4 GiB spec max.
+	MemoryLimitPages uint32
+	// Fuel, when positive, bounds the total number of instructions the store
+	// may execute before trapping with TrapOutOfFuel.
+	Fuel uint64
+}
+
+// DefaultMaxCallDepth is used when Config.MaxCallDepth is zero.
+const DefaultMaxCallDepth = 2048
+
+// Store owns all runtime state: instances, host modules, and execution
+// accounting. A Store is not safe for concurrent use.
+type Store struct {
+	cfg         Config
+	modules     map[string]*Instance
+	hostModules map[string]*HostModule
+	// instrCount counts executed instructions across all instances, used by
+	// the engine profiles to derive deterministic timing.
+	instrCount uint64
+	fuelLeft   uint64
+	fueled     bool
+	depth      int
+}
+
+// NewStore creates an empty store with the given configuration.
+func NewStore(cfg Config) *Store {
+	if cfg.MaxCallDepth == 0 {
+		cfg.MaxCallDepth = DefaultMaxCallDepth
+	}
+	s := &Store{
+		cfg:         cfg,
+		modules:     make(map[string]*Instance),
+		hostModules: make(map[string]*HostModule),
+	}
+	if cfg.Fuel > 0 {
+		s.fueled = true
+		s.fuelLeft = cfg.Fuel
+	}
+	return s
+}
+
+// InstructionCount returns the number of wasm instructions executed so far.
+func (s *Store) InstructionCount() uint64 { return s.instrCount }
+
+// AddFuel adds fuel to a fueled store.
+func (s *Store) AddFuel(n uint64) {
+	if s.fueled {
+		s.fuelLeft += n
+	}
+}
+
+// FuelLeft reports the remaining fuel (meaningful only for fueled stores).
+func (s *Store) FuelLeft() uint64 { return s.fuelLeft }
+
+// HostFunc is a function implemented by the embedder.
+type HostFunc struct {
+	Type wasm.FuncType
+	// Fn receives the caller's context and raw argument values and returns
+	// raw results matching Type.Results. Returning a *Trap or *ExitError
+	// propagates it unchanged; other errors are wrapped as TrapHostError.
+	Fn func(ctx *HostContext, args []Value) ([]Value, error)
+}
+
+// HostContext carries the calling instance's state into a host function.
+type HostContext struct {
+	Store    *Store
+	Instance *Instance
+	// Memory is the calling instance's memory (nil if it has none).
+	Memory *Memory
+}
+
+// HostModule is a named collection of host-provided externs.
+type HostModule struct {
+	Name    string
+	funcs   map[string]*HostFunc
+	globals map[string]*GlobalVar
+	mems    map[string]*Memory
+	tables  map[string]*Table
+}
+
+// NewHostModule creates an empty host module registered under name.
+func (s *Store) NewHostModule(name string) *HostModule {
+	hm := &HostModule{
+		Name:    name,
+		funcs:   make(map[string]*HostFunc),
+		globals: make(map[string]*GlobalVar),
+		mems:    make(map[string]*Memory),
+		tables:  make(map[string]*Table),
+	}
+	s.hostModules[name] = hm
+	return hm
+}
+
+// AddFunc registers a host function under the given export name.
+func (hm *HostModule) AddFunc(name string, f HostFunc) *HostModule {
+	fn := f
+	hm.funcs[name] = &fn
+	return hm
+}
+
+// AddGlobal registers a host global.
+func (hm *HostModule) AddGlobal(name string, g *GlobalVar) *HostModule {
+	hm.globals[name] = g
+	return hm
+}
+
+// AddMemory registers a host memory.
+func (hm *HostModule) AddMemory(name string, m *Memory) *HostModule {
+	hm.mems[name] = m
+	return hm
+}
+
+// function is the unified runtime representation of wasm and host functions.
+type function struct {
+	typ       wasm.FuncType
+	inst      *Instance // owning instance; nil for host functions
+	host      *HostFunc
+	code      *compiledCode
+	numParams int
+	numLocals int // locals beyond parameters
+	idx       uint32
+	debugName string
+}
+
+// Instance is an instantiated module.
+type Instance struct {
+	Module  *wasm.Module
+	Name    string
+	store   *Store
+	funcs   []*function
+	mem     *Memory
+	table   *Table
+	globals []*GlobalVar
+	names   wasm.NameMap
+	depth   int
+}
+
+// funcLabel names a function for trap stacks: the name-section entry if
+// present, else "func[N]".
+func (inst *Instance) funcLabel(idx uint32) string {
+	if name, ok := inst.names.FuncNames[idx]; ok {
+		return "$" + name
+	}
+	return fmt.Sprintf("func[%d]", idx)
+}
+
+// Memory returns the instance's linear memory, or nil.
+func (inst *Instance) Memory() *Memory { return inst.mem }
+
+// Store returns the owning store.
+func (inst *Instance) Store() *Store { return inst.store }
+
+// errors for linking.
+var (
+	ErrUnknownImport    = errors.New("exec: unknown import")
+	ErrIncompatibleLink = errors.New("exec: incompatible import type")
+)
+
+// Instantiate validates nothing (the module must already be validated),
+// resolves imports against the store's host modules and named instances,
+// allocates memories/tables/globals, applies element and data segments, runs
+// the start function, and registers the instance under name (if non-empty).
+func (s *Store) Instantiate(m *wasm.Module, name string) (*Instance, error) {
+	inst := &Instance{Module: m, Name: name, store: s, names: wasm.DecodeNameSection(m)}
+
+	// Resolve imports in declaration order.
+	for _, imp := range m.Imports {
+		switch imp.Kind {
+		case wasm.ExternalFunc:
+			f, err := s.resolveFunc(imp)
+			if err != nil {
+				return nil, err
+			}
+			inst.funcs = append(inst.funcs, f)
+		case wasm.ExternalMemory:
+			mem, err := s.resolveMemory(imp)
+			if err != nil {
+				return nil, err
+			}
+			inst.mem = mem
+		case wasm.ExternalTable:
+			tbl, err := s.resolveTable(imp)
+			if err != nil {
+				return nil, err
+			}
+			inst.table = tbl
+		case wasm.ExternalGlobal:
+			g, err := s.resolveGlobal(imp)
+			if err != nil {
+				return nil, err
+			}
+			inst.globals = append(inst.globals, g)
+		}
+	}
+
+	// Module-defined functions: compile bodies.
+	nImported := len(inst.funcs)
+	for i, ti := range m.Functions {
+		ft := m.Types[ti]
+		cc, err := compileBody(m, ft, &m.Codes[i])
+		if err != nil {
+			return nil, fmt.Errorf("exec: compiling function %d: %w", nImported+i, err)
+		}
+		inst.funcs = append(inst.funcs, &function{
+			typ:       ft,
+			inst:      inst,
+			code:      cc,
+			numParams: len(ft.Params),
+			numLocals: len(m.Codes[i].Locals),
+			idx:       uint32(nImported + i),
+		})
+	}
+
+	// Memories, tables, globals.
+	for _, mt := range m.Memories {
+		inst.mem = NewMemory(mt, s.cfg.MemoryLimitPages)
+	}
+	for _, tt := range m.Tables {
+		inst.table = NewTable(tt)
+	}
+	for _, g := range m.Globals {
+		val, err := inst.evalConst(g.Init)
+		if err != nil {
+			return nil, err
+		}
+		inst.globals = append(inst.globals, &GlobalVar{Type: g.Type, Val: val})
+	}
+
+	// Element segments: bounds-check then write (spec: all-or-nothing per
+	// module in the MVP; we check all segments before applying any).
+	type elemPatch struct {
+		off     uint32
+		indices []uint32
+	}
+	var elemPatches []elemPatch
+	for i, seg := range m.Elements {
+		offVal, err := inst.evalConst(seg.Offset)
+		if err != nil {
+			return nil, err
+		}
+		off := AsU32(offVal)
+		if inst.table == nil || uint64(off)+uint64(len(seg.Indices)) > uint64(inst.table.Len()) {
+			return nil, fmt.Errorf("exec: element segment %d out of bounds", i)
+		}
+		elemPatches = append(elemPatches, elemPatch{off: off, indices: seg.Indices})
+	}
+	type dataPatch struct {
+		off  uint32
+		data []byte
+	}
+	var dataPatches []dataPatch
+	for i, seg := range m.Data {
+		offVal, err := inst.evalConst(seg.Offset)
+		if err != nil {
+			return nil, err
+		}
+		off := AsU32(offVal)
+		if inst.mem == nil || uint64(off)+uint64(len(seg.Data)) > uint64(inst.mem.Size()) {
+			return nil, fmt.Errorf("exec: data segment %d out of bounds", i)
+		}
+		dataPatches = append(dataPatches, dataPatch{off: off, data: seg.Data})
+	}
+	for _, p := range elemPatches {
+		for j, fi := range p.indices {
+			inst.table.elems[p.off+uint32(j)] = inst.funcs[fi]
+		}
+	}
+	for _, p := range dataPatches {
+		inst.mem.Write(p.off, p.data)
+	}
+
+	if name != "" {
+		s.modules[name] = inst
+	}
+
+	// Start function runs after initialization.
+	if m.StartSet {
+		if _, err := inst.invoke(inst.funcs[m.Start], nil); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+func (s *Store) resolveFunc(imp wasm.Import) (*function, error) {
+	want := wasm.FuncType{}
+	// The importing module guarantees imp.Func is a valid type index.
+	if hm, ok := s.hostModules[imp.Module]; ok {
+		hf, ok := hm.funcs[imp.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", ErrUnknownImport, imp.Module, imp.Name)
+		}
+		return &function{typ: hf.Type, host: hf, numParams: len(hf.Type.Params), debugName: imp.Module + "." + imp.Name}, nil
+	}
+	if other, ok := s.modules[imp.Module]; ok {
+		for _, e := range other.Module.Exports {
+			if e.Kind == wasm.ExternalFunc && e.Name == imp.Name {
+				return other.funcs[e.Index], nil
+			}
+		}
+	}
+	_ = want
+	return nil, fmt.Errorf("%w: %s.%s", ErrUnknownImport, imp.Module, imp.Name)
+}
+
+func (s *Store) resolveMemory(imp wasm.Import) (*Memory, error) {
+	if hm, ok := s.hostModules[imp.Module]; ok {
+		if mem, ok := hm.mems[imp.Name]; ok {
+			if mem.Pages() < imp.Memory.Limits.Min {
+				return nil, fmt.Errorf("%w: memory %s.%s too small", ErrIncompatibleLink, imp.Module, imp.Name)
+			}
+			return mem, nil
+		}
+	}
+	if other, ok := s.modules[imp.Module]; ok {
+		for _, e := range other.Module.Exports {
+			if e.Kind == wasm.ExternalMemory && e.Name == imp.Name && other.mem != nil {
+				return other.mem, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: memory %s.%s", ErrUnknownImport, imp.Module, imp.Name)
+}
+
+func (s *Store) resolveTable(imp wasm.Import) (*Table, error) {
+	if hm, ok := s.hostModules[imp.Module]; ok {
+		if tbl, ok := hm.tables[imp.Name]; ok {
+			return tbl, nil
+		}
+	}
+	if other, ok := s.modules[imp.Module]; ok {
+		for _, e := range other.Module.Exports {
+			if e.Kind == wasm.ExternalTable && e.Name == imp.Name && other.table != nil {
+				return other.table, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: table %s.%s", ErrUnknownImport, imp.Module, imp.Name)
+}
+
+func (s *Store) resolveGlobal(imp wasm.Import) (*GlobalVar, error) {
+	if hm, ok := s.hostModules[imp.Module]; ok {
+		if g, ok := hm.globals[imp.Name]; ok {
+			if g.Type.ValType != imp.Global.ValType {
+				return nil, fmt.Errorf("%w: global %s.%s", ErrIncompatibleLink, imp.Module, imp.Name)
+			}
+			return g, nil
+		}
+	}
+	if other, ok := s.modules[imp.Module]; ok {
+		for _, e := range other.Module.Exports {
+			if e.Kind == wasm.ExternalGlobal && e.Name == imp.Name {
+				return other.globals[e.Index], nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: global %s.%s", ErrUnknownImport, imp.Module, imp.Name)
+}
+
+// evalConst evaluates a constant initializer in this instance.
+func (inst *Instance) evalConst(ce wasm.ConstExpr) (Value, error) {
+	switch ce.Op {
+	case wasm.ConstI32, wasm.ConstF32:
+		return ce.Value & math.MaxUint32, nil
+	case wasm.ConstI64, wasm.ConstF64:
+		return ce.Value, nil
+	case wasm.ConstGlobalGet:
+		gi := int(ce.Value)
+		if gi >= len(inst.globals) {
+			return 0, fmt.Errorf("exec: constant expression references unknown global %d", gi)
+		}
+		return inst.globals[gi].Get(), nil
+	}
+	return 0, errors.New("exec: bad constant expression")
+}
+
+// Call invokes the exported function name with raw argument values.
+func (inst *Instance) Call(name string, args ...Value) ([]Value, error) {
+	idx, ok := inst.Module.ExportedFunc(name)
+	if !ok {
+		return nil, fmt.Errorf("exec: no exported function %q", name)
+	}
+	f := inst.funcs[idx]
+	if len(args) != len(f.typ.Params) {
+		return nil, fmt.Errorf("exec: %q expects %d arguments, got %d", name, len(f.typ.Params), len(args))
+	}
+	return inst.invoke(f, args)
+}
+
+// FuncType returns the signature of the exported function name.
+func (inst *Instance) FuncType(name string) (wasm.FuncType, bool) {
+	idx, ok := inst.Module.ExportedFunc(name)
+	if !ok {
+		return wasm.FuncType{}, false
+	}
+	return inst.funcs[idx].typ, true
+}
+
+// GlobalByName returns the exported global, or nil.
+func (inst *Instance) GlobalByName(name string) *GlobalVar {
+	for _, e := range inst.Module.Exports {
+		if e.Kind == wasm.ExternalGlobal && e.Name == name {
+			return inst.globals[e.Index]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package exec
+
+import "fmt"
+
+// TrapCode identifies the reason a WebAssembly computation trapped.
+type TrapCode int
+
+// Trap codes, matching the spec's runtime errors.
+const (
+	TrapUnreachable TrapCode = iota
+	TrapMemoryOutOfBounds
+	TrapTableOutOfBounds
+	TrapIndirectCallTypeMismatch
+	TrapUninitializedElement
+	TrapIntegerDivideByZero
+	TrapIntegerOverflow
+	TrapInvalidConversion
+	TrapCallStackExhausted
+	TrapOutOfFuel
+	TrapHostError
+)
+
+var trapMessages = map[TrapCode]string{
+	TrapUnreachable:              "unreachable executed",
+	TrapMemoryOutOfBounds:        "out of bounds memory access",
+	TrapTableOutOfBounds:         "undefined element",
+	TrapIndirectCallTypeMismatch: "indirect call type mismatch",
+	TrapUninitializedElement:     "uninitialized element",
+	TrapIntegerDivideByZero:      "integer divide by zero",
+	TrapIntegerOverflow:          "integer overflow",
+	TrapInvalidConversion:        "invalid conversion to integer",
+	TrapCallStackExhausted:       "call stack exhausted",
+	TrapOutOfFuel:                "all fuel consumed",
+	TrapHostError:                "host function error",
+}
+
+// Trap is the error produced when execution aborts.
+type Trap struct {
+	Code TrapCode
+	// Wrapped holds the underlying host error for TrapHostError.
+	Wrapped error
+	// Frames is the wasm call stack at the trap, innermost first, collected
+	// as the trap unwinds (function names come from the module's name
+	// section, falling back to "func[N]").
+	Frames []string
+}
+
+// Error implements the error interface.
+func (t *Trap) Error() string {
+	msg, ok := trapMessages[t.Code]
+	if !ok {
+		msg = fmt.Sprintf("trap %d", t.Code)
+	}
+	out := "wasm trap: " + msg
+	if t.Wrapped != nil {
+		out = fmt.Sprintf("wasm trap: %s: %v", msg, t.Wrapped)
+	}
+	if len(t.Frames) > 0 {
+		out += "\n  wasm stack:"
+		for _, f := range t.Frames {
+			out += "\n    " + f
+		}
+	}
+	return out
+}
+
+// Unwrap exposes the wrapped host error.
+func (t *Trap) Unwrap() error { return t.Wrapped }
+
+func newTrap(code TrapCode) *Trap { return &Trap{Code: code} }
+
+// IsTrap reports whether err is a Trap with the given code.
+func IsTrap(err error, code TrapCode) bool {
+	t, ok := err.(*Trap)
+	return ok && t.Code == code
+}
+
+// ExitError is returned when the guest requests termination (e.g. WASI
+// proc_exit). It is not a trap: a zero code is a successful exit.
+type ExitError struct {
+	Code uint32
+}
+
+// Error implements the error interface.
+func (e *ExitError) Error() string { return fmt.Sprintf("module exited with code %d", e.Code) }

@@ -1,0 +1,128 @@
+package wasm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestU32RoundTrip(t *testing.T) {
+	cases := []uint32{0, 1, 127, 128, 300, 16384, math.MaxUint32, math.MaxUint32 - 1}
+	for _, v := range cases {
+		enc := appendU32(nil, v)
+		got, n, err := readU32(enc)
+		if err != nil || got != v || n != len(enc) {
+			t.Fatalf("roundtrip %d: got %d (n=%d, err=%v)", v, got, n, err)
+		}
+	}
+}
+
+func TestS32RoundTrip(t *testing.T) {
+	cases := []int32{0, 1, -1, 63, 64, -64, -65, 127, 128, math.MaxInt32, math.MinInt32}
+	for _, v := range cases {
+		enc := appendS32(nil, v)
+		got, n, err := readS32(enc)
+		if err != nil || got != v || n != len(enc) {
+			t.Fatalf("roundtrip %d: got %d (n=%d, err=%v)", v, got, n, err)
+		}
+	}
+}
+
+func TestS64RoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 1 << 40, -(1 << 40)}
+	for _, v := range cases {
+		enc := appendS64(nil, v)
+		got, n, err := readS64(enc)
+		if err != nil || got != v || n != len(enc) {
+			t.Fatalf("roundtrip %d: got %d (n=%d, err=%v)", v, got, n, err)
+		}
+	}
+}
+
+// Property: every uint32 round-trips through unsigned LEB128.
+func TestU32RoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		got, n, err := readU32(appendU32(nil, v))
+		return err == nil && got == v && n >= 1 && n <= 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every int32/int64 round-trips through signed LEB128.
+func TestSignedRoundTripProperty(t *testing.T) {
+	f32 := func(v int32) bool {
+		got, _, err := readS32(appendS32(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f32, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	f64 := func(v int64) bool {
+		got, _, err := readS64(appendS64(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f64, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLEBErrors(t *testing.T) {
+	// Truncated.
+	if _, _, err := readU32([]byte{0x80}); err == nil {
+		t.Error("truncated u32 accepted")
+	}
+	if _, _, err := readS64([]byte{0xff, 0xff}); err == nil {
+		t.Error("truncated s64 accepted")
+	}
+	// Too long (6 continuation bytes for u32).
+	if _, _, err := readU32([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x01}); err == nil {
+		t.Error("overlong u32 accepted")
+	}
+	// Out of range: 2^32 needs bit 4 of byte 5.
+	if _, _, err := readU32([]byte{0x80, 0x80, 0x80, 0x80, 0x10}); err == nil {
+		t.Error("out-of-range u32 accepted")
+	}
+	// Non-canonical sign extension in final s32 byte.
+	if _, _, err := readS32([]byte{0x80, 0x80, 0x80, 0x80, 0x40}); err == nil {
+		t.Error("bad sign extension accepted")
+	}
+	// Empty input.
+	if _, _, err := readU32(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestS33BlockTypes(t *testing.T) {
+	// 0x40 encodes the empty block type (-64).
+	v, n, err := readS33([]byte{0x40})
+	if err != nil || v != BlockTypeEmpty || n != 1 {
+		t.Fatalf("0x40: v=%d n=%d err=%v", v, n, err)
+	}
+	// 0x7f encodes i32 (-1).
+	v, _, err = readS33([]byte{0x7f})
+	if err != nil || v != BlockTypeOf(ValueTypeI32) {
+		t.Fatalf("0x7f: v=%d err=%v", v, err)
+	}
+	// Type indices are non-negative.
+	v, _, err = readS33([]byte{0x05})
+	if err != nil || v != 5 {
+		t.Fatalf("0x05: v=%d err=%v", v, err)
+	}
+}
+
+func TestBlockTypeOfAllValueTypes(t *testing.T) {
+	for _, vt := range []ValueType{ValueTypeI32, ValueTypeI64, ValueTypeF32, ValueTypeF64} {
+		bt := BlockTypeOf(vt)
+		if bt >= 0 || bt == BlockTypeEmpty {
+			t.Errorf("BlockTypeOf(%s) = %d", vt, bt)
+		}
+		// Encoding then decoding via s33 yields the same value.
+		enc := appendS64(nil, bt)
+		dec, _, err := readS33(enc)
+		if err != nil || dec != bt {
+			t.Errorf("s33 roundtrip of %s: %d -> %d (%v)", vt, bt, dec, err)
+		}
+	}
+}

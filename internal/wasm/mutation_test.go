@@ -1,0 +1,90 @@
+package wasm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds thousands of random mutations of a valid
+// module (plus pure-random byte strings) to the decoder and validator; both
+// must return errors gracefully, never panic, and never loop.
+func TestDecodeNeverPanics(t *testing.T) {
+	base := Encode(minimalModule())
+	rng := rand.New(rand.NewSource(42))
+
+	try := func(b []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %x: %v", b, r)
+			}
+		}()
+		m, err := Decode(b)
+		if err == nil {
+			// Valid decode must also survive validation.
+			_ = Validate(m)
+			// And re-encoding must not panic either.
+			_ = Encode(m)
+		}
+	}
+
+	// Single-byte mutations at every offset.
+	for off := 0; off < len(base); off++ {
+		for _, delta := range []byte{1, 0x7f, 0x80, 0xff} {
+			mut := append([]byte(nil), base...)
+			mut[off] ^= delta
+			try(mut)
+		}
+	}
+	// Truncations.
+	for cut := 0; cut <= len(base); cut++ {
+		try(base[:cut])
+	}
+	// Random multi-byte mutations.
+	for i := 0; i < 3000; i++ {
+		mut := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			mut[rng.Intn(len(mut))] = byte(rng.Uint32())
+		}
+		try(mut)
+	}
+	// Pure random inputs.
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		try(b)
+	}
+	// Random bytes with a valid header.
+	for i := 0; i < 2000; i++ {
+		b := append([]byte("\x00asm\x01\x00\x00\x00"), make([]byte, rng.Intn(64))...)
+		rng.Read(b[8:])
+		try(b)
+	}
+}
+
+// TestDecodeExtendedRandomSections builds structurally plausible random
+// sections (valid id + length framing, random payload) and asserts graceful
+// handling.
+func TestDecodeExtendedRandomSections(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		b := []byte("\x00asm\x01\x00\x00\x00")
+		nSections := 1 + rng.Intn(4)
+		for s := 0; s < nSections; s++ {
+			payload := make([]byte, rng.Intn(24))
+			rng.Read(payload)
+			b = append(b, byte(rng.Intn(13)))
+			b = appendU32(b, uint32(len(payload)))
+			b = append(b, payload...)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %x: %v", b, r)
+				}
+			}()
+			if m, err := Decode(b); err == nil {
+				_ = Validate(m)
+			}
+		}()
+	}
+}

@@ -1,0 +1,113 @@
+package wasm
+
+// Support for the "name" custom section (function names), used to improve
+// diagnostics: tooling like wasm-ld and wat2wasm emit it, and engines print
+// the names in traps and profiles.
+
+// NameMap holds decoded entries from the "name" custom section.
+type NameMap struct {
+	// ModuleName is the module-level name, if present.
+	ModuleName string
+	// FuncNames maps function index -> name.
+	FuncNames map[uint32]string
+}
+
+// Name-section subsection ids.
+const (
+	nameSubModule = 0
+	nameSubFuncs  = 1
+)
+
+// DecodeNameSection parses the "name" custom section from the module's
+// custom sections. It returns an empty map when the section is absent, and
+// fails softly (partial data, nil error) on malformed subsections, matching
+// engine behaviour: a broken name section must not reject the module.
+func DecodeNameSection(m *Module) NameMap {
+	nm := NameMap{FuncNames: make(map[uint32]string)}
+	for _, cs := range m.Customs {
+		if cs.Name != "name" {
+			continue
+		}
+		r := &reader{buf: cs.Data}
+		for r.remaining() > 0 {
+			id, err := r.byte()
+			if err != nil {
+				return nm
+			}
+			size, err := r.u32()
+			if err != nil {
+				return nm
+			}
+			payload, err := r.bytes(int(size))
+			if err != nil {
+				return nm
+			}
+			pr := &reader{buf: payload}
+			switch id {
+			case nameSubModule:
+				if name, err := pr.name(); err == nil {
+					nm.ModuleName = name
+				}
+			case nameSubFuncs:
+				n, err := pr.u32()
+				if err != nil {
+					continue
+				}
+				for i := uint32(0); i < n; i++ {
+					idx, err := pr.u32()
+					if err != nil {
+						break
+					}
+					name, err := pr.name()
+					if err != nil {
+						break
+					}
+					nm.FuncNames[idx] = name
+				}
+			}
+		}
+	}
+	return nm
+}
+
+// EncodeNameSection builds a "name" custom section from the map, appended
+// to the module's custom sections (replacing any existing one).
+func EncodeNameSection(m *Module, nm NameMap) {
+	var data []byte
+	if nm.ModuleName != "" {
+		var sub []byte
+		sub = appendName(sub, nm.ModuleName)
+		data = append(data, nameSubModule)
+		data = appendU32(data, uint32(len(sub)))
+		data = append(data, sub...)
+	}
+	if len(nm.FuncNames) > 0 {
+		// Indices must be sorted for a canonical encoding.
+		idxs := make([]uint32, 0, len(nm.FuncNames))
+		for i := range nm.FuncNames {
+			idxs = append(idxs, i)
+		}
+		for i := 1; i < len(idxs); i++ {
+			for j := i; j > 0 && idxs[j-1] > idxs[j]; j-- {
+				idxs[j-1], idxs[j] = idxs[j], idxs[j-1]
+			}
+		}
+		var sub []byte
+		sub = appendU32(sub, uint32(len(idxs)))
+		for _, i := range idxs {
+			sub = appendU32(sub, i)
+			sub = appendName(sub, nm.FuncNames[i])
+		}
+		data = append(data, nameSubFuncs)
+		data = appendU32(data, uint32(len(sub)))
+		data = append(data, sub...)
+	}
+	// Replace an existing "name" section.
+	customs := m.Customs[:0]
+	for _, cs := range m.Customs {
+		if cs.Name != "name" {
+			customs = append(customs, cs)
+		}
+	}
+	m.Customs = append(customs, CustomSection{Name: "name", Data: data})
+}

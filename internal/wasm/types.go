@@ -1,0 +1,278 @@
+// Package wasm implements the WebAssembly binary format: the module data
+// model, a binary decoder and encoder, and a full validator for the MVP
+// feature set plus the sign-extension and non-trapping float-to-int
+// conversion proposals. Execution lives in the exec subpackage.
+package wasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValueType is a WebAssembly value type.
+type ValueType byte
+
+// Value types as encoded in the binary format.
+const (
+	ValueTypeI32 ValueType = 0x7f
+	ValueTypeI64 ValueType = 0x7e
+	ValueTypeF32 ValueType = 0x7d
+	ValueTypeF64 ValueType = 0x7c
+	// ValueTypeFuncref is the reference type used in tables (MVP: the only
+	// element type).
+	ValueTypeFuncref ValueType = 0x70
+)
+
+// String returns the textual-format name of the value type.
+func (v ValueType) String() string {
+	switch v {
+	case ValueTypeI32:
+		return "i32"
+	case ValueTypeI64:
+		return "i64"
+	case ValueTypeF32:
+		return "f32"
+	case ValueTypeF64:
+		return "f64"
+	case ValueTypeFuncref:
+		return "funcref"
+	default:
+		return fmt.Sprintf("valuetype(0x%x)", byte(v))
+	}
+}
+
+// IsNumeric reports whether v is one of the four numeric value types.
+func (v ValueType) IsNumeric() bool {
+	switch v {
+	case ValueTypeI32, ValueTypeI64, ValueTypeF32, ValueTypeF64:
+		return true
+	}
+	return false
+}
+
+// FuncType describes the signature of a function: parameter and result types.
+type FuncType struct {
+	Params  []ValueType
+	Results []ValueType
+}
+
+// Equal reports whether two function types are structurally identical.
+func (t FuncType) Equal(o FuncType) bool {
+	if len(t.Params) != len(o.Params) || len(t.Results) != len(o.Results) {
+		return false
+	}
+	for i, p := range t.Params {
+		if o.Params[i] != p {
+			return false
+		}
+	}
+	for i, r := range t.Results {
+		if o.Results[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the signature in WAT-like notation, e.g. "(i32, i32) -> (i32)".
+func (t FuncType) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, p := range t.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(") -> (")
+	for i, r := range t.Results {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(r.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Limits bound the size of a memory or table. Max is valid only if HasMax.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// Valid reports whether the limits are well-formed under the given hard cap.
+func (l Limits) Valid(cap uint32) bool {
+	if l.Min > cap {
+		return false
+	}
+	if l.HasMax && (l.Max > cap || l.Max < l.Min) {
+		return false
+	}
+	return true
+}
+
+// MemoryType describes a linear memory. MVP memories hold at most 65536
+// 64 KiB pages (4 GiB).
+type MemoryType struct {
+	Limits Limits
+}
+
+// TableType describes a table; the MVP element type is always funcref.
+type TableType struct {
+	ElemType ValueType
+	Limits   Limits
+}
+
+// GlobalType describes a global variable.
+type GlobalType struct {
+	ValType ValueType
+	Mutable bool
+}
+
+// External kinds used by import and export entries.
+type ExternalKind byte
+
+// Import/export descriptor kinds.
+const (
+	ExternalFunc   ExternalKind = 0
+	ExternalTable  ExternalKind = 1
+	ExternalMemory ExternalKind = 2
+	ExternalGlobal ExternalKind = 3
+)
+
+// String returns the textual name of the external kind.
+func (k ExternalKind) String() string {
+	switch k {
+	case ExternalFunc:
+		return "func"
+	case ExternalTable:
+		return "table"
+	case ExternalMemory:
+		return "memory"
+	case ExternalGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("externalkind(%d)", byte(k))
+	}
+}
+
+// Import is a single import entry.
+type Import struct {
+	Module string
+	Name   string
+	Kind   ExternalKind
+
+	// Exactly one of the following is meaningful, selected by Kind.
+	Func   uint32 // type index
+	Table  TableType
+	Memory MemoryType
+	Global GlobalType
+}
+
+// Export is a single export entry.
+type Export struct {
+	Name  string
+	Kind  ExternalKind
+	Index uint32
+}
+
+// Global is a module-defined global with its constant initializer.
+type Global struct {
+	Type GlobalType
+	Init ConstExpr
+}
+
+// ConstExpr is a constant initializer expression (MVP: one instruction).
+type ConstExpr struct {
+	Op opcodeKind // which constant form
+	// Value holds the raw bits for const forms; for GlobalGet it is the index.
+	Value uint64
+}
+
+type opcodeKind byte
+
+// Constant expression forms.
+const (
+	ConstI32 opcodeKind = iota
+	ConstI64
+	ConstF32
+	ConstF64
+	ConstGlobalGet
+)
+
+// I32Const builds an i32 constant expression.
+func I32Const(v int32) ConstExpr { return ConstExpr{Op: ConstI32, Value: uint64(uint32(v))} }
+
+// I64Const builds an i64 constant expression.
+func I64Const(v int64) ConstExpr { return ConstExpr{Op: ConstI64, Value: uint64(v)} }
+
+// GlobalGet builds a global.get constant expression.
+func GlobalGet(idx uint32) ConstExpr { return ConstExpr{Op: ConstGlobalGet, Value: uint64(idx)} }
+
+// Type returns the value type produced by the expression; for global.get the
+// type is resolved against the importedGlobals list.
+func (c ConstExpr) Type(importedGlobals []GlobalType) (ValueType, bool) {
+	switch c.Op {
+	case ConstI32:
+		return ValueTypeI32, true
+	case ConstI64:
+		return ValueTypeI64, true
+	case ConstF32:
+		return ValueTypeF32, true
+	case ConstF64:
+		return ValueTypeF64, true
+	case ConstGlobalGet:
+		idx := int(c.Value)
+		if idx >= len(importedGlobals) {
+			return 0, false
+		}
+		return importedGlobals[idx].ValType, true
+	}
+	return 0, false
+}
+
+// ElementSegment initializes a range of a table with function indices.
+type ElementSegment struct {
+	TableIndex uint32
+	Offset     ConstExpr
+	Indices    []uint32
+}
+
+// DataSegment initializes a range of a memory with bytes.
+type DataSegment struct {
+	MemoryIndex uint32
+	Offset      ConstExpr
+	Data        []byte
+}
+
+// Code is the body of a module-defined function.
+type Code struct {
+	// Locals lists the declared local variables (after parameters), expanded
+	// one entry per local.
+	Locals []ValueType
+	// Body is the raw instruction stream, ending with the 0x0b end opcode.
+	Body []byte
+}
+
+// CustomSection preserves the name and payload of a custom section.
+type CustomSection struct {
+	Name string
+	Data []byte
+}
+
+// Hard limits from the embedding. These match common engine defaults.
+const (
+	// MaxMemoryPages is the number of 64 KiB pages addressable in 32-bit wasm.
+	MaxMemoryPages = 65536
+	// PageSize is the WebAssembly linear-memory page size.
+	PageSize = 65536
+	// MaxFunctionLocals bounds the number of locals per function.
+	MaxFunctionLocals = 50000
+)
+
+// BlockTypeOf returns the s33 block-type encoding of a single result value
+// type (e.g. i32 encodes as -1). Use BlockTypeEmpty for no result and a
+// non-negative type index for multi-value signatures.
+func BlockTypeOf(vt ValueType) int64 { return int64(int8(byte(vt) | 0x80)) }

@@ -1,0 +1,220 @@
+package wat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wasmcontainers/internal/wasm/exec"
+)
+
+// expr is a random i32 expression tree evaluated both by a Go reference
+// evaluator and by compiling its folded-WAT rendering and running it on the
+// interpreter. Division-free to avoid traps.
+type expr struct {
+	op   string // "const", "param", "add", "sub", "mul", "and", "or", "xor", "shl", "shrU"
+	val  int32
+	l, r *expr
+}
+
+func genExpr(rng *rand.Rand, depth int) *expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return &expr{op: "const", val: int32(rng.Uint32())}
+		}
+		return &expr{op: "param"}
+	}
+	ops := []string{"add", "sub", "mul", "and", "or", "xor", "shl", "shrU"}
+	return &expr{
+		op: ops[rng.Intn(len(ops))],
+		l:  genExpr(rng, depth-1),
+		r:  genExpr(rng, depth-1),
+	}
+}
+
+func (e *expr) eval(param int32) int32 {
+	switch e.op {
+	case "const":
+		return e.val
+	case "param":
+		return param
+	}
+	l, r := e.l.eval(param), e.r.eval(param)
+	switch e.op {
+	case "add":
+		return l + r
+	case "sub":
+		return l - r
+	case "mul":
+		return l * r
+	case "and":
+		return l & r
+	case "or":
+		return l | r
+	case "xor":
+		return l ^ r
+	case "shl":
+		return l << (uint32(r) & 31)
+	case "shrU":
+		return int32(uint32(l) >> (uint32(r) & 31))
+	}
+	panic("bad op")
+}
+
+func (e *expr) wat() string {
+	switch e.op {
+	case "const":
+		return fmt.Sprintf("(i32.const %d)", e.val)
+	case "param":
+		return "(local.get 0)"
+	}
+	mnemonic := map[string]string{
+		"add": "i32.add", "sub": "i32.sub", "mul": "i32.mul",
+		"and": "i32.and", "or": "i32.or", "xor": "i32.xor",
+		"shl": "i32.shl", "shrU": "i32.shr_u",
+	}[e.op]
+	return fmt.Sprintf("(%s %s %s)", mnemonic, e.l.wat(), e.r.wat())
+}
+
+// TestPropertyExpressionTrees compiles 150 random expression trees through
+// the full WAT -> binary -> validate -> interpret pipeline and compares the
+// result against direct Go evaluation at several inputs.
+func TestPropertyExpressionTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := []int32{0, 1, -1, 7, -12345, 1 << 30}
+	for i := 0; i < 150; i++ {
+		e := genExpr(rng, 4)
+		src := fmt.Sprintf(`(module (func (export "f") (param i32) (result i32) %s))`, e.wat())
+		m, err := Compile(src)
+		if err != nil {
+			t.Fatalf("tree %d: compile: %v\n%s", i, err, src)
+		}
+		s := exec.NewStore(exec.Config{})
+		inst, err := s.Instantiate(m, "t")
+		if err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+		for _, in := range inputs {
+			res, err := inst.Call("f", exec.I32(in))
+			if err != nil {
+				t.Fatalf("tree %d at %d: %v", i, in, err)
+			}
+			if got, want := exec.AsI32(res[0]), e.eval(in); got != want {
+				t.Fatalf("tree %d at %d: interpreter %d != reference %d\n%s", i, in, got, want, src)
+			}
+		}
+	}
+}
+
+// TestPropertyDeepNesting stresses the compiler's control stack with deeply
+// nested blocks.
+func TestPropertyDeepNesting(t *testing.T) {
+	const depth = 200
+	var sb strings.Builder
+	sb.WriteString(`(module (func (export "f") (result i32) `)
+	for i := 0; i < depth; i++ {
+		sb.WriteString("(block (result i32) ")
+	}
+	sb.WriteString("(i32.const 99)")
+	for i := 0; i < depth; i++ {
+		sb.WriteString(")")
+	}
+	sb.WriteString("))")
+	m, err := Compile(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := exec.NewStore(exec.Config{})
+	inst, err := s.Instantiate(m, "deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.AsI32(res[0]) != 99 {
+		t.Fatalf("deep nesting = %d", exec.AsI32(res[0]))
+	}
+}
+
+// TestPropertyBranchDepths drives br through every depth of a nested block
+// stack.
+func TestPropertyBranchDepths(t *testing.T) {
+	const levels = 12
+	for target := 0; target < levels; target++ {
+		var sb strings.Builder
+		sb.WriteString(`(module (func (export "f") (result i32) `)
+		for i := 0; i < levels; i++ {
+			sb.WriteString(fmt.Sprintf("(block $b%d ", i))
+		}
+		// Branch to the chosen label; labels count inside-out.
+		sb.WriteString(fmt.Sprintf("(br $b%d)", levels-1-target))
+		for i := 0; i < levels; i++ {
+			sb.WriteString(")")
+		}
+		sb.WriteString("(i32.const 7)))")
+		m, err := Compile(sb.String())
+		if err != nil {
+			t.Fatalf("depth %d: %v", target, err)
+		}
+		s := exec.NewStore(exec.Config{})
+		inst, err := s.Instantiate(m, "br")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := inst.Call("f")
+		if err != nil {
+			t.Fatalf("depth %d: %v", target, err)
+		}
+		if exec.AsI32(res[0]) != 7 {
+			t.Fatalf("depth %d = %d", target, exec.AsI32(res[0]))
+		}
+	}
+}
+
+// TestPropertyLoopIterations validates loop compilation across a range of
+// trip counts, including zero.
+func TestPropertyLoopIterations(t *testing.T) {
+	src := `
+(module
+  (func (export "triangle") (param $n i32) (result i32) (local $acc i32)
+    block $out
+      loop $top
+        local.get $n
+        i32.eqz
+        br_if $out
+        local.get $acc
+        local.get $n
+        i32.add
+        local.set $acc
+        local.get $n
+        i32.const 1
+        i32.sub
+        local.set $n
+        br $top
+      end
+    end
+    local.get $acc))
+`
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := exec.NewStore(exec.Config{})
+	inst, err := s.Instantiate(m, "loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int32{0, 1, 2, 10, 100, 1000} {
+		res, err := inst.Call("triangle", exec.I32(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n * (n + 1) / 2
+		if got := exec.AsI32(res[0]); got != want {
+			t.Fatalf("triangle(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
