@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench figures results examples clean
+.PHONY: all build vet test race bench figures results examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,10 @@ vet:
 test:
 	$(GO) test ./...
 
+# Concurrency check: the serve warm pool is hammered from many goroutines.
+race:
+	$(GO) test -race ./...
+
 # Run every benchmark once (tables, figures, ablations, microbenches).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
@@ -23,15 +27,16 @@ bench:
 figures:
 	$(GO) run ./cmd/continuum -exp all
 
-# Regenerate the committed results/ directory (txt + csv per experiment).
+# Regenerate the committed results/ directory (txt + csv + json per experiment).
 results:
 	$(GO) run ./cmd/continuum -exp all -outdir results > /dev/null
 
 examples:
-	$(GO) run ./examples/quickstart
-	$(GO) run ./examples/standalone-wasm
-	$(GO) run ./examples/hybrid-deployment
 	$(GO) run ./examples/density-sweep
+	$(GO) run ./examples/hybrid-deployment
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/serving-throughput
+	$(GO) run ./examples/standalone-wasm
 	$(GO) run ./examples/startup-crossover
 
 clean:

@@ -286,3 +286,6 @@ func TestTableFormatting(t *testing.T) {
 
 // BenchmarkAblationMultiTenant runs the mixed-tenant future-work scenario.
 func BenchmarkAblationMultiTenant(b *testing.B) { runExperiment(b, "ablation-multitenant") }
+
+// BenchmarkServing runs the warm-pool gateway sweep (pool size x rate).
+func BenchmarkServing(b *testing.B) { runExperiment(b, "serve") }

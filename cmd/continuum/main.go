@@ -23,7 +23,8 @@ func main() {
 		expID  = flag.String("exp", "", "experiment id (table1, table2, fig3..fig10, ablation-*, or 'all')")
 		list   = flag.Bool("list", false, "list available experiments")
 		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		outDir = flag.String("outdir", "", "also write each result to <outdir>/<id>.{txt,csv}")
+		jsonF  = flag.Bool("json", false, "emit JSON instead of aligned text")
+		outDir = flag.String("outdir", "", "also write each result to <outdir>/<id>.{txt,csv,json}")
 	)
 	flag.Parse()
 
@@ -44,9 +45,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case *csv:
 			fmt.Print(table.CSV())
-		} else {
+		case *jsonF:
+			fmt.Print(table.JSON())
+		default:
 			fmt.Println(table.Format())
 		}
 		if *outDir != "" {
@@ -55,13 +59,13 @@ func main() {
 				os.Exit(1)
 			}
 			base := filepath.Join(*outDir, e.ID)
-			if err := os.WriteFile(base+".txt", []byte(table.Format()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := os.WriteFile(base+".csv", []byte(table.CSV()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			for ext, render := range map[string]func() string{
+				".txt": table.Format, ".csv": table.CSV, ".json": table.JSON,
+			} {
+				if err := os.WriteFile(base+ext, []byte(render()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
 			}
 		}
 	}

@@ -1,0 +1,54 @@
+// Serving throughput: what a warm instance pool buys a Wasm function
+// gateway. A standalone Wasm runtime pays its full embed cost (seconds of
+// simulated CPU) on every cold instantiation, but a pooled instance answers
+// in the engine's warm-invoke overhead plus guest execution — milliseconds.
+// This example sweeps pool size for one engine and shows the latency cliff
+// between pool exhaustion and warm serving, plus what the standing pool
+// costs in kubelet-visible memory (the paper's density currency).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wasmcontainers/internal/bench"
+	"wasmcontainers/internal/engine"
+)
+
+func main() {
+	const (
+		rate   = 200.0
+		window = 2 * time.Second
+	)
+	sizes := []int{0, 1, 2, 4, 8, 16}
+
+	fmt.Printf("engine wamr, open-loop poisson %gr/s for %s, request-handler(%d)\n\n", rate, window, 500)
+	fmt.Printf("%5s  %8s  %6s  %8s  %10s  %10s  %10s\n",
+		"pool", "offered", "done", "rejected", "p50 (ms)", "p99 (ms)", "pool (MiB)")
+	var coldP50, warmP50 float64
+	for _, size := range sizes {
+		m, err := bench.MeasureServing(engine.WAMR, size, rate, window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := m.Report
+		fmt.Printf("%5d  %8d  %6d  %8d  %10.3f  %10.3f  %10.2f\n",
+			size, rep.Offered, rep.Dispatcher.Completed,
+			rep.Dispatcher.Rejected+rep.Dispatcher.Expired,
+			rep.Latency.P50*1e3, rep.Latency.P99*1e3, m.PoolKubeletMiB)
+		if size == 0 && rep.ColdLatency.N > 0 {
+			coldP50 = rep.ColdLatency.P50
+		}
+		if size == sizes[len(sizes)-1] && rep.WarmLatency.N > 0 {
+			warmP50 = rep.WarmLatency.P50
+		}
+	}
+
+	if coldP50 > 0 && warmP50 > 0 {
+		fmt.Printf("\nwarm p50 %.3f ms vs cold p50 %.0f ms: %.0fx faster, bought with\n",
+			warmP50*1e3, coldP50*1e3, coldP50/warmP50)
+		fmt.Println("a standing pool whose memory the kubelet sees like any pod's —")
+		fmt.Println("the serving-side version of the paper's memory/density trade-off.")
+	}
+}

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -156,6 +157,16 @@ func (t *Table) CSV() string {
 		writeRow(row)
 	}
 	return sb.String()
+}
+
+// JSON renders the table as indented JSON (machine-readable counterpart of
+// Format/CSV; written as <id>.json by cmd/continuum).
+func (t *Table) JSON() string {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b) + "\n"
 }
 
 func pad(s string, w int) string {

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-density", Description: "Ablation: per-container overhead from 10 to 500 pods", Run: AblationDensity},
 		{ID: "ablation-multitenant", Description: "Ablation: mixed-tenant node (wasm + python, future work)", Run: AblationMultiTenant},
 		{ID: "startup-distribution", Description: "Per-pod start-time distribution at density 100", Run: StartupDistribution},
+		{ID: "serve", Description: "Warm-pool gateway: latency vs pool size and arrival rate", Run: Serving},
 	}
 }
 

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/engine"
+)
+
+// The serving acceptance claim: for every engine profile, warm p50 latency
+// is at least 10x below cold p50, and standing pool memory is visible to
+// the kubelet/metrics-server vantage.
+func TestServingWarmBeatsColdTenXPerEngine(t *testing.T) {
+	const window = 500 * time.Millisecond
+	for _, p := range engine.Profiles() {
+		warm, err := MeasureServing(p, 2, 50, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := MeasureServing(p, 0, 20, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := warm.Report.WarmLatency
+		c := cold.Report.ColdLatency
+		if w.N == 0 || c.N == 0 {
+			t.Fatalf("%s: missing samples (warm n=%d, cold n=%d)", p.Name, w.N, c.N)
+		}
+		if w.P50*10 > c.P50 {
+			t.Errorf("%s: warm p50 %.6fs not 10x under cold p50 %.6fs", p.Name, w.P50, c.P50)
+		}
+		if warm.PoolKubeletMiB <= 0 {
+			t.Errorf("%s: pool memory invisible to kubelet vantage", p.Name)
+		}
+		if cold.PoolKubeletMiB != 0 {
+			t.Errorf("%s: cold-only pool charges %.2f MiB standby memory", p.Name, cold.PoolKubeletMiB)
+		}
+	}
+}
+
+func TestServingMeasurementDeterministic(t *testing.T) {
+	a, err := MeasureServing(engine.WAMR, 2, 80, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureServing(engine.WAMR, 2, 80, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("serving measurement not reproducible:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTableJSONRoundTrips(t *testing.T) {
+	tab := &Table{
+		Title:   "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"n"},
+	}
+	j := tab.JSON()
+	for _, want := range []string{`"Title": "t"`, `"Columns"`, `"Rows"`, `"Notes"`} {
+		if !strings.Contains(j, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, j)
+		}
+	}
+	if !strings.HasSuffix(j, "\n") {
+		t.Fatal("JSON output not newline-terminated")
+	}
+}

@@ -82,6 +82,16 @@ type Profile struct {
 	// NsPerInstruction converts really-executed guest instructions into
 	// simulated CPU time (interpreters are slower per instruction than JIT).
 	NsPerInstruction float64
+
+	// Serving model (warm instance pools inside a live gateway process).
+
+	// WarmInstanceBytes is the engine-side state one pre-instantiated,
+	// pooled instance costs beyond the guest's real linear memory (instance
+	// structs, per-instance JIT metadata, pooling-allocator slot overhead).
+	WarmInstanceBytes int64
+	// WarmInvokeOverhead is the per-request cost of dispatching into an
+	// already-instantiated instance (trampoline entry, argument marshalling).
+	WarmInvokeOverhead time.Duration
 }
 
 // The four engine profiles with versions from the paper's Table I.
@@ -90,73 +100,81 @@ var (
 	// per-instance state, shipped as a small shared library.
 	WAMR = Profile{
 		Name: "wamr", Version: "2.1.0", Mode: ModeInterpreter,
-		EmbedPrivateBytes: 3727 * kib,
-		ShimPrivateBytes:  4096 * kib, // no official runwasi shim; used by ablations only
-		SharedLibName:     "libiwasm.so",
-		SharedLibBytes:    1536 * kib,
-		EmbedFixedDelay:   70 * time.Millisecond,
-		EmbedCPUWork:      2670 * time.Millisecond,
-		ShimFixedDelay:    200 * time.Millisecond,
-		ShimCPUWork:       600 * time.Millisecond,
-		ShimTaskLockHold:  200 * time.Millisecond,
-		NsPerInstruction:  160,
+		EmbedPrivateBytes:  3727 * kib,
+		ShimPrivateBytes:   4096 * kib, // no official runwasi shim; used by ablations only
+		SharedLibName:      "libiwasm.so",
+		SharedLibBytes:     1536 * kib,
+		EmbedFixedDelay:    70 * time.Millisecond,
+		EmbedCPUWork:       2670 * time.Millisecond,
+		ShimFixedDelay:     200 * time.Millisecond,
+		ShimCPUWork:        600 * time.Millisecond,
+		ShimTaskLockHold:   200 * time.Millisecond,
+		NsPerInstruction:   160,
+		WarmInstanceBytes:  160 * kib,
+		WarmInvokeOverhead: 12 * time.Microsecond,
 	}
 
 	// Wasmtime: Cranelift JIT, large compiled artifacts and code caches,
 	// big shared library when embedded.
 	Wasmtime = Profile{
 		Name: "wasmtime", Version: "23.0.1", Mode: ModeJIT,
-		EmbedPrivateBytes: 10894 * kib,
-		ShimPrivateBytes:  4823 * kib,
-		ShimSystemBytes:   82 * kib,
-		SharedLibName:     "libwasmtime.so",
-		SharedLibBytes:    24 * mib,
-		ShimBinaryName:    "containerd-shim-wasmtime-v1",
-		ShimBinaryBytes:   4 * mib,
-		EmbedFixedDelay:   380 * time.Millisecond,
-		EmbedCPUWork:      2430 * time.Millisecond,
-		ShimFixedDelay:    180 * time.Millisecond,
-		ShimCPUWork:       500 * time.Millisecond,
-		ShimTaskLockHold:  222 * time.Millisecond,
-		NsPerInstruction:  6,
+		EmbedPrivateBytes:  10894 * kib,
+		ShimPrivateBytes:   4823 * kib,
+		ShimSystemBytes:    82 * kib,
+		SharedLibName:      "libwasmtime.so",
+		SharedLibBytes:     24 * mib,
+		ShimBinaryName:     "containerd-shim-wasmtime-v1",
+		ShimBinaryBytes:    4 * mib,
+		EmbedFixedDelay:    380 * time.Millisecond,
+		EmbedCPUWork:       2430 * time.Millisecond,
+		ShimFixedDelay:     180 * time.Millisecond,
+		ShimCPUWork:        500 * time.Millisecond,
+		ShimTaskLockHold:   222 * time.Millisecond,
+		NsPerInstruction:   6,
+		WarmInstanceBytes:  1792 * kib,
+		WarmInvokeOverhead: 3 * time.Microsecond,
 	}
 
 	// Wasmer: JIT with artifact caching; the heaviest memory footprint in
 	// both embedded and shim form.
 	Wasmer = Profile{
 		Name: "wasmer", Version: "4.3.5", Mode: ModeJIT,
-		EmbedPrivateBytes: 11918 * kib,
-		ShimPrivateBytes:  17244 * kib,
-		ShimSystemBytes:   6246 * kib,
-		SharedLibName:     "libwasmer.so",
-		SharedLibBytes:    20 * mib,
-		ShimBinaryName:    "containerd-shim-wasmer-v1",
-		ShimBinaryBytes:   5 * mib,
-		EmbedFixedDelay:   360 * time.Millisecond,
-		EmbedCPUWork:      2570 * time.Millisecond,
-		ShimFixedDelay:    1000 * time.Millisecond,
-		ShimCPUWork:       795 * time.Millisecond,
-		ShimTaskLockHold:  270 * time.Millisecond,
-		NsPerInstruction:  6,
+		EmbedPrivateBytes:  11918 * kib,
+		ShimPrivateBytes:   17244 * kib,
+		ShimSystemBytes:    6246 * kib,
+		SharedLibName:      "libwasmer.so",
+		SharedLibBytes:     20 * mib,
+		ShimBinaryName:     "containerd-shim-wasmer-v1",
+		ShimBinaryBytes:    5 * mib,
+		EmbedFixedDelay:    360 * time.Millisecond,
+		EmbedCPUWork:       2570 * time.Millisecond,
+		ShimFixedDelay:     1000 * time.Millisecond,
+		ShimCPUWork:        795 * time.Millisecond,
+		ShimTaskLockHold:   270 * time.Millisecond,
+		NsPerInstruction:   6,
+		WarmInstanceBytes:  2048 * kib,
+		WarmInvokeOverhead: 4 * time.Microsecond,
 	}
 
 	// WasmEdge: AOT-capable runtime aimed at cloud-native uses; mid-size
 	// footprint, fast shim startup at low density.
 	WasmEdge = Profile{
 		Name: "wasmedge", Version: "0.14.0", Mode: ModeAOT,
-		EmbedPrivateBytes: 8028 * kib,
-		ShimPrivateBytes:  5775 * kib,
-		ShimSystemBytes:   205 * kib,
-		SharedLibName:     "libwasmedge.so",
-		SharedLibBytes:    14 * mib,
-		ShimBinaryName:    "containerd-shim-wasmedge-v1",
-		ShimBinaryBytes:   4608 * kib,
-		EmbedFixedDelay:   360 * time.Millisecond,
-		EmbedCPUWork:      2500 * time.Millisecond,
-		ShimFixedDelay:    300 * time.Millisecond,
-		ShimCPUWork:       616 * time.Millisecond,
-		ShimTaskLockHold:  195 * time.Millisecond,
-		NsPerInstruction:  9,
+		EmbedPrivateBytes:  8028 * kib,
+		ShimPrivateBytes:   5775 * kib,
+		ShimSystemBytes:    205 * kib,
+		SharedLibName:      "libwasmedge.so",
+		SharedLibBytes:     14 * mib,
+		ShimBinaryName:     "containerd-shim-wasmedge-v1",
+		ShimBinaryBytes:    4608 * kib,
+		EmbedFixedDelay:    360 * time.Millisecond,
+		EmbedCPUWork:       2500 * time.Millisecond,
+		ShimFixedDelay:     300 * time.Millisecond,
+		ShimCPUWork:        616 * time.Millisecond,
+		ShimTaskLockHold:   195 * time.Millisecond,
+		NsPerInstruction:   9,
+		WarmInstanceBytes:  1024 * kib,
+		WarmInvokeOverhead: 6 * time.Microsecond,
 	}
 )
 
@@ -252,4 +270,90 @@ func (e *Engine) EmbedFootprint(guestMemoryBytes int64) int64 {
 // the runwasi path.
 func (e *Engine) ShimFootprint(guestMemoryBytes int64) (podBytes, systemBytes int64) {
 	return e.Profile.ShimPrivateBytes + guestMemoryBytes, e.Profile.ShimSystemBytes
+}
+
+// ColdStartCost is the simulated latency to reach a ready instance inside an
+// already-running gateway process: the embed profile's CPU work (engine init,
+// module load/compile, instantiate, warm-up) without crun's fixed API delay,
+// which a live process does not pay again. internal/serve charges this on
+// every dry-pool fallback, so the per-engine startup profiles shape serving
+// tail latency exactly as they shape the density experiments.
+func (e *Engine) ColdStartCost() time.Duration { return e.Profile.EmbedCPUWork }
+
+// Instance is a live instantiated module held for repeated invocations (the
+// serving path). Each Instance owns a private store, so distinct Instances
+// may be used from different goroutines; a single Instance must not.
+type Instance struct {
+	e     *Engine
+	store *exec.Store
+	inst  *exec.Instance
+}
+
+// Instantiate allocates a fresh store and instantiates cm in it — the same
+// real path a container start takes (import resolution, memory allocation,
+// data segments, start function). Used for both pool pre-warming and the
+// dispatcher's cold-start fallback.
+func (e *Engine) Instantiate(cm *CompiledModule) (*Instance, error) {
+	store := exec.NewStore(exec.Config{})
+	inst, err := store.Instantiate(cm.Module, "")
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.Profile.Name, err)
+	}
+	return &Instance{e: e, store: store, inst: inst}, nil
+}
+
+// InvokeResult carries one invocation's outcome and derived cost figures.
+type InvokeResult struct {
+	Values            []exec.Value
+	Instructions      uint64
+	SimulatedExecTime time.Duration
+	GuestMemoryBytes  int64
+}
+
+// Invoke calls an exported function. Execution is real; the profile converts
+// the executed instruction count into simulated CPU time.
+func (i *Instance) Invoke(export string, args ...exec.Value) (InvokeResult, error) {
+	before := i.store.InstructionCount()
+	vals, err := i.inst.Call(export, args...)
+	if err != nil {
+		return InvokeResult{}, fmt.Errorf("%s: %w", i.e.Profile.Name, err)
+	}
+	n := i.store.InstructionCount() - before
+	return InvokeResult{
+		Values:            vals,
+		Instructions:      n,
+		SimulatedExecTime: time.Duration(float64(n) * i.e.Profile.NsPerInstruction),
+		GuestMemoryBytes:  i.GuestMemoryBytes(),
+	}, nil
+}
+
+// GuestMemoryBytes is the instance's current real linear-memory size.
+func (i *Instance) GuestMemoryBytes() int64 {
+	if m := i.inst.Memory(); m != nil {
+		return int64(m.Size())
+	}
+	return 0
+}
+
+// FootprintBytes is what one live instance costs in the engine's memory
+// model: per-instance runtime state plus the real linear memory.
+func (i *Instance) FootprintBytes() int64 {
+	return i.e.Profile.WarmInstanceBytes + i.GuestMemoryBytes()
+}
+
+// MemorySnapshot copies the current linear memory; taken right after
+// instantiation it is the reset image a warm pool restores between requests.
+func (i *Instance) MemorySnapshot() []byte {
+	if m := i.inst.Memory(); m != nil {
+		return append([]byte(nil), m.Bytes()...)
+	}
+	return nil
+}
+
+// ResetMemory restores linear memory to a snapshot, releasing any pages the
+// guest grew since it was taken.
+func (i *Instance) ResetMemory(snapshot []byte) {
+	if m := i.inst.Memory(); m != nil {
+		m.Restore(snapshot)
+	}
 }

@@ -1,0 +1,62 @@
+package k8s
+
+import (
+	"fmt"
+
+	"wasmcontainers/internal/simos"
+)
+
+// WarmPoolAttachment makes an in-process warm instance pool (internal/serve)
+// visible to the cluster's memory accounting. The pool's accounted bytes are
+// mirrored into a dedicated process under the node's /kubepods cgroup
+// hierarchy, so the kubelet, the metrics-server vantage
+// (MetricsServer.TotalWorkloadBytes) and the node's free-memory vantage all
+// see pooled instances exactly like they see pod memory in the density
+// experiments.
+type WarmPoolAttachment struct {
+	node    *WorkerNode
+	proc    *simos.Process
+	charged int64
+}
+
+// AttachWarmPool spawns the gateway process that will carry the pool's
+// memory charge on this node. name distinguishes multiple pools; the process
+// lands in cgroup /kubepods/warmpool-<name>.
+func (n *WorkerNode) AttachWarmPool(name string) (*WarmPoolAttachment, error) {
+	proc, err := n.OS.Spawn("warmpool-"+name, "/kubepods/warmpool-"+name)
+	if err != nil {
+		return nil, fmt.Errorf("k8s: attach warm pool %s: %w", name, err)
+	}
+	return &WarmPoolAttachment{node: n, proc: proc}, nil
+}
+
+// Sync sets the attachment's charge to the pool's current accounted bytes,
+// page-rounded like every other mapping on the simulated node. Pass it to
+// serve.Pool.SetMemoryListener so every pool change lands in the cgroup
+// hierarchy as it happens.
+func (a *WarmPoolAttachment) Sync(bytes int64) {
+	t := simos.RoundPages(bytes)
+	switch {
+	case t > a.charged:
+		if err := a.proc.MapPrivate(t - a.charged); err != nil {
+			// Node out of memory: carry what fits; the shortfall stays
+			// uncharged, mirroring an over-committed host.
+			return
+		}
+	case t < a.charged:
+		a.proc.UnmapPrivate(a.charged - t)
+	}
+	a.charged = t
+}
+
+// ChargedBytes returns the bytes currently mapped for the pool.
+func (a *WarmPoolAttachment) ChargedBytes() int64 { return a.charged }
+
+// Process exposes the carrier process (tests and metrics).
+func (a *WarmPoolAttachment) Process() *simos.Process { return a.proc }
+
+// Detach releases the charge and exits the carrier process.
+func (a *WarmPoolAttachment) Detach() {
+	a.Sync(0)
+	a.proc.Exit()
+}

@@ -1,0 +1,89 @@
+package k8s
+
+import (
+	"testing"
+
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/serve"
+	"wasmcontainers/internal/simos"
+	"wasmcontainers/internal/workloads"
+)
+
+func TestWarmPoolMemoryIsKubeletVisible(t *testing.T) {
+	c := newTestCluster(t)
+	node := c.Nodes[0]
+	before := c.Metrics.TotalWorkloadBytes()
+	if before != 0 {
+		t.Fatalf("workload bytes before attach = %d", before)
+	}
+
+	att, err := node.AttachWarmPool("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Wasmtime)
+	bin, err := workloads.Binary("request-handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := eng.Compile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := serve.NewPool(eng, cm, serve.Config{Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.SetMemoryListener(att.Sync)
+
+	want := simos.RoundPages(pool.MemoryBytes())
+	if got := c.Metrics.TotalWorkloadBytes(); got != want {
+		t.Fatalf("metrics-server sees %d pool bytes, want %d", got, want)
+	}
+	// The free vantage sees it too: pool memory is real node memory.
+	if used := node.OS.UsedBeyondIdle(); used < want {
+		t.Fatalf("free vantage sees %d, pool holds %d", used, want)
+	}
+
+	// A cold-started extra instance shows up while leased...
+	wi, err := pool.ColdStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grownWant := simos.RoundPages(pool.MemoryBytes())
+	if grownWant <= want {
+		t.Fatalf("pool memory did not grow on cold start")
+	}
+	if got := c.Metrics.TotalWorkloadBytes(); got != grownWant {
+		t.Fatalf("metrics-server sees %d after cold start, want %d", got, grownWant)
+	}
+	// ...and is released again when the full pool discards it.
+	pool.Release(wi, 0)
+	if got := c.Metrics.TotalWorkloadBytes(); got != want {
+		t.Fatalf("metrics-server sees %d after discard, want %d", got, want)
+	}
+
+	// Detach returns the node to its pre-pool state.
+	pool.SetMemoryListener(nil)
+	att.Detach()
+	if got := c.Metrics.TotalWorkloadBytes(); got != 0 {
+		t.Fatalf("workload bytes after detach = %d", got)
+	}
+}
+
+func TestWarmPoolAttachmentPageRounding(t *testing.T) {
+	c := newTestCluster(t)
+	att, err := c.Nodes[0].AttachWarmPool("rounding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer att.Detach()
+	att.Sync(1) // one byte still occupies one page
+	if got := att.ChargedBytes(); got != simos.RoundPages(1) {
+		t.Fatalf("charged %d, want one page", got)
+	}
+	att.Sync(0)
+	if got := att.ChargedBytes(); got != 0 {
+		t.Fatalf("charged %d after sync to zero", got)
+	}
+}

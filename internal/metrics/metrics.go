@@ -19,6 +19,7 @@ type Summary struct {
 	StdDev float64
 	P50    float64
 	P95    float64
+	P99    float64
 }
 
 // Summarize computes summary statistics; it returns a zero Summary for an
@@ -51,6 +52,7 @@ func Summarize(xs []float64) Summary {
 	sort.Float64s(sorted)
 	s.P50 = percentile(sorted, 0.50)
 	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
 	return s
 }
 
@@ -88,6 +90,6 @@ func Increase(a, b float64) float64 {
 
 // String renders the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f stddev=%.3f p50=%.3f p95=%.3f",
-		s.N, s.Mean, s.Min, s.Max, s.StdDev, s.P50, s.P95)
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f stddev=%.3f p50=%.3f p95=%.3f p99=%.3f",
+		s.N, s.Mean, s.Min, s.Max, s.StdDev, s.P50, s.P95, s.P99)
 }

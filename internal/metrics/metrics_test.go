@@ -21,6 +21,10 @@ func TestSummarizeBasics(t *testing.T) {
 	if s.P50 != 4.5 {
 		t.Fatalf("p50 = %v", s.P50)
 	}
+	// pos = 0.99*7 = 6.93, interpolated between 7 and 9.
+	if math.Abs(s.P99-8.86) > 1e-9 {
+		t.Fatalf("p99 = %v", s.P99)
+	}
 }
 
 func TestSummarizeEmptyAndSingle(t *testing.T) {
@@ -28,7 +32,7 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 		t.Fatalf("empty summary = %+v", s)
 	}
 	s := Summarize([]float64{42})
-	if s.N != 1 || s.Mean != 42 || s.StdDev != 0 || s.P50 != 42 || s.P95 != 42 {
+	if s.N != 1 || s.Mean != 42 || s.StdDev != 0 || s.P50 != 42 || s.P95 != 42 || s.P99 != 42 {
 		t.Fatalf("single summary = %+v", s)
 	}
 }
@@ -63,7 +67,8 @@ func TestSummaryInvariants(t *testing.T) {
 		s := Summarize(xs)
 		const eps = 1e-6
 		return s.Mean >= s.Min-eps && s.Mean <= s.Max+eps &&
-			s.P50 >= s.Min-eps && s.P50 <= s.P95+eps && s.P95 <= s.Max+eps &&
+			s.P50 >= s.Min-eps && s.P50 <= s.P95+eps &&
+			s.P95 <= s.P99+eps && s.P99 <= s.Max+eps &&
 			s.StdDev >= 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/wasm/exec"
+)
+
+// AdmissionPolicy decides what happens to a request that arrives while the
+// dispatcher is at its concurrency limit.
+type AdmissionPolicy int
+
+const (
+	// PolicyReject turns away over-limit requests immediately (the HTTP 503
+	// of a real gateway).
+	PolicyReject AdmissionPolicy = iota
+	// PolicyQueue parks over-limit requests in a bounded FIFO queue; they
+	// are rejected only when the queue is full, and expire if they wait past
+	// QueueDeadline.
+	PolicyQueue
+)
+
+// String names the policy for experiment tables.
+func (p AdmissionPolicy) String() string {
+	if p == PolicyQueue {
+		return "queue"
+	}
+	return "reject"
+}
+
+// DispatcherConfig shapes one dispatcher.
+type DispatcherConfig struct {
+	// MaxConcurrency bounds requests in flight. 0 means 1.
+	MaxConcurrency int
+	// QueueDepth bounds the wait queue under PolicyQueue.
+	QueueDepth int
+	// Policy selects the over-limit behaviour.
+	Policy AdmissionPolicy
+	// QueueDeadline expires queued requests that wait longer than this in
+	// simulated time; 0 means no deadline.
+	QueueDeadline time.Duration
+	// Export is the guest function every request invokes.
+	Export string
+	// Arg is the argument passed to Export.
+	Arg int32
+}
+
+// DispatcherStats counts request outcomes.
+type DispatcherStats struct {
+	// Submitted counts all requests offered to the dispatcher.
+	Submitted int64
+	// Completed counts requests that ran to completion.
+	Completed int64
+	// Rejected counts requests turned away at admission (limit reached under
+	// PolicyReject, or queue full under PolicyQueue).
+	Rejected int64
+	// Expired counts queued requests dropped at dispatch time because they
+	// waited past QueueDeadline.
+	Expired int64
+	// Failed counts requests whose guest invocation errored.
+	Failed int64
+}
+
+// queuedRequest is one request parked behind the concurrency limit.
+type queuedRequest struct {
+	enqueued des.Time
+	done     func(RequestResult)
+}
+
+// RequestResult describes one finished (or refused) request.
+type RequestResult struct {
+	// Admitted is false for rejected or expired requests; the remaining
+	// fields are then zero.
+	Admitted bool
+	// Cold reports whether the request paid a cold-start fallback.
+	Cold bool
+	// Latency is the simulated end-to-end latency: queue wait + instance
+	// acquisition overhead (warm-invoke or cold-start) + guest execution.
+	Latency time.Duration
+	// QueueWait is the simulated time spent parked in the wait queue.
+	QueueWait time.Duration
+	// Err is the guest invocation error, if any.
+	Err error
+}
+
+// Dispatcher routes requests to a warm pool under a concurrency limit with
+// bounded queueing. It is single-threaded and driven by the DES engine: all
+// latency is simulated, but each admitted request really executes the guest
+// function (on the instance it was handed) to obtain its instruction count.
+type Dispatcher struct {
+	eng   *des.Engine
+	pool  *Pool
+	cfg   DispatcherConfig
+	busy  int
+	queue []queuedRequest
+	stats DispatcherStats
+}
+
+// NewDispatcher wires a dispatcher to a DES engine and a pool.
+func NewDispatcher(eng *des.Engine, pool *Pool, cfg DispatcherConfig) *Dispatcher {
+	if cfg.MaxConcurrency <= 0 {
+		cfg.MaxConcurrency = 1
+	}
+	return &Dispatcher{eng: eng, pool: pool, cfg: cfg}
+}
+
+// Submit offers one request at the current simulated time. done runs exactly
+// once — immediately for rejections, at the simulated completion time
+// otherwise. done may be nil.
+func (d *Dispatcher) Submit(done func(RequestResult)) {
+	d.stats.Submitted++
+	if done == nil {
+		done = func(RequestResult) {}
+	}
+	if d.busy >= d.cfg.MaxConcurrency {
+		if d.cfg.Policy == PolicyQueue && len(d.queue) < d.cfg.QueueDepth {
+			d.queue = append(d.queue, queuedRequest{enqueued: d.eng.Now(), done: done})
+			return
+		}
+		d.stats.Rejected++
+		done(RequestResult{})
+		return
+	}
+	d.start(done, 0)
+}
+
+// start runs one admitted request: acquire warm or fall back to cold, invoke
+// the guest for real, convert the work to simulated latency, and schedule
+// completion.
+func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration) {
+	d.busy++
+	now := d.eng.Now()
+	wi, warm := d.pool.Acquire(now)
+	var overhead time.Duration
+	if warm {
+		overhead = d.pool.Engine().Profile.WarmInvokeOverhead
+	} else {
+		var err error
+		wi, err = d.pool.ColdStart()
+		if err != nil {
+			d.busy--
+			d.stats.Failed++
+			done(RequestResult{Admitted: true, Cold: true, Err: err})
+			return
+		}
+		overhead = d.pool.Engine().ColdStartCost()
+	}
+	res, err := wi.Invoke(d.cfg.Export, exec.I32(d.cfg.Arg))
+	latency := queueWait + overhead
+	if err == nil {
+		latency += res.SimulatedExecTime
+	}
+	cold := !warm
+	d.eng.After(overhead+res.SimulatedExecTime, func() {
+		d.pool.Release(wi, d.eng.Now())
+		d.busy--
+		if err != nil {
+			d.stats.Failed++
+		} else {
+			d.stats.Completed++
+		}
+		done(RequestResult{Admitted: true, Cold: cold, Latency: latency, QueueWait: queueWait, Err: err})
+		d.drainQueue()
+	})
+}
+
+// drainQueue dispatches queued requests into freed capacity, dropping any
+// that outlived the deadline while parked.
+func (d *Dispatcher) drainQueue() {
+	now := d.eng.Now()
+	for d.busy < d.cfg.MaxConcurrency && len(d.queue) > 0 {
+		q := d.queue[0]
+		d.queue = d.queue[1:]
+		wait := time.Duration(now - q.enqueued)
+		if d.cfg.QueueDeadline > 0 && wait > d.cfg.QueueDeadline {
+			d.stats.Expired++
+			q.done(RequestResult{})
+			continue
+		}
+		d.start(q.done, wait)
+	}
+}
+
+// Pool returns the dispatcher's pool.
+func (d *Dispatcher) Pool() *Pool { return d.pool }
+
+// QueueLen returns the number of requests currently parked.
+func (d *Dispatcher) QueueLen() int { return len(d.queue) }
+
+// InFlight returns the number of requests currently executing.
+func (d *Dispatcher) InFlight() int { return d.busy }
+
+// Stats returns a snapshot of the outcome counters.
+func (d *Dispatcher) Stats() DispatcherStats { return d.stats }

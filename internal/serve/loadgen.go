@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"math/rand"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/metrics"
+)
+
+// LoadConfig shapes one open-loop load run.
+type LoadConfig struct {
+	// RatePerSec is the mean arrival rate of the Poisson process.
+	RatePerSec float64
+	// Duration is the simulated arrival window; requests arriving after it
+	// are not generated (in-flight work still drains).
+	Duration time.Duration
+	// Seed makes the arrival sequence reproducible.
+	Seed int64
+}
+
+// Report aggregates one load run.
+type Report struct {
+	// Offered is the number of generated requests.
+	Offered int64
+	// Latency summarizes end-to-end seconds over all completed requests.
+	Latency metrics.Summary
+	// WarmLatency and ColdLatency split completed requests by whether they
+	// paid a cold-start fallback.
+	WarmLatency metrics.Summary
+	ColdLatency metrics.Summary
+	// Dispatcher is the final outcome snapshot.
+	Dispatcher DispatcherStats
+	// Pool is the final pool traffic snapshot.
+	Pool Stats
+	// PoolHighWaterBytes is the peak accounted pool memory over the run.
+	PoolHighWaterBytes int64
+	// Makespan is the simulated time at which the last event settled.
+	Makespan time.Duration
+}
+
+// Run generates an open-loop Poisson arrival stream against the dispatcher
+// and drives the DES engine to completion. Arrivals are open-loop: they do
+// not wait for responses, exactly like independent clients. The same seed
+// and configuration always reproduce the same report.
+func Run(eng *des.Engine, d *Dispatcher, cfg LoadConfig) Report {
+	rep := Report{}
+	var all, warmLat, coldLat []float64
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Chained exponential gaps give a Poisson process.
+	record := func(r RequestResult) {
+		if !r.Admitted || r.Err != nil {
+			return
+		}
+		s := r.Latency.Seconds()
+		all = append(all, s)
+		if r.Cold {
+			coldLat = append(coldLat, s)
+		} else {
+			warmLat = append(warmLat, s)
+		}
+	}
+	at := des.Time(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
+	for at <= des.Time(cfg.Duration) {
+		rep.Offered++
+		eng.At(at, func() { d.Submit(record) })
+		at += des.Time(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
+	}
+	end := eng.Run()
+
+	rep.Latency = metrics.Summarize(all)
+	rep.WarmLatency = metrics.Summarize(warmLat)
+	rep.ColdLatency = metrics.Summarize(coldLat)
+	rep.Dispatcher = d.Stats()
+	rep.Pool = d.Pool().Stats()
+	rep.PoolHighWaterBytes = d.Pool().HighWater()
+	rep.Makespan = time.Duration(end)
+	return rep
+}

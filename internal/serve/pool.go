@@ -1,0 +1,276 @@
+// Package serve is an in-process Wasm function gateway: warm instance pools
+// that amortize the per-engine cold-start cost the paper measures, a request
+// dispatcher with bounded queues and admission control, and a deterministic
+// open-loop load generator driven by the discrete-event simulator. It turns
+// the repository from a system that only *boots* containers into one that
+// serves sustained request traffic, making the cold-start/warm-reuse
+// trade-off of standalone Wasm runtimes directly measurable with the same
+// engine profiles and memory accounting the density experiments use.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/wasm/exec"
+)
+
+// Config shapes one warm pool.
+type Config struct {
+	// Size is the number of warm instances the pool keeps ready. Instances
+	// created by cold-start fallbacks are recycled into the pool only while
+	// it holds fewer than Size idle instances; Size 0 therefore means
+	// cold-only serving.
+	Size int
+	// IdleTTL evicts warm instances that have sat idle this long in
+	// simulated time; 0 keeps them forever. Eviction keeps pool memory
+	// honest in the same accounting the density experiments read.
+	IdleTTL time.Duration
+}
+
+// Stats counts pool traffic.
+type Stats struct {
+	// WarmHits is the number of Acquire calls served from the pool.
+	WarmHits int64
+	// ColdStarts is the number of dry-pool fallback instantiations.
+	ColdStarts int64
+	// Recycled counts instances returned to the pool after a request.
+	Recycled int64
+	// Discarded counts instances dropped at release because the pool was
+	// already full (Size instances idle).
+	Discarded int64
+	// Evicted counts idle instances dropped by the TTL sweep.
+	Evicted int64
+}
+
+// WarmInstance is one pooled (or cold-started) live instance. It must be
+// used by one request at a time; the pool hands it out exclusively between
+// Acquire/ColdStart and Release.
+type WarmInstance struct {
+	inst *engine.Instance
+	// snapshot is the linear-memory image right after instantiation; Release
+	// restores it so no guest state survives between requests.
+	snapshot []byte
+	// footprint is the accounted bytes (engine state + base linear memory).
+	footprint int64
+	// lastUsed is the simulated release time, for TTL eviction.
+	lastUsed des.Time
+	// cold marks instances created by a dry-pool fallback.
+	cold bool
+}
+
+// Invoke calls the instance's exported function (real execution).
+func (w *WarmInstance) Invoke(export string, args ...exec.Value) (engine.InvokeResult, error) {
+	return w.inst.Invoke(export, args...)
+}
+
+// Cold reports whether this instance came from a cold-start fallback.
+func (w *WarmInstance) Cold() bool { return w.cold }
+
+// Pool pre-instantiates N instances of one module under one engine profile
+// and recycles them across requests. It is safe for concurrent use: distinct
+// warm instances own distinct stores, so many goroutines may each hold one.
+type Pool struct {
+	mu     sync.Mutex
+	eng    *engine.Engine
+	cm     *engine.CompiledModule
+	cfg    Config
+	idle   []*WarmInstance
+	leased int
+
+	memBytes  int64
+	highWater int64
+	onMem     func(int64)
+
+	stats Stats
+}
+
+// NewPool compiles nothing itself: cm must come from eng.Compile. It
+// pre-instantiates cfg.Size warm instances through the real
+// engine.Instantiate path.
+func NewPool(eng *engine.Engine, cm *engine.CompiledModule, cfg Config) (*Pool, error) {
+	p := &Pool{eng: eng, cm: cm, cfg: cfg}
+	for i := 0; i < cfg.Size; i++ {
+		wi, err := p.newInstance(false)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.idle = append(p.idle, wi)
+		p.mu.Unlock()
+	}
+	return p, nil
+}
+
+// Engine returns the pool's engine.
+func (p *Pool) Engine() *engine.Engine { return p.eng }
+
+// newInstance instantiates and accounts one instance (not yet idle).
+func (p *Pool) newInstance(cold bool) (*WarmInstance, error) {
+	inst, err := p.eng.Instantiate(p.cm)
+	if err != nil {
+		return nil, err
+	}
+	wi := &WarmInstance{
+		inst:      inst,
+		snapshot:  inst.MemorySnapshot(),
+		footprint: inst.FootprintBytes(),
+		cold:      cold,
+	}
+	p.mu.Lock()
+	p.addMemLocked(wi.footprint)
+	p.mu.Unlock()
+	return wi, nil
+}
+
+// addMemLocked adjusts accounted memory, tracks the high-water mark, and
+// notifies the listener. Callers hold p.mu; the listener must not call back
+// into the pool.
+func (p *Pool) addMemLocked(delta int64) {
+	p.memBytes += delta
+	if p.memBytes > p.highWater {
+		p.highWater = p.memBytes
+	}
+	if p.onMem != nil {
+		p.onMem(p.memBytes)
+	}
+}
+
+// SetMemoryListener registers fn to observe every accounted-memory change
+// (and immediately with the current figure). internal/k8s uses this to
+// mirror pool bytes into a node's cgroup hierarchy so pooled instances are
+// kubelet-visible. fn runs with the pool lock held and must not call back
+// into the pool.
+func (p *Pool) SetMemoryListener(fn func(int64)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onMem = fn
+	if fn != nil {
+		fn(p.memBytes)
+	}
+}
+
+// Acquire pops a warm instance, most-recently-used first (so the least
+// recently used ones age toward the TTL). It reports false when the pool is
+// dry; callers then fall back to ColdStart. now drives the lazy TTL sweep.
+func (p *Pool) Acquire(now des.Time) (*WarmInstance, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.evictIdleLocked(now)
+	if len(p.idle) == 0 {
+		return nil, false
+	}
+	wi := p.idle[len(p.idle)-1]
+	p.idle = p.idle[:len(p.idle)-1]
+	p.leased++
+	p.stats.WarmHits++
+	return wi, true
+}
+
+// ColdStart is the dry-pool fallback: a real engine.Instantiate, leased to
+// the caller like an Acquire'd instance. The caller pays the engine's
+// ColdStartCost in simulated latency.
+func (p *Pool) ColdStart() (*WarmInstance, error) {
+	wi, err := p.newInstance(true)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.leased++
+	p.stats.ColdStarts++
+	p.mu.Unlock()
+	return wi, nil
+}
+
+// Release returns a leased instance. Linear memory is restored to the
+// instantiation snapshot — no request state survives — and the instance is
+// recycled into the pool if it has room (fewer than Size idle), otherwise
+// discarded. Growth the guest performed during the request is accounted and
+// released with the reset.
+func (p *Pool) Release(wi *WarmInstance, now des.Time) {
+	grown := wi.inst.FootprintBytes() - wi.footprint
+	wi.inst.ResetMemory(wi.snapshot)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if grown > 0 {
+		// Peak accounting for memory the request grew, released by the reset.
+		p.addMemLocked(grown)
+		p.addMemLocked(-grown)
+	}
+	p.leased--
+	wi.lastUsed = now
+	if len(p.idle) < p.cfg.Size {
+		wi.cold = false
+		p.idle = append(p.idle, wi)
+		p.stats.Recycled++
+		return
+	}
+	p.stats.Discarded++
+	p.addMemLocked(-wi.footprint)
+}
+
+// EvictIdle drops idle instances whose last use is more than IdleTTL before
+// now, returning how many were evicted.
+func (p *Pool) EvictIdle(now des.Time) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictIdleLocked(now)
+}
+
+func (p *Pool) evictIdleLocked(now des.Time) int {
+	if p.cfg.IdleTTL <= 0 {
+		return 0
+	}
+	cutoff := now - des.Time(p.cfg.IdleTTL)
+	kept := p.idle[:0]
+	evicted := 0
+	for _, wi := range p.idle {
+		if wi.lastUsed < cutoff {
+			evicted++
+			p.stats.Evicted++
+			p.addMemLocked(-wi.footprint)
+			continue
+		}
+		kept = append(kept, wi)
+	}
+	p.idle = kept
+	return evicted
+}
+
+// Idle returns the number of instances currently waiting in the pool.
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// Leased returns the number of instances currently out serving requests.
+func (p *Pool) Leased() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.leased
+}
+
+// MemoryBytes is the currently accounted pool memory (idle + leased
+// instances: engine per-instance state plus real linear memory).
+func (p *Pool) MemoryBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.memBytes
+}
+
+// HighWater is the peak accounted pool memory.
+func (p *Pool) HighWater() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.highWater
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/wasm/exec"
+	"wasmcontainers/internal/workloads"
+)
+
+// newTestPool builds a pool over the request-handler workload.
+func newTestPool(t *testing.T, p engine.Profile, cfg Config) *Pool {
+	t.Helper()
+	eng := engine.New(p)
+	bin, err := workloads.Binary("request-handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := eng.Compile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(eng, cm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func TestPoolWarmReuseResetsMemory(t *testing.T) {
+	pool := newTestPool(t, engine.WAMR, Config{Size: 2})
+	if pool.Idle() != 2 {
+		t.Fatalf("idle = %d, want 2", pool.Idle())
+	}
+	// Ten sequential requests through the same pool: the handler's request
+	// counter must read 1 every time — any cross-request bleed makes it climb.
+	for i := 0; i < 10; i++ {
+		wi, ok := pool.Acquire(0)
+		if !ok {
+			t.Fatalf("request %d: pool dry", i)
+		}
+		res, err := wi.Invoke("handle", exec.I32(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := exec.AsI32(res.Values[0]); got != 1 {
+			t.Fatalf("request %d: counter = %d, state bled across requests", i, got)
+		}
+		pool.Release(wi, 0)
+	}
+	st := pool.Stats()
+	if st.WarmHits != 10 || st.Recycled != 10 || st.ColdStarts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolSizeZeroAlwaysCold(t *testing.T) {
+	pool := newTestPool(t, engine.WAMR, Config{Size: 0})
+	if _, ok := pool.Acquire(0); ok {
+		t.Fatal("size-0 pool handed out a warm instance")
+	}
+	wi, err := pool.ColdStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wi.Cold() {
+		t.Fatal("cold-start instance not marked cold")
+	}
+	pool.Release(wi, 0)
+	// Size-0 pools never retain released instances.
+	if pool.Idle() != 0 {
+		t.Fatalf("idle = %d after release into size-0 pool", pool.Idle())
+	}
+	if pool.MemoryBytes() != 0 {
+		t.Fatalf("memory = %d after discard", pool.MemoryBytes())
+	}
+	st := pool.Stats()
+	if st.ColdStarts != 1 || st.Discarded != 1 || st.Recycled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolMemoryAccounting(t *testing.T) {
+	pool := newTestPool(t, engine.Wasmtime, Config{Size: 3})
+	per := engine.Wasmtime.WarmInstanceBytes + 64*1024 // one-page guest memory
+	if got := pool.MemoryBytes(); got != 3*per {
+		t.Fatalf("pool memory = %d, want %d", got, 3*per)
+	}
+	var seen int64 = -1
+	pool.SetMemoryListener(func(b int64) { seen = b })
+	if seen != 3*per {
+		t.Fatalf("listener saw %d on registration, want %d", seen, 3*per)
+	}
+	// A cold start adds a fourth instance; discarding it (pool already full
+	// after re-filling) returns to the steady state.
+	wi, err := pool.ColdStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 4*per {
+		t.Fatalf("listener saw %d after cold start, want %d", seen, 4*per)
+	}
+	pool.Release(wi, 0) // idle=3 < Size? idle is 3 already -> discarded
+	if seen != 3*per {
+		t.Fatalf("listener saw %d after discard, want %d", seen, 3*per)
+	}
+	if pool.HighWater() != 4*per {
+		t.Fatalf("high water = %d, want %d", pool.HighWater(), 4*per)
+	}
+}
+
+func TestPoolIdleTTLEviction(t *testing.T) {
+	pool := newTestPool(t, engine.WAMR, Config{Size: 2, IdleTTL: time.Second})
+	// Instances start with lastUsed = 0; at t=2s they are both stale.
+	if n := pool.EvictIdle(des.Time(2 * time.Second)); n != 2 {
+		t.Fatalf("evicted %d, want 2", n)
+	}
+	if pool.Idle() != 0 || pool.MemoryBytes() != 0 {
+		t.Fatalf("idle=%d mem=%d after eviction", pool.Idle(), pool.MemoryBytes())
+	}
+	if st := pool.Stats(); st.Evicted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A recycled instance released at t=3s survives a sweep at t=3.5s.
+	wi, err := pool.ColdStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Release(wi, des.Time(3*time.Second))
+	if n := pool.EvictIdle(des.Time(3*time.Second + 500*time.Millisecond)); n != 0 {
+		t.Fatalf("fresh instance evicted")
+	}
+	if pool.Idle() != 1 {
+		t.Fatalf("idle = %d", pool.Idle())
+	}
+}
+
+func TestDispatcherRejectPolicy(t *testing.T) {
+	eng := des.NewEngine()
+	pool := newTestPool(t, engine.WAMR, Config{Size: 1})
+	d := NewDispatcher(eng, pool, DispatcherConfig{
+		MaxConcurrency: 1, Policy: PolicyReject, Export: "handle", Arg: 16,
+	})
+	var rejected, completed int
+	for i := 0; i < 3; i++ {
+		d.Submit(func(r RequestResult) {
+			if r.Admitted {
+				completed++
+			} else {
+				rejected++
+			}
+		})
+	}
+	eng.Run()
+	// All three arrive at t=0: one admitted, two rejected on the spot.
+	if completed != 1 || rejected != 2 {
+		t.Fatalf("completed=%d rejected=%d", completed, rejected)
+	}
+	st := d.Stats()
+	if st.Submitted != 3 || st.Completed != 1 || st.Rejected != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDispatcherQueuePolicy(t *testing.T) {
+	eng := des.NewEngine()
+	pool := newTestPool(t, engine.WAMR, Config{Size: 1})
+	d := NewDispatcher(eng, pool, DispatcherConfig{
+		MaxConcurrency: 1, QueueDepth: 2, Policy: PolicyQueue,
+		QueueDeadline: time.Minute, Export: "handle", Arg: 16,
+	})
+	var results []RequestResult
+	for i := 0; i < 4; i++ {
+		d.Submit(func(r RequestResult) { results = append(results, r) })
+	}
+	// Queue depth 2: request 4 is rejected immediately, 2 and 3 queue.
+	if d.QueueLen() != 2 {
+		t.Fatalf("queue length = %d", d.QueueLen())
+	}
+	eng.Run()
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	st := d.Stats()
+	if st.Completed != 3 || st.Rejected != 1 || st.Expired != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Queued requests waited behind the first; their wait shows in latency.
+	var waited int
+	for _, r := range results {
+		if r.Admitted && r.QueueWait > 0 {
+			waited++
+		}
+	}
+	if waited != 2 {
+		t.Fatalf("%d requests record queue wait, want 2", waited)
+	}
+}
+
+func TestDispatcherQueueDeadlineExpiry(t *testing.T) {
+	eng := des.NewEngine()
+	pool := newTestPool(t, engine.WAMR, Config{Size: 1})
+	// WAMR warm handle(500) costs ~4 ms simulated; a 1 µs deadline expires
+	// anything that had to queue at all.
+	d := NewDispatcher(eng, pool, DispatcherConfig{
+		MaxConcurrency: 1, QueueDepth: 8, Policy: PolicyQueue,
+		QueueDeadline: time.Microsecond, Export: "handle", Arg: 500,
+	})
+	var expired int
+	for i := 0; i < 3; i++ {
+		d.Submit(func(r RequestResult) {
+			if !r.Admitted {
+				expired++
+			}
+		})
+	}
+	eng.Run()
+	if st := d.Stats(); st.Completed != 1 || st.Expired != 2 || expired != 2 {
+		t.Fatalf("stats = %+v (expired callbacks: %d)", st, expired)
+	}
+}
+
+func TestDispatcherColdFallbackWhenPoolDry(t *testing.T) {
+	eng := des.NewEngine()
+	pool := newTestPool(t, engine.WAMR, Config{Size: 0})
+	d := NewDispatcher(eng, pool, DispatcherConfig{
+		MaxConcurrency: 4, Policy: PolicyReject, Export: "handle", Arg: 16,
+	})
+	var cold int
+	d.Submit(func(r RequestResult) {
+		if r.Cold {
+			cold++
+		}
+	})
+	eng.Run()
+	if cold != 1 {
+		t.Fatal("dry pool did not fall back to cold start")
+	}
+	if st := pool.Stats(); st.ColdStarts != 1 {
+		t.Fatalf("pool stats = %+v", st)
+	}
+}
+
+func TestWarmLatencyBeatsColdByTenX(t *testing.T) {
+	for _, p := range engine.Profiles() {
+		warm := measureOne(t, p, 4)
+		cold := measureOne(t, p, 0)
+		if warm.WarmLatency.N == 0 || cold.ColdLatency.N == 0 {
+			t.Fatalf("%s: no samples (warm n=%d cold n=%d)", p.Name, warm.WarmLatency.N, cold.ColdLatency.N)
+		}
+		if warm.WarmLatency.P50*10 > cold.ColdLatency.P50 {
+			t.Errorf("%s: warm p50 %.6fs not 10x under cold p50 %.6fs",
+				p.Name, warm.WarmLatency.P50, cold.ColdLatency.P50)
+		}
+	}
+}
+
+func measureOne(t *testing.T, p engine.Profile, size int) Report {
+	t.Helper()
+	eng := des.NewEngine()
+	pool := newTestPool(t, p, Config{Size: size})
+	conc := size
+	if conc == 0 {
+		conc = 4
+	}
+	d := NewDispatcher(eng, pool, DispatcherConfig{
+		MaxConcurrency: conc, QueueDepth: 64, Policy: PolicyQueue,
+		QueueDeadline: 10 * time.Second, Export: "handle", Arg: 500,
+	})
+	return Run(eng, d, LoadConfig{RatePerSec: 50, Duration: time.Second, Seed: 7})
+}
+
+func TestLoadRunDeterminism(t *testing.T) {
+	run := func() Report {
+		eng := des.NewEngine()
+		pool := newTestPool(t, engine.Wasmtime, Config{Size: 2, IdleTTL: 2 * time.Second})
+		d := NewDispatcher(eng, pool, DispatcherConfig{
+			MaxConcurrency: 2, QueueDepth: 16, Policy: PolicyQueue,
+			QueueDeadline: time.Second, Export: "handle", Arg: 200,
+		})
+		return Run(eng, d, LoadConfig{RatePerSec: 120, Duration: time.Second, Seed: 42})
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("non-deterministic load run:\n%+v\n%+v", a, b)
+	}
+	if a.Offered == 0 || a.Dispatcher.Completed == 0 {
+		t.Fatalf("degenerate run: %+v", a)
+	}
+}
+
+func TestRunReportsPoolHighWater(t *testing.T) {
+	eng := des.NewEngine()
+	pool := newTestPool(t, engine.WasmEdge, Config{Size: 2})
+	d := NewDispatcher(eng, pool, DispatcherConfig{
+		MaxConcurrency: 2, QueueDepth: 8, Policy: PolicyQueue,
+		QueueDeadline: time.Second, Export: "handle", Arg: 100,
+	})
+	rep := Run(eng, d, LoadConfig{RatePerSec: 100, Duration: 500 * time.Millisecond, Seed: 3})
+	per := engine.WasmEdge.WarmInstanceBytes + 64*1024
+	if rep.PoolHighWaterBytes < 2*per {
+		t.Fatalf("high water %d below steady-state %d", rep.PoolHighWaterBytes, 2*per)
+	}
+}

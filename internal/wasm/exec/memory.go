@@ -65,6 +65,19 @@ func (m *Memory) Grow(delta uint32) int32 {
 // Bytes exposes the backing store. Callers must not resize it.
 func (m *Memory) Bytes() []byte { return m.data }
 
+// Restore rewinds the memory to a previously captured snapshot of its
+// backing bytes: contents are copied back and the size snaps to the
+// snapshot's length, releasing pages acquired by memory.grow since the
+// snapshot. Warm instance pools use this to guarantee no guest state leaks
+// between requests. The snapshot length must be a page multiple (as
+// returned by Bytes on a live memory).
+func (m *Memory) Restore(snapshot []byte) {
+	if len(m.data) != len(snapshot) {
+		m.data = make([]byte, len(snapshot))
+	}
+	copy(m.data, snapshot)
+}
+
 // inBounds reports whether [addr, addr+n) lies within the memory. n must be
 // small (access width); the arithmetic is done in uint64 to avoid overflow.
 func (m *Memory) inBounds(addr uint32, offset uint32, n int) (uint64, bool) {

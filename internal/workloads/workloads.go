@@ -251,6 +251,50 @@ const FileIOWAT = `
     drop))
 `
 
+// RequestHandlerWAT is the serving workload: an invocable request handler
+// for the internal/serve warm-pool gateway. Each handle(n) call bumps a
+// per-instance request counter in linear memory, dirties n bytes of scratch
+// state, runs a bounded compute loop (8n iterations), and returns the
+// counter. On a freshly instantiated — or correctly reset — instance the
+// counter always reads 1, which is exactly what the pool-reuse tests assert:
+// any cross-request state bleed makes the return value climb.
+const RequestHandlerWAT = `
+(module
+  (memory (export "memory") 1)
+  ;; layout: 0: request counter, 32: compute sink, 64+: scratch dirtied per request
+  (func (export "handle") (param $n i32) (result i32)
+    (local $i i32) (local $acc i32)
+    ;; counter++
+    (i32.store (i32.const 0) (i32.add (i32.load (i32.const 0)) (i32.const 1)))
+    ;; dirty n bytes of scratch state
+    block $fdone
+      loop $fill
+        local.get $i
+        local.get $n
+        i32.ge_u
+        br_if $fdone
+        (i32.store8 (i32.add (i32.const 64) (local.get $i)) (i32.const 171))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        br $fill
+      end
+    end
+    ;; bounded per-request compute: acc = sum(i) for i in [0, 8n)
+    (local.set $i (i32.const 0))
+    block $cdone
+      loop $compute
+        local.get $i
+        (i32.mul (local.get $n) (i32.const 8))
+        i32.ge_u
+        br_if $cdone
+        (local.set $acc (i32.add (local.get $acc) (local.get $i)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        br $compute
+      end
+    end
+    (i32.store (i32.const 32) (local.get $acc))
+    (i32.load (i32.const 0))))
+`
+
 // MinimalServicePy is the Python-container equivalent of MinimalServiceWAT,
 // executed by the pylite interpreter inside runC/crun Python containers.
 const MinimalServicePy = `
@@ -275,6 +319,7 @@ var moduleSources = map[string]string{
 	"memory-bound":    MemoryBoundWAT,
 	"echo-args":       EchoArgsWAT,
 	"file-io":         FileIOWAT,
+	"request-handler": RequestHandlerWAT,
 }
 
 func ensureCompiled() error {
@@ -316,7 +361,7 @@ func Binary(name string) ([]byte, error) {
 
 // Names lists the available WAT workloads.
 func Names() []string {
-	return []string{"minimal-service", "cpu-bound", "memory-bound", "echo-args", "file-io"}
+	return []string{"minimal-service", "cpu-bound", "memory-bound", "echo-args", "file-io", "request-handler"}
 }
 
 // UnknownWorkloadError reports a request for a workload that does not exist.

@@ -91,6 +91,51 @@ func TestMemoryBoundGrowth(t *testing.T) {
 	}
 }
 
+func TestRequestHandlerCounterAndWork(t *testing.T) {
+	m, _ := Module("request-handler")
+	s := exec.NewStore(exec.Config{})
+	inst, err := s.Instantiate(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The counter climbs across calls on the same (un-reset) instance:
+	// that climb is the state bleed the serve pool's reset must erase.
+	for want := int32(1); want <= 3; want++ {
+		res, err := inst.Call("handle", exec.I32(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := exec.AsI32(res[0]); got != want {
+			t.Fatalf("handle call %d returned %d", want, got)
+		}
+	}
+	// Scratch bytes really get dirtied.
+	mem := inst.Memory()
+	b, ok := mem.Read(64, 16)
+	if !ok {
+		t.Fatal("scratch read failed")
+	}
+	for i, v := range b {
+		if v != 171 {
+			t.Fatalf("scratch[%d] = %d, want 171", i, v)
+		}
+	}
+	// Work scales with the argument (8n loop iterations).
+	before := s.InstructionCount()
+	if _, err := inst.Call("handle", exec.I32(1000)); err != nil {
+		t.Fatal(err)
+	}
+	big := s.InstructionCount() - before
+	before = s.InstructionCount()
+	if _, err := inst.Call("handle", exec.I32(10)); err != nil {
+		t.Fatal(err)
+	}
+	small := s.InstructionCount() - before
+	if big < 10*small {
+		t.Fatalf("work did not scale: n=1000 cost %d, n=10 cost %d", big, small)
+	}
+}
+
 func TestMinimalServiceIsSmall(t *testing.T) {
 	// The paper's premise: the workload must be tiny so the runtime
 	// dominates. Binary under 4 KiB, one memory page, a few thousand
