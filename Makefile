@@ -11,6 +11,8 @@ build:
 
 vet:
 	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -19,9 +21,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Run every benchmark once (tables, figures, ablations, microbenches).
+# Run every benchmark once (tables, figures, ablations, microbenches,
+# interpreter hot-loop and engine instantiate benches).
 bench:
-	$(GO) test -bench=. -benchmem -benchtime 1x .
+	$(GO) test -run NONE -bench=. -benchmem -benchtime 1x ./...
 
 # Regenerate the paper's tables and figures on stdout.
 figures:

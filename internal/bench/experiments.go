@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-multitenant", Description: "Ablation: mixed-tenant node (wasm + python, future work)", Run: AblationMultiTenant},
 		{ID: "startup-distribution", Description: "Per-pod start-time distribution at density 100", Run: StartupDistribution},
 		{ID: "serve", Description: "Warm-pool gateway: latency vs pool size and arrival rate", Run: Serving},
+		{ID: "cache", Description: "Ablation: content-addressed module cache, cold vs cached instantiate", Run: AblationModuleCache},
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"wasmcontainers/internal/runtimes"
 	"wasmcontainers/internal/simos"
 	"wasmcontainers/internal/wasi"
+	"wasmcontainers/internal/wasm/cache"
 )
 
 // Version is the simulated containerd version (Table I).
@@ -126,6 +127,11 @@ type Client struct {
 
 	lowlevel map[RuntimeHandler]oci.Runtime
 	ctrs     map[string]*Container
+	// modCache is the node-level compiled-module cache: every runwasi shim
+	// and crun handler this client constructs resolves module digests against
+	// it, so a module binary compiles once per node regardless of how many
+	// containers (or which runtime path) run it.
+	modCache *cache.Cache
 }
 
 // NewClient starts a containerd instance on the node.
@@ -141,6 +147,7 @@ func NewClient(node *simos.Node, images *ImageStore) (*Client, error) {
 		daemon:   daemon,
 		lowlevel: make(map[RuntimeHandler]oci.Runtime),
 		ctrs:     make(map[string]*Container),
+		modCache: cache.New(engine.DefaultModuleCacheBytes),
 	}, nil
 }
 
@@ -160,12 +167,12 @@ func (c *Client) runtimeFor(h RuntimeHandler) (oci.Runtime, error) {
 	case HandlerRunc:
 		rt = runtimes.NewRunC(c.node)
 	case HandlerCrun:
-		rt = core.New(core.Config{Node: c.node})
+		rt = core.New(core.Config{Node: c.node, ModuleCache: c.modCache})
 	case HandlerYouki:
 		rt = runtimes.NewYouki(c.node, engine.WasmEdge)
 	case HandlerCrunWAMR, HandlerCrunWasmtime, HandlerCrunWasmer, HandlerCrunWasmEdge:
 		prof, _ := h.engineFor()
-		rt = core.New(core.Config{Node: c.node, Engine: prof})
+		rt = core.New(core.Config{Node: c.node, Engine: prof, ModuleCache: c.modCache})
 	default:
 		return nil, fmt.Errorf("containerd: no low-level runtime for handler %q", h)
 	}
@@ -346,7 +353,7 @@ func (t *Task) startRunwasi() (*TaskReport, error) {
 	if !ok {
 		return nil, fmt.Errorf("containerd: handler %q has no engine", t.ctr.Handler)
 	}
-	eng := engine.New(prof)
+	eng := engine.NewWithCache(prof, c.modCache)
 	spec := t.ctr.Spec
 	modulePath := spec.Process.Args[0]
 	bin, err := t.ctr.Bundle.Rootfs.ReadFile(modulePath)
@@ -381,6 +388,9 @@ func (t *Task) startRunwasi() (*TaskReport, error) {
 		return nil, err
 	}
 	podProc.MapShared(prof.ShimBinaryName, prof.ShimBinaryBytes)
+	// One node-wide copy of the compiled-module artifact, shared by every
+	// shim running the same module digest.
+	podProc.MapShared(fmt.Sprintf("wasm-code:%x", cm.Digest[:8]), cm.CodeBytes())
 	t.podProc = podProc
 
 	sysProc, err := c.node.Spawn(prof.ShimBinaryName+"-mgr["+t.ctr.ID+"]", "/system.slice/containerd-shims")

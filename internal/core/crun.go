@@ -33,6 +33,7 @@ import (
 	"wasmcontainers/internal/simos"
 	"wasmcontainers/internal/vfs"
 	"wasmcontainers/internal/wasi"
+	"wasmcontainers/internal/wasm/cache"
 )
 
 // Version is the simulated crun version (the paper's patched build).
@@ -49,6 +50,11 @@ type Config struct {
 	// engine's library bytes are charged privately to every container
 	// process instead of being shared node-wide.
 	StaticEngineLinking bool
+	// ModuleCache, when set, is a node-level compiled-module cache shared
+	// with other runtimes on the node, so identical module binaries compile
+	// once per node rather than once per runtime. Nil gives this crun a
+	// private cache (still deduplicating across its own containers).
+	ModuleCache *cache.Cache
 	// CreateCPUWork is the CPU cost of crun's own create+start path.
 	CreateCPUWork time.Duration
 	// CreateFixedDelay is crun's non-CPU setup latency.
@@ -82,7 +88,7 @@ func New(cfg Config) *Crun {
 	return &Crun{
 		cfg:    cfg,
 		table:  oci.NewContainerTable(),
-		eng:    engine.New(cfg.Engine),
+		eng:    engine.NewWithCache(cfg.Engine, cfg.ModuleCache),
 		python: NewPythonHandler(cfg.MaxGuestSteps),
 		procs:  make(map[string]*simos.Process),
 	}
@@ -204,6 +210,10 @@ func (c *Crun) startWasm(id string, ctr *oci.Container, cgPath string) (*oci.Sta
 	} else {
 		proc.MapShared(c.cfg.Engine.SharedLibName, c.cfg.Engine.SharedLibBytes)
 	}
+	// The compiled-module artifact is content-addressed and immutable, so
+	// like the engine library it is mapped shared: N containers running the
+	// same module charge the node one copy of compiled code.
+	proc.MapShared(fmt.Sprintf("wasm-code:%x", cm.Digest[:8]), cm.CodeBytes())
 	c.procs[id] = proc
 
 	delay, cpu := c.eng.EmbedStartCost(res.SimulatedExecTime)

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wasmcontainers/internal/wat"
+)
+
+// benchBinary builds a module with many function bodies so compilation
+// (decode + validate + precompile) carries realistic weight on the cold path:
+// the WAT workloads are a handful of functions, but real service modules ship
+// hundreds, and that is exactly the work the content-addressed cache elides.
+func benchBinary(b *testing.B) []byte {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("(module\n  (memory 1)\n")
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&sb, `  (func $f%d (param i32) (result i32)
+    (local i32)
+    local.get 0
+    i32.const %d
+    i32.add
+    local.tee 1
+    i32.const 7
+    i32.mul
+    local.get 1
+    i32.xor)
+`, i, i)
+	}
+	sb.WriteString("  (func (export \"run\") (param i32) (result i32)\n    local.get 0")
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&sb, "\n    call $f%d", i)
+	}
+	sb.WriteString("))\n")
+	bin, err := wat.CompileToBinary(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bin
+}
+
+// BenchmarkInstantiateCold measures the full cold path: every iteration pays
+// decode + validate + precompile because each engine gets a private, empty
+// module cache.
+func BenchmarkInstantiateCold(b *testing.B) {
+	bin := benchBinary(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := New(WAMR)
+		cm, err := eng.Compile(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Instantiate(cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstantiateCached measures the warm path: one engine (one cache),
+// so every Compile after the first is a content-addressed cache hit and
+// Instantiate reuses the shared compiled artifact.
+func BenchmarkInstantiateCached(b *testing.B) {
+	bin := benchBinary(b)
+	eng := New(WAMR)
+	if _, err := eng.Compile(bin); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm, err := eng.Compile(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Instantiate(cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := eng.CacheStats()
+	if st.Misses != 1 {
+		b.Fatalf("cache misses = %d, want 1 (every benchmark iteration must hit)", st.Misses)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"wasmcontainers/internal/wasi"
 	"wasmcontainers/internal/wasm"
+	"wasmcontainers/internal/wasm/cache"
 	"wasmcontainers/internal/wasm/exec"
 )
 
@@ -191,30 +192,71 @@ func ByName(name string) (Profile, bool) {
 	return Profile{}, false
 }
 
+// DefaultModuleCacheBytes bounds the per-engine compiled-module cache. Real
+// engines size their artifact caches similarly (WAMR's loaded-module table,
+// Wasmtime's on-disk AOT cache); the exact figure only matters under heavy
+// multi-tenancy, and eviction + recompile keeps it correct regardless.
+const DefaultModuleCacheBytes = 256 * mib
+
 // Engine executes WebAssembly modules under a profile.
 type Engine struct {
 	Profile Profile
+	// modCache deduplicates Compile: N identical binaries decode, validate,
+	// and lower once, and share one compiled artifact.
+	modCache *cache.Cache
 }
 
-// New creates an engine for the profile.
-func New(p Profile) *Engine { return &Engine{Profile: p} }
+// New creates an engine for the profile with its own module cache.
+func New(p Profile) *Engine { return NewWithCache(p, cache.New(DefaultModuleCacheBytes)) }
 
-// CompiledModule is a loaded, validated module.
+// NewWithCache creates an engine sharing a compiled-module cache with other
+// engines — the node-level arrangement, where every container runtime on a
+// host resolves module digests against one artifact store.
+func NewWithCache(p Profile, c *cache.Cache) *Engine {
+	if c == nil {
+		c = cache.New(DefaultModuleCacheBytes)
+	}
+	return &Engine{Profile: p, modCache: c}
+}
+
+// CacheStats reports the module cache's counters.
+func (e *Engine) CacheStats() cache.Stats { return e.modCache.Stats() }
+
+// CompiledModule is a loaded, validated, and lowered module. The Code
+// artifact is immutable and typically shared with every other holder of the
+// same binary digest.
 type CompiledModule struct {
 	Module  *wasm.Module
 	BinSize int
+	// Digest is the content address (SHA-256 of the binary).
+	Digest cache.Digest
+	// Code holds the precompiled function bodies, shared by reference.
+	Code *exec.ModuleCode
 }
 
-// Compile decodes and validates a binary module.
+// CodeBytes is the size of the compiled-code artifact: charged once per node
+// in the shared-code memory model, no matter how many instances run it.
+func (cm *CompiledModule) CodeBytes() int64 {
+	if cm.Code == nil {
+		return 0
+	}
+	return cm.Code.CodeBytes()
+}
+
+// Compile decodes, validates, and lowers a binary module through the
+// engine's content-addressed cache: recompiling a binary the engine (or a
+// cache-sharing peer) has seen before is a cache hit and costs no work.
 func (e *Engine) Compile(bin []byte) (*CompiledModule, error) {
-	m, err := wasm.Decode(bin)
+	ent, err := e.modCache.Load(bin)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.Profile.Name, err)
 	}
-	if err := wasm.Validate(m); err != nil {
-		return nil, fmt.Errorf("%s: %w", e.Profile.Name, err)
-	}
-	return &CompiledModule{Module: m, BinSize: len(bin)}, nil
+	return &CompiledModule{
+		Module:  ent.Module,
+		BinSize: int(ent.BinSize),
+		Digest:  ent.Digest,
+		Code:    ent.Code,
+	}, nil
 }
 
 // RunResult extends the WASI result with engine-derived figures.
@@ -232,7 +274,13 @@ type RunResult struct {
 func (e *Engine) Run(cm *CompiledModule, cfg wasi.Config) (RunResult, error) {
 	w := wasi.New(cfg)
 	store := exec.NewStore(exec.Config{})
-	res, err := w.Run(store, cm.Module)
+	var res wasi.RunResult
+	var err error
+	if cm.Code != nil {
+		res, err = w.RunModule(store, cm.Code)
+	} else {
+		res, err = w.Run(store, cm.Module)
+	}
 	if err != nil {
 		return RunResult{}, fmt.Errorf("%s: %w", e.Profile.Name, err)
 	}
@@ -295,7 +343,13 @@ type Instance struct {
 // dispatcher's cold-start fallback.
 func (e *Engine) Instantiate(cm *CompiledModule) (*Instance, error) {
 	store := exec.NewStore(exec.Config{})
-	inst, err := store.Instantiate(cm.Module, "")
+	var inst *exec.Instance
+	var err error
+	if cm.Code != nil {
+		inst, err = store.InstantiateCompiled(cm.Code, "")
+	} else {
+		inst, err = store.Instantiate(cm.Module, "")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.Profile.Name, err)
 	}

@@ -89,9 +89,14 @@ type Pool struct {
 
 // NewPool compiles nothing itself: cm must come from eng.Compile. It
 // pre-instantiates cfg.Size warm instances through the real
-// engine.Instantiate path.
+// engine.Instantiate path. The module's compiled-code artifact is charged to
+// pool memory exactly once: every instance references the same immutable
+// ModuleCode, mirroring the paper's shared-runtime-code accounting.
 func NewPool(eng *engine.Engine, cm *engine.CompiledModule, cfg Config) (*Pool, error) {
 	p := &Pool{eng: eng, cm: cm, cfg: cfg}
+	p.mu.Lock()
+	p.addMemLocked(cm.CodeBytes())
+	p.mu.Unlock()
 	for i := 0; i < cfg.Size; i++ {
 		wi, err := p.newInstance(false)
 		if err != nil {
@@ -253,8 +258,13 @@ func (p *Pool) Leased() int {
 	return p.leased
 }
 
-// MemoryBytes is the currently accounted pool memory (idle + leased
-// instances: engine per-instance state plus real linear memory).
+// SharedCodeBytes is the one accounted copy of the compiled-module artifact
+// all pool instances share.
+func (p *Pool) SharedCodeBytes() int64 { return p.cm.CodeBytes() }
+
+// MemoryBytes is the currently accounted pool memory (one shared compiled
+// artifact, plus idle + leased instances: engine per-instance state and real
+// linear memory).
 func (p *Pool) MemoryBytes() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()

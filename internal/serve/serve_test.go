@@ -74,8 +74,10 @@ func TestPoolSizeZeroAlwaysCold(t *testing.T) {
 	if pool.Idle() != 0 {
 		t.Fatalf("idle = %d after release into size-0 pool", pool.Idle())
 	}
-	if pool.MemoryBytes() != 0 {
-		t.Fatalf("memory = %d after discard", pool.MemoryBytes())
+	// Only the one shared compiled-code artifact remains accounted.
+	if pool.MemoryBytes() != pool.SharedCodeBytes() {
+		t.Fatalf("memory = %d after discard, want shared code %d",
+			pool.MemoryBytes(), pool.SharedCodeBytes())
 	}
 	st := pool.Stats()
 	if st.ColdStarts != 1 || st.Discarded != 1 || st.Recycled != 0 {
@@ -86,13 +88,14 @@ func TestPoolSizeZeroAlwaysCold(t *testing.T) {
 func TestPoolMemoryAccounting(t *testing.T) {
 	pool := newTestPool(t, engine.Wasmtime, Config{Size: 3})
 	per := engine.Wasmtime.WarmInstanceBytes + 64*1024 // one-page guest memory
-	if got := pool.MemoryBytes(); got != 3*per {
-		t.Fatalf("pool memory = %d, want %d", got, 3*per)
+	shared := pool.SharedCodeBytes()                   // charged exactly once
+	if got := pool.MemoryBytes(); got != shared+3*per {
+		t.Fatalf("pool memory = %d, want %d", got, shared+3*per)
 	}
 	var seen int64 = -1
 	pool.SetMemoryListener(func(b int64) { seen = b })
-	if seen != 3*per {
-		t.Fatalf("listener saw %d on registration, want %d", seen, 3*per)
+	if seen != shared+3*per {
+		t.Fatalf("listener saw %d on registration, want %d", seen, shared+3*per)
 	}
 	// A cold start adds a fourth instance; discarding it (pool already full
 	// after re-filling) returns to the steady state.
@@ -100,15 +103,15 @@ func TestPoolMemoryAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seen != 4*per {
-		t.Fatalf("listener saw %d after cold start, want %d", seen, 4*per)
+	if seen != shared+4*per {
+		t.Fatalf("listener saw %d after cold start, want %d", seen, shared+4*per)
 	}
 	pool.Release(wi, 0) // idle=3 < Size? idle is 3 already -> discarded
-	if seen != 3*per {
-		t.Fatalf("listener saw %d after discard, want %d", seen, 3*per)
+	if seen != shared+3*per {
+		t.Fatalf("listener saw %d after discard, want %d", seen, shared+3*per)
 	}
-	if pool.HighWater() != 4*per {
-		t.Fatalf("high water = %d, want %d", pool.HighWater(), 4*per)
+	if pool.HighWater() != shared+4*per {
+		t.Fatalf("high water = %d, want %d", pool.HighWater(), shared+4*per)
 	}
 }
 
@@ -118,7 +121,7 @@ func TestPoolIdleTTLEviction(t *testing.T) {
 	if n := pool.EvictIdle(des.Time(2 * time.Second)); n != 2 {
 		t.Fatalf("evicted %d, want 2", n)
 	}
-	if pool.Idle() != 0 || pool.MemoryBytes() != 0 {
+	if pool.Idle() != 0 || pool.MemoryBytes() != pool.SharedCodeBytes() {
 		t.Fatalf("idle=%d mem=%d after eviction", pool.Idle(), pool.MemoryBytes())
 	}
 	if st := pool.Stats(); st.Evicted != 2 {

@@ -782,11 +782,22 @@ type RunResult struct {
 
 // Run instantiates a validated command module with this WASI instance and
 // invokes its _start export. A clean return or proc_exit(0) yields exit
-// code 0.
+// code 0. Bodies are compiled on the spot; callers holding a shared
+// precompiled artifact should use RunModule.
 func (w *P1) Run(store *exec.Store, m *wasm.Module) (RunResult, error) {
+	mc, err := exec.Precompile(m)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return w.RunModule(store, mc)
+}
+
+// RunModule is Run for a precompiled (typically cache-shared) module: the
+// instance gets fresh state but reuses the compiled bodies.
+func (w *P1) RunModule(store *exec.Store, mc *exec.ModuleCode) (RunResult, error) {
 	w.Register(store)
 	before := store.InstructionCount()
-	inst, err := store.Instantiate(m, "")
+	inst, err := store.InstantiateCompiled(mc, "")
 	if err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
 			return w.result(store, inst, before, ee.Code), nil

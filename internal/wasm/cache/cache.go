@@ -1,0 +1,170 @@
+// Package cache provides a content-addressed cache of compiled WebAssembly
+// modules. Entries are keyed by the SHA-256 of the module binary and hold the
+// decoded+validated module together with its precompiled executable code
+// (exec.ModuleCode), both immutable and shared by reference — so N instances
+// of the same module decode, validate, and compile exactly once and charge
+// one copy of compiled-code bytes, the mechanism behind the paper's
+// shared-runtime-code memory accounting for warm pools and high pod density.
+//
+// The cache is safe for concurrent use. Concurrent loads of the same binary
+// are deduplicated singleflight-style: one goroutine compiles while the rest
+// wait for its result. Resident entries are bounded by bytes with LRU
+// eviction; an evicted entry stays valid for holders of its pointer and is
+// simply recompiled on the next load.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"wasmcontainers/internal/wasm"
+	"wasmcontainers/internal/wasm/exec"
+)
+
+// Digest is the content address of a module binary.
+type Digest = [sha256.Size]byte
+
+// Entry is one immutable cached compilation artifact.
+type Entry struct {
+	Digest  Digest
+	BinSize int64
+	Module  *wasm.Module
+	Code    *exec.ModuleCode
+}
+
+// Cost is the bytes this entry charges against the cache bound: the compiled
+// code plus the decoded module (approximated by its binary size, which the
+// decoded structures reference).
+func (e *Entry) Cost() int64 { return e.Code.CodeBytes() + e.BinSize }
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	// Hits counts loads served from a resident entry or by waiting on an
+	// in-flight compile; Misses counts loads that compiled.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+}
+
+// slot is an in-flight compile other loaders can wait on.
+type slot struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Cache is a byte-bounded, content-addressed compiled-module cache.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[Digest]*list.Element // value: *Entry
+	lru      *list.List               // front = most recently used
+	slots    map[Digest]*slot
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New creates a cache bounded to maxBytes of entry cost. maxBytes <= 0 means
+// unbounded.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[Digest]*list.Element),
+		lru:      list.New(),
+		slots:    make(map[Digest]*slot),
+	}
+}
+
+// Load returns the compiled entry for bin, compiling it at most once no
+// matter how many goroutines ask concurrently. Failed compiles are not
+// cached: every waiter receives the error and a later Load retries.
+func (c *Cache) Load(bin []byte) (*Entry, error) {
+	digest := sha256.Sum256(bin)
+	c.mu.Lock()
+	if el, ok := c.entries[digest]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*Entry)
+		c.mu.Unlock()
+		return e, nil
+	}
+	if sl, ok := c.slots[digest]; ok {
+		// Someone is compiling this binary right now: wait for their result.
+		c.hits++
+		c.mu.Unlock()
+		<-sl.done
+		return sl.entry, sl.err
+	}
+	sl := &slot{done: make(chan struct{})}
+	c.slots[digest] = sl
+	c.misses++
+	c.mu.Unlock()
+
+	e, err := compile(bin, digest)
+
+	c.mu.Lock()
+	delete(c.slots, digest)
+	sl.entry, sl.err = e, err
+	if err == nil {
+		c.insertLocked(e)
+	}
+	c.mu.Unlock()
+	close(sl.done)
+	return e, err
+}
+
+// compile runs the full pipeline outside the cache lock.
+func compile(bin []byte, digest Digest) (*Entry, error) {
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		return nil, err
+	}
+	if err := wasm.Validate(m); err != nil {
+		return nil, err
+	}
+	mc, err := exec.Precompile(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{Digest: digest, BinSize: int64(len(bin)), Module: m, Code: mc}, nil
+}
+
+// insertLocked adds e and evicts least-recently-used entries while over the
+// bound — but never the entry just inserted, so oversized modules still cache.
+func (c *Cache) insertLocked(e *Entry) {
+	el := c.lru.PushFront(e)
+	c.entries[e.Digest] = el
+	c.bytes += e.Cost()
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		victim := back.Value.(*Entry)
+		c.lru.Remove(back)
+		delete(c.entries, victim.Digest)
+		c.bytes -= victim.Cost()
+		c.evictions++
+	}
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

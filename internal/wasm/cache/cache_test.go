@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wasmcontainers/internal/wasm/exec"
+	"wasmcontainers/internal/wat"
+)
+
+// modBinary assembles a distinct add-N module so each test module has a
+// unique content digest.
+func modBinary(t testing.TB, n int) []byte {
+	t.Helper()
+	src := fmt.Sprintf(`(module (func (export "run") (param i32) (result i32)
+		local.get 0 i32.const %d i32.add))`, n)
+	bin, err := wat.CompileToBinary(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func TestLoadCompilesOnceAndShares(t *testing.T) {
+	c := New(0)
+	bin := modBinary(t, 1)
+	e1, err := c.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 || e1.Module != e2.Module || e1.Code != e2.Code {
+		t.Fatal("repeated loads did not share the entry")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 1 hit, 1 entry", st)
+	}
+	if st.Bytes != e1.Cost() || e1.Cost() <= 0 {
+		t.Fatalf("bytes = %d, want entry cost %d > 0", st.Bytes, e1.Cost())
+	}
+}
+
+func TestLoadBadBinaryNotCached(t *testing.T) {
+	c := New(0)
+	if _, err := c.Load([]byte("not wasm")); err == nil {
+		t.Fatal("bad binary loaded")
+	}
+	if _, err := c.Load([]byte("not wasm")); err == nil {
+		t.Fatal("bad binary loaded on retry")
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 0 entries, 2 misses (errors retry)", st)
+	}
+}
+
+// TestConcurrentLoadCompilesOnce hammers one binary from 8 goroutines and
+// asserts a single compile served them all (run under -race in CI).
+func TestConcurrentLoadCompilesOnce(t *testing.T) {
+	c := New(0)
+	bin := modBinary(t, 2)
+	const workers = 8
+	entries := make([]*Entry, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				e, err := c.Load(bin)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				entries[w] = e
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if entries[w] != entries[0] {
+			t.Fatal("goroutines observed different entries")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("module compiled %d times under contention, want 1", st.Misses)
+	}
+	if st.Hits != workers*50-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, workers*50-1)
+	}
+	// The shared artifact must actually execute: instantiate from several
+	// goroutines at once (ModuleCode is immutable and shared).
+	wg = sync.WaitGroup{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := exec.NewStore(exec.Config{})
+			inst, err := s.InstantiateCompiled(entries[0].Code, "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := inst.Call("run", exec.I32(40))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if exec.AsI32(res[0]) != 42 {
+				t.Errorf("run(40) = %d, want 42", exec.AsI32(res[0]))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEvictionRecompiles(t *testing.T) {
+	binA := modBinary(t, 10)
+	binB := modBinary(t, 11)
+	// Bound the cache so it holds exactly one of the two entries.
+	probe := New(0)
+	ea, err := probe.Load(binA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(ea.Cost() + ea.Cost()/2)
+	if _, err := c.Load(binA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(binB); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction leaving 1 entry", st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d over bound %d after eviction", st.Bytes, st.MaxBytes)
+	}
+	// A evicted: loading it again recompiles and the result still runs.
+	e2, err := c.Load(binA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (evicted entry recompiled)", c.Stats().Misses)
+	}
+	s := exec.NewStore(exec.Config{})
+	inst, err := s.InstantiateCompiled(e2.Code, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("run", exec.I32(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.AsI32(res[0]) != 11 {
+		t.Fatalf("run(1) = %d, want 11", exec.AsI32(res[0]))
+	}
+}

@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"testing"
+
+	"wasmcontainers/internal/wat"
+)
+
+// Benchmark workloads for the interpreter hot loop. Each module is small and
+// self-contained so the benchmarks measure dispatch, frame setup, and memory
+// access rather than module loading.
+
+// benchFibWAT is the classic recursive fib: call-heavy, exercises frame
+// setup/teardown and the OpCall result path.
+const benchFibWAT = `
+(module
+  (func $fib (export "fib") (param $n i32) (result i32)
+    local.get $n
+    i32.const 2
+    i32.lt_s
+    if (result i32)
+      local.get $n
+    else
+      local.get $n
+      i32.const 1
+      i32.sub
+      call $fib
+      local.get $n
+      i32.const 2
+      i32.sub
+      call $fib
+      i32.add
+    end))
+`
+
+// benchLoopWAT is a tight arithmetic loop: exercises branch dispatch, local
+// access, and the const+add / cmp+br_if superinstruction patterns.
+const benchLoopWAT = `
+(module
+  (func (export "spin") (param $n i32) (result i32) (local $i i32) (local $acc i32)
+    block $done
+      loop $l
+        local.get $i
+        local.get $n
+        i32.ge_u
+        br_if $done
+        local.get $acc
+        local.get $i
+        i32.add
+        local.set $acc
+        local.get $i
+        i32.const 1
+        i32.add
+        local.set $i
+        br $l
+      end
+    end
+    local.get $acc))
+`
+
+// benchMemWAT churns linear memory with load/store pairs across a 4 KiB
+// window: exercises the bounds-checked memory fast path.
+const benchMemWAT = `
+(module
+  (memory 1)
+  (func (export "churn") (param $n i32) (result i32) (local $i i32) (local $acc i32)
+    block $done
+      loop $l
+        local.get $i
+        local.get $n
+        i32.ge_u
+        br_if $done
+        ;; mem[(i*4) & 0xfff] = i
+        local.get $i
+        i32.const 4
+        i32.mul
+        i32.const 4095
+        i32.and
+        local.get $i
+        i32.store
+        ;; acc += mem[(i*4) & 0xfff]
+        local.get $i
+        i32.const 4
+        i32.mul
+        i32.const 4095
+        i32.and
+        i32.load
+        local.get $acc
+        i32.add
+        local.set $acc
+        local.get $i
+        i32.const 1
+        i32.add
+        local.set $i
+        br $l
+      end
+    end
+    local.get $acc))
+`
+
+// benchIndirectWAT dispatches through a function table: exercises the
+// call_indirect type check and table lookup.
+const benchIndirectWAT = `
+(module
+  (type $op (func (param i32) (result i32)))
+  (table 2 funcref)
+  (elem (i32.const 0) $inc $dbl)
+  (func $inc (type $op) local.get 0 i32.const 1 i32.add)
+  (func $dbl (type $op) local.get 0 i32.const 2 i32.mul)
+  (func (export "dispatch") (param $n i32) (result i32) (local $i i32) (local $acc i32)
+    block $done
+      loop $l
+        local.get $i
+        local.get $n
+        i32.ge_u
+        br_if $done
+        local.get $acc
+        local.get $i
+        i32.const 1
+        i32.and
+        call_indirect (type $op)
+        local.set $acc
+        local.get $i
+        i32.const 1
+        i32.add
+        local.set $i
+        br $l
+      end
+    end
+    local.get $acc))
+`
+
+func benchInstance(b *testing.B, src string) *Instance {
+	b.Helper()
+	m, err := wat.Compile(src)
+	if err != nil {
+		b.Fatalf("wat: %v", err)
+	}
+	s := NewStore(Config{})
+	inst, err := s.Instantiate(m, "")
+	if err != nil {
+		b.Fatalf("instantiate: %v", err)
+	}
+	return inst
+}
+
+func BenchmarkInterpFib(b *testing.B) {
+	inst := benchInstance(b, benchFibWAT)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Call("fib", 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpLoop(b *testing.B) {
+	inst := benchInstance(b, benchLoopWAT)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Call("spin", 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpLoopFueled(b *testing.B) {
+	m, err := wat.Compile(benchLoopWAT)
+	if err != nil {
+		b.Fatalf("wat: %v", err)
+	}
+	s := NewStore(Config{Fuel: 1 << 62})
+	inst, err := s.Instantiate(m, "")
+	if err != nil {
+		b.Fatalf("instantiate: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Call("spin", 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpMemoryChurn(b *testing.B) {
+	inst := benchInstance(b, benchMemWAT)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Call("churn", 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpCallIndirect(b *testing.B) {
+	inst := benchInstance(b, benchIndirectWAT)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Call("dispatch", 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -42,6 +42,17 @@ type compiledCode struct {
 	maxHeight int // static operand-stack bound
 }
 
+// sizeBytes approximates the resident size of the compiled artifact: the
+// instruction stream, the branch tables, and a fixed header. This is what the
+// module cache's byte bound and the shared-code memory accounting charge.
+func (cc *compiledCode) sizeBytes() int64 {
+	n := int64(len(cc.instrs)) * 24
+	for _, t := range cc.brTables {
+		n += int64(len(t)) * 16
+	}
+	return n + 64
+}
+
 // ctFrame is a compile-time control frame.
 type ctFrame struct {
 	op           wasm.Opcode
@@ -142,6 +153,7 @@ func compileBody(m *wasm.Module, ft wasm.FuncType, code *wasm.Code) (*compiledCo
 				// Implicit function end: emit a return for the interpreter.
 				c.instrs[endPC] = instr{op: wasm.OpReturn, b: packDropKeep(0, len(c.ft.Results))}
 				cc := &compiledCode{instrs: c.instrs, brTables: c.brTables, maxHeight: c.maxH + 1}
+				fuse(cc)
 				return cc, nil
 			}
 		case wasm.OpBr, wasm.OpBrIf:

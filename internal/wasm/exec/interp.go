@@ -24,52 +24,92 @@ func (inst *Instance) invoke(f *function, args []Value) ([]Value, error) {
 		s.depth--
 		return nil, newTrap(TrapCallStackExhausted)
 	}
-	res, err := f.inst.run(f, args)
+	res := make([]Value, len(f.typ.Results))
+	err := f.inst.run(f, args, res)
 	s.depth--
-	return res, pushFrame(err, f)
+	if err != nil {
+		return nil, pushFrame(err, f)
+	}
+	return res, nil
 }
 
-// pushFrame appends f to a propagating trap's wasm stack (bounded, so a
-// deep recursion trap stays readable).
+// Trap stacks are bounded so a deep-recursion trap stays readable: the
+// innermost trapFrameHead frames are kept verbatim, and the remaining slots
+// hold a sliding window of the outermost frames collected so far, so the
+// entry point always survives. Trap.Elided counts the middle frames dropped
+// in between.
+const (
+	maxTrapFrames = 16
+	trapFrameHead = 8
+)
+
+// pushFrame appends f to a propagating trap's wasm stack.
 func pushFrame(err error, f *function) error {
 	t, ok := err.(*Trap)
 	if !ok {
 		return err
 	}
-	const maxFrames = 16
-	if len(t.Frames) < maxFrames {
+	if len(t.Frames) < maxTrapFrames {
 		t.Frames = append(t.Frames, f.inst.funcLabel(f.idx))
+		return err
 	}
+	// Full: slide the outer window left, dropping its oldest frame, so the
+	// newest (outermost so far, ultimately the entry point) stays.
+	copy(t.Frames[trapFrameHead:], t.Frames[trapFrameHead+1:])
+	t.Frames[maxTrapFrames-1] = f.inst.funcLabel(f.idx)
+	t.Elided++
 	return err
 }
 
-// run executes a compiled wasm function body.
-func (inst *Instance) run(f *function, args []Value) ([]Value, error) {
+// run executes a compiled wasm function body. Arguments are copied into the
+// frame's locals immediately, and results are written into res (len must be
+// len(f.typ.Results)) just before returning — so callers may pass views of
+// their own operand stack for both without aliasing hazards.
+//
+// Accounting is batched: the global instruction counter is flushed on exit,
+// and fuel is charged per basic block — at control transfers (branches and
+// calls) and on exit — rather than per instruction. A fueled store therefore
+// traps at the first block boundary after exhaustion instead of on the exact
+// instruction, which tightens the hot loop while still bounding execution
+// (every loop iteration crosses a branch).
+func (inst *Instance) run(f *function, args []Value, res []Value) error {
 	s := inst.store
+	if s.fueled && s.fuelLeft == 0 {
+		return newTrap(TrapOutOfFuel)
+	}
 	code := f.code
-	locals := make([]Value, f.numParams+f.numLocals)
-	copy(locals, args)
-	stack := make([]Value, 0, code.maxHeight)
+	nl := f.numParams + f.numLocals
+	buf := s.getFrame(nl + code.maxHeight)
+	locals := buf[:nl]
+	n := copy(locals, args)
+	for i := n; i < nl; i++ {
+		locals[i] = 0
+	}
+	stack := buf[nl:nl]
 	mem := inst.mem
 
 	instrs := code.instrs
 	pc := 0
-	// Batch global instruction accounting to keep the hot loop lean.
 	executed := uint64(0)
-	defer func() { s.instrCount += executed }()
+	charged := uint64(0)
+	defer func() {
+		s.instrCount += executed
+		if s.fueled {
+			if d := executed - charged; d > s.fuelLeft {
+				s.fuelLeft = 0
+			} else {
+				s.fuelLeft -= d
+			}
+		}
+		s.putFrame(buf)
+	}()
 
 	for {
 		in := &instrs[pc]
 		executed++
-		if s.fueled {
-			if s.fuelLeft == 0 {
-				return nil, newTrap(TrapOutOfFuel)
-			}
-			s.fuelLeft--
-		}
 		switch in.op {
 		case wasm.OpUnreachable:
-			return nil, newTrap(TrapUnreachable)
+			return newTrap(TrapUnreachable)
 		case wasm.OpBlock, wasm.OpLoop, wasm.OpEnd:
 			// Structure markers: no effect at runtime.
 		case wasm.OpIf:
@@ -84,10 +124,24 @@ func (inst *Instance) run(f *function, args []Value) ([]Value, error) {
 			pc = int(in.a)
 			continue
 		case wasm.OpBr:
+			if s.fueled {
+				d := executed - charged
+				charged = executed
+				if !s.spendFuel(d) {
+					return newTrap(TrapOutOfFuel)
+				}
+			}
 			stack = adjustStack(stack, in.b)
 			pc = int(in.a)
 			continue
 		case wasm.OpBrIf:
+			if s.fueled {
+				d := executed - charged
+				charged = executed
+				if !s.spendFuel(d) {
+					return newTrap(TrapOutOfFuel)
+				}
+			}
 			cond := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if cond != 0 {
@@ -95,7 +149,32 @@ func (inst *Instance) run(f *function, args []Value) ([]Value, error) {
 				pc = int(in.a)
 				continue
 			}
+		case opCmpBrIf:
+			// Fused "<comparison>; br_if": two original instructions.
+			executed++
+			if s.fueled {
+				d := executed - charged
+				charged = executed
+				if !s.spendFuel(d) {
+					return newTrap(TrapOutOfFuel)
+				}
+			}
+			rhs, lhs := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			cond, _ := binaryOp(wasm.Opcode(in.misc), lhs, rhs) // comparisons cannot trap
+			if cond != 0 {
+				stack = adjustStack(stack, in.b)
+				pc = int(in.a)
+				continue
+			}
 		case wasm.OpBrTable:
+			if s.fueled {
+				d := executed - charged
+				charged = executed
+				if !s.spendFuel(d) {
+					return newTrap(TrapOutOfFuel)
+				}
+			}
 			idx := AsU32(stack[len(stack)-1])
 			stack = stack[:len(stack)-1]
 			table := code.brTables[in.misc]
@@ -108,41 +187,55 @@ func (inst *Instance) run(f *function, args []Value) ([]Value, error) {
 			continue
 		case wasm.OpReturn:
 			_, keep := unpackDropKeep(in.b)
-			res := make([]Value, keep)
 			copy(res, stack[len(stack)-keep:])
-			return res, nil
+			return nil
 		case wasm.OpCall:
-			callee := inst.funcs[in.a]
-			np := len(callee.typ.Params)
-			callArgs := stack[len(stack)-np:]
-			res, err := inst.invokeNested(callee, callArgs)
-			if err != nil {
-				return nil, err
+			if s.fueled {
+				d := executed - charged
+				charged = executed
+				if !s.spendFuel(d) {
+					return newTrap(TrapOutOfFuel)
+				}
 			}
-			stack = stack[:len(stack)-np]
-			stack = append(stack, res...)
+			callee := inst.funcs[in.a]
+			np := callee.numParams
+			nr := len(callee.typ.Results)
+			base := len(stack) - np
+			// The callee writes results over its argument slots: it copies
+			// args into its own locals (or the host adapter buffers them)
+			// before the result write, so the overlap is safe.
+			if err := inst.invokeNested(callee, stack[base:], stack[base:base+nr]); err != nil {
+				return err
+			}
+			stack = stack[:base+nr]
 		case wasm.OpCallIndirect:
+			if s.fueled {
+				d := executed - charged
+				charged = executed
+				if !s.spendFuel(d) {
+					return newTrap(TrapOutOfFuel)
+				}
+			}
 			ti := uint32(in.a)
 			elemIdx := AsU32(stack[len(stack)-1])
 			stack = stack[:len(stack)-1]
 			if inst.table == nil || int(elemIdx) >= inst.table.Len() {
-				return nil, newTrap(TrapTableOutOfBounds)
+				return newTrap(TrapTableOutOfBounds)
 			}
 			callee := inst.table.elems[elemIdx]
 			if callee == nil {
-				return nil, newTrap(TrapUninitializedElement)
+				return newTrap(TrapUninitializedElement)
 			}
 			if !callee.typ.Equal(inst.Module.Types[ti]) {
-				return nil, newTrap(TrapIndirectCallTypeMismatch)
+				return newTrap(TrapIndirectCallTypeMismatch)
 			}
-			np := len(callee.typ.Params)
-			callArgs := stack[len(stack)-np:]
-			res, err := inst.invokeNested(callee, callArgs)
-			if err != nil {
-				return nil, err
+			np := callee.numParams
+			nr := len(callee.typ.Results)
+			base := len(stack) - np
+			if err := inst.invokeNested(callee, stack[base:], stack[base:base+nr]); err != nil {
+				return err
 			}
-			stack = stack[:len(stack)-np]
-			stack = append(stack, res...)
+			stack = stack[:base+nr]
 		case wasm.OpDrop:
 			stack = stack[:len(stack)-1]
 		case wasm.OpSelect:
@@ -174,17 +267,36 @@ func (inst *Instance) run(f *function, args []Value) ([]Value, error) {
 			stack[len(stack)-1] = I32(mem.Grow(delta))
 		case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
 			stack = append(stack, in.a)
+		case opI32AddConst:
+			// Fused "i32.const K; i32.add": two original instructions.
+			executed++
+			stack[len(stack)-1] = I32(AsI32(stack[len(stack)-1]) + int32(uint32(in.a)))
+		case opI64AddConst:
+			executed++
+			stack[len(stack)-1] = stack[len(stack)-1] + in.a
+		case opLocalGetPair:
+			// Fused "local.get i; local.get j".
+			executed++
+			stack = append(stack, locals[in.a>>32], locals[uint32(in.a)])
+		case opLocalBinop:
+			// Fused "local.get i; local.get j; <binop>": three originals.
+			executed += 2
+			v, err := binaryOp(wasm.Opcode(in.misc), locals[in.a>>32], locals[uint32(in.a)])
+			if err != nil {
+				return err
+			}
+			stack = append(stack, v)
 		case wasm.OpMisc:
 			var err error
 			stack, err = inst.execMisc(in, stack, mem)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		default:
 			var err error
 			stack, err = execNumericOrMem(in, stack, mem)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		pc++
@@ -212,23 +324,34 @@ func (inst *Instance) callHost(hf *HostFunc, args []Value) (res []Value, err err
 	return res, nil
 }
 
-// invokeNested dispatches a call from inside the interpreter loop.
-func (inst *Instance) invokeNested(callee *function, args []Value) ([]Value, error) {
+// invokeNested dispatches a call from inside the interpreter loop. args and
+// res may be overlapping views of the caller's operand stack: wasm callees
+// copy args into their own frame locals before writing res, and the host
+// path buffers results before the copy.
+func (inst *Instance) invokeNested(callee *function, args, res []Value) error {
 	if callee.host != nil {
-		return inst.callHost(callee.host, args)
+		out, err := inst.callHost(callee.host, args)
+		if err != nil {
+			return err
+		}
+		if len(out) != len(res) {
+			return &Trap{Code: TrapHostError, Wrapped: fmt.Errorf("host function returned %d values, want %d", len(out), len(res))}
+		}
+		copy(res, out)
+		return nil
 	}
 	s := inst.store
 	s.depth++
 	if s.depth > s.cfg.MaxCallDepth {
 		s.depth--
-		return nil, newTrap(TrapCallStackExhausted)
+		return newTrap(TrapCallStackExhausted)
 	}
-	// Copy args: the callee's locals must not alias the caller's stack.
-	a := make([]Value, len(args))
-	copy(a, args)
-	res, err := callee.inst.run(callee, a)
+	err := callee.inst.run(callee, args, res)
 	s.depth--
-	return res, pushFrame(err, callee)
+	if err != nil {
+		return pushFrame(err, callee)
+	}
+	return nil
 }
 
 // adjustStack applies a branch's drop/keep fixup.

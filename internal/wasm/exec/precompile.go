@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"fmt"
+
+	"wasmcontainers/internal/wasm"
+)
+
+// ModuleCode is the compiled, executable form of a validated module: every
+// function body lowered to the interpreter's pre-decoded instruction format.
+// It is immutable after Precompile and safe to share between any number of
+// stores and instances concurrently — this is what the module-compilation
+// cache hands out so N instances of the same module compile once and share
+// one copy of compiled-code bytes, mirroring the paper's shared-runtime-code
+// memory accounting.
+type ModuleCode struct {
+	m         *wasm.Module
+	codes     []*compiledCode // one per module-defined function
+	codeBytes int64
+}
+
+// Precompile lowers every function body of a validated module. The module
+// must already have passed wasm.Validate; Precompile does not re-check.
+func Precompile(m *wasm.Module) (*ModuleCode, error) {
+	nImported := 0
+	for _, imp := range m.Imports {
+		if imp.Kind == wasm.ExternalFunc {
+			nImported++
+		}
+	}
+	mc := &ModuleCode{m: m, codes: make([]*compiledCode, len(m.Functions))}
+	for i, ti := range m.Functions {
+		ft := m.Types[ti]
+		cc, err := compileBody(m, ft, &m.Codes[i])
+		if err != nil {
+			return nil, fmt.Errorf("exec: compiling function %d: %w", nImported+i, err)
+		}
+		mc.codes[i] = cc
+		mc.codeBytes += cc.sizeBytes()
+	}
+	return mc, nil
+}
+
+// Module returns the decoded module this code was compiled from.
+func (mc *ModuleCode) Module() *wasm.Module { return mc.m }
+
+// CodeBytes is the accounted size of the compiled artifact: what one copy of
+// the lowered instruction streams and branch tables costs in memory. The
+// cache's LRU bound and the engines' shared-code accounting both use it.
+func (mc *ModuleCode) CodeBytes() int64 { return mc.codeBytes }
+
+// NumFuncs returns the number of module-defined (non-imported) functions.
+func (mc *ModuleCode) NumFuncs() int { return len(mc.codes) }

@@ -34,6 +34,46 @@ type Store struct {
 	fuelLeft   uint64
 	fueled     bool
 	depth      int
+	// frameFree is a LIFO freelist of frame buffers (locals + operand stack)
+	// recycled across calls so the interpreter does not allocate per call.
+	frameFree [][]Value
+}
+
+// minFrameSlots sizes freshly allocated frame buffers so small functions
+// recycle well without repeated growth.
+const minFrameSlots = 64
+
+// getFrame returns a frame buffer with len == need (or more for recycled
+// buffers, which callers slice down). The contents are arbitrary; run zeroes
+// the locals region explicitly.
+func (s *Store) getFrame(need int) []Value {
+	if n := len(s.frameFree); n > 0 {
+		buf := s.frameFree[n-1]
+		s.frameFree = s.frameFree[:n-1]
+		if cap(buf) >= need {
+			return buf[:need]
+		}
+	}
+	if need < minFrameSlots {
+		need = minFrameSlots
+	}
+	return make([]Value, need)
+}
+
+// putFrame returns a buffer to the freelist for reuse by the next call.
+func (s *Store) putFrame(buf []Value) {
+	s.frameFree = append(s.frameFree, buf)
+}
+
+// spendFuel deducts one basic block's instruction count from the fuel tank,
+// clamping to zero and reporting false when the block overdraws it.
+func (s *Store) spendFuel(delta uint64) bool {
+	if delta > s.fuelLeft {
+		s.fuelLeft = 0
+		return false
+	}
+	s.fuelLeft -= delta
+	return true
 }
 
 // NewStore creates an empty store with the given configuration.
@@ -174,7 +214,21 @@ var (
 // resolves imports against the store's host modules and named instances,
 // allocates memories/tables/globals, applies element and data segments, runs
 // the start function, and registers the instance under name (if non-empty).
+// It compiles every body from scratch; callers that instantiate the same
+// module repeatedly should Precompile once and use InstantiateCompiled.
 func (s *Store) Instantiate(m *wasm.Module, name string) (*Instance, error) {
+	mc, err := Precompile(m)
+	if err != nil {
+		return nil, err
+	}
+	return s.InstantiateCompiled(mc, name)
+}
+
+// InstantiateCompiled instantiates from a precompiled (and possibly shared)
+// ModuleCode: per-instance state is allocated fresh, but the compiled bodies
+// are referenced, not copied, so N instances share one artifact.
+func (s *Store) InstantiateCompiled(mc *ModuleCode, name string) (*Instance, error) {
+	m := mc.m
 	inst := &Instance{Module: m, Name: name, store: s, names: wasm.DecodeNameSection(m)}
 
 	// Resolve imports in declaration order.
@@ -207,18 +261,14 @@ func (s *Store) Instantiate(m *wasm.Module, name string) (*Instance, error) {
 		}
 	}
 
-	// Module-defined functions: compile bodies.
+	// Module-defined functions: reference the shared compiled bodies.
 	nImported := len(inst.funcs)
 	for i, ti := range m.Functions {
 		ft := m.Types[ti]
-		cc, err := compileBody(m, ft, &m.Codes[i])
-		if err != nil {
-			return nil, fmt.Errorf("exec: compiling function %d: %w", nImported+i, err)
-		}
 		inst.funcs = append(inst.funcs, &function{
 			typ:       ft,
 			inst:      inst,
-			code:      cc,
+			code:      mc.codes[i],
 			numParams: len(ft.Params),
 			numLocals: len(m.Codes[i].Locals),
 			idx:       uint32(nImported + i),

@@ -41,8 +41,12 @@ type Trap struct {
 	Wrapped error
 	// Frames is the wasm call stack at the trap, innermost first, collected
 	// as the trap unwinds (function names come from the module's name
-	// section, falling back to "func[N]").
+	// section, falling back to "func[N]"). Deep stacks keep the innermost
+	// frames and the outermost frames (so the entry point survives), with
+	// Elided counting the middle frames that were dropped.
 	Frames []string
+	// Elided is the number of middle frames dropped from Frames.
+	Elided int
 }
 
 // Error implements the error interface.
@@ -57,7 +61,10 @@ func (t *Trap) Error() string {
 	}
 	if len(t.Frames) > 0 {
 		out += "\n  wasm stack:"
-		for _, f := range t.Frames {
+		for i, f := range t.Frames {
+			if t.Elided > 0 && i == trapFrameHead {
+				out += fmt.Sprintf("\n    ... %d frames elided ...", t.Elided)
+			}
 			out += "\n    " + f
 		}
 	}

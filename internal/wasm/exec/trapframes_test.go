@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"wasmcontainers/internal/wasm"
+)
+
+// TestDeepRecursionTrapKeepsEntryPoint exercises the bounded trap stack: a
+// deep recursion must keep both the innermost frames (where the trap fired)
+// and the outermost frames (the entry point), eliding the repetitive middle.
+func TestDeepRecursionTrapKeepsEntryPoint(t *testing.T) {
+	entry := new(wasm.BodyBuilder).OpU32(wasm.OpCall, 1).End()
+	rec := new(wasm.BodyBuilder).OpU32(wasm.OpCall, 1).End()
+	m := buildModule(t, &wasm.Module{
+		Types:     []wasm.FuncType{{}},
+		Functions: []uint32{0, 0},
+		Codes: []wasm.Code{
+			{Body: entry.Bytes()},
+			{Body: rec.Bytes()},
+		},
+		Exports: []wasm.Export{{Name: "f", Kind: wasm.ExternalFunc, Index: 0}},
+	})
+	s := NewStore(Config{MaxCallDepth: 100})
+	inst, err := s.Instantiate(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = inst.Call("f")
+	if !IsTrap(err, TrapCallStackExhausted) {
+		t.Fatalf("expected stack exhaustion, got %v", err)
+	}
+	trap := err.(*Trap)
+	if len(trap.Frames) != maxTrapFrames {
+		t.Fatalf("got %d frames, want %d", len(trap.Frames), maxTrapFrames)
+	}
+	if trap.Elided == 0 {
+		t.Fatal("deep recursion did not elide any frames")
+	}
+	// Innermost frames are the recursing function; the final frame must be
+	// the entry point (the old behaviour dropped it).
+	if trap.Frames[0] != "func[1]" {
+		t.Fatalf("innermost frame = %q, want func[1]", trap.Frames[0])
+	}
+	if got := trap.Frames[maxTrapFrames-1]; got != "func[0]" {
+		t.Fatalf("outermost frame = %q, want func[0] (entry point)", got)
+	}
+	if msg := trap.Error(); !strings.Contains(msg, "frames elided") {
+		t.Fatalf("trap message lacks elision marker:\n%s", msg)
+	}
+	// Shallow traps are unchanged: no elision, frames in order.
+	s2 := NewStore(Config{MaxCallDepth: 10})
+	inst2, err := s2.Instantiate(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = inst2.Call("f")
+	trap2 := err.(*Trap)
+	if trap2 == nil || trap2.Elided != 0 || len(trap2.Frames) != 10 {
+		t.Fatalf("shallow trap: frames=%d elided=%d", len(trap2.Frames), trap2.Elided)
+	}
+}
