@@ -378,7 +378,9 @@ func (t *Task) startRunwasi() (*TaskReport, error) {
 		return nil, fmt.Errorf("containerd: runwasi: %w", err)
 	}
 
-	podBytes, sysBytes := eng.ShimFootprint(res.GuestMemoryBytes)
+	// Copy-on-write guest memory: the shim's private charge covers only
+	// dirtied pages; clean pages alias the module's shared baseline image.
+	podBytes, sysBytes := eng.ShimFootprint(res.GuestPrivateBytes)
 	podProc, err := c.node.Spawn(prof.ShimBinaryName+"["+t.ctr.ID+"]", spec.Linux.CgroupsPath)
 	if err != nil {
 		return nil, err
@@ -388,9 +390,12 @@ func (t *Task) startRunwasi() (*TaskReport, error) {
 		return nil, err
 	}
 	podProc.MapShared(prof.ShimBinaryName, prof.ShimBinaryBytes)
-	// One node-wide copy of the compiled-module artifact, shared by every
-	// shim running the same module digest.
+	// One node-wide copy of the compiled-module artifact and of the baseline
+	// memory image, shared by every shim running the same module digest.
 	podProc.MapShared(fmt.Sprintf("wasm-code:%x", cm.Digest[:8]), cm.CodeBytes())
+	if b := cm.BaselineBytes(); b > 0 {
+		podProc.MapShared(fmt.Sprintf("wasm-data:%x", cm.Digest[:8]), b)
+	}
 	t.podProc = podProc
 
 	sysProc, err := c.node.Spawn(prof.ShimBinaryName+"-mgr["+t.ctr.ID+"]", "/system.slice/containerd-shims")

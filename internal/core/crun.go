@@ -196,7 +196,10 @@ func (c *Crun) startWasm(id string, ctr *oci.Container, cgPath string) (*oci.Sta
 	if err != nil {
 		return nil, err
 	}
-	if err := proc.MapPrivate(c.eng.EmbedFootprint(res.GuestMemoryBytes)); err != nil {
+	// Copy-on-write guest memory: the container's private charge covers only
+	// the pages its run dirtied; the clean remainder aliases the module's
+	// shared baseline image, mapped once per node below.
+	if err := proc.MapPrivate(c.eng.EmbedFootprint(res.GuestPrivateBytes)); err != nil {
 		proc.Exit()
 		return nil, err
 	}
@@ -212,8 +215,13 @@ func (c *Crun) startWasm(id string, ctr *oci.Container, cgPath string) (*oci.Sta
 	}
 	// The compiled-module artifact is content-addressed and immutable, so
 	// like the engine library it is mapped shared: N containers running the
-	// same module charge the node one copy of compiled code.
+	// same module charge the node one copy of compiled code. The baseline
+	// memory image (post-instantiation linear memory) is its data-side twin,
+	// mapped shared under the same digest.
 	proc.MapShared(fmt.Sprintf("wasm-code:%x", cm.Digest[:8]), cm.CodeBytes())
+	if b := cm.BaselineBytes(); b > 0 {
+		proc.MapShared(fmt.Sprintf("wasm-data:%x", cm.Digest[:8]), b)
+	}
 	c.procs[id] = proc
 
 	delay, cpu := c.eng.EmbedStartCost(res.SimulatedExecTime)

@@ -243,6 +243,17 @@ func (cm *CompiledModule) CodeBytes() int64 {
 	return cm.Code.CodeBytes()
 }
 
+// BaselineBytes is the size of the module's shared baseline memory image
+// (post-instantiation linear memory, captured from the first instance): like
+// CodeBytes, charged once per node no matter how many instances diverge from
+// it. Zero until something has been instantiated.
+func (cm *CompiledModule) BaselineBytes() int64 {
+	if cm.Code == nil {
+		return 0
+	}
+	return cm.Code.BaselineBytes()
+}
+
 // Compile decodes, validates, and lowers a binary module through the
 // engine's content-addressed cache: recompiling a binary the engine (or a
 // cache-sharing peer) has seen before is a cache hit and costs no work.
@@ -264,6 +275,10 @@ type RunResult struct {
 	wasi.RunResult
 	// GuestMemoryBytes is the real linear-memory size at exit.
 	GuestMemoryBytes int64
+	// GuestPrivateBytes is the linear memory the run actually dirtied: the
+	// copy-on-write private cost, with the clean remainder aliasing the
+	// module's shared baseline image (CompiledModule.BaselineBytes).
+	GuestPrivateBytes int64
 	// SimulatedExecTime converts executed instructions to engine CPU time.
 	SimulatedExecTime time.Duration
 }
@@ -291,6 +306,7 @@ func (e *Engine) annotate(res wasi.RunResult) RunResult {
 	return RunResult{
 		RunResult:         res,
 		GuestMemoryBytes:  int64(res.MemoryPages) * wasm.PageSize,
+		GuestPrivateBytes: int64(res.PrivatePages) * wasm.PageSize,
 		SimulatedExecTime: time.Duration(float64(res.Instructions) * e.Profile.NsPerInstruction),
 	}
 }
@@ -353,6 +369,16 @@ func (e *Engine) Instantiate(cm *CompiledModule) (*Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.Profile.Name, err)
 	}
+	// Copy-on-write setup: the first instance of a digest donates its
+	// post-instantiation memory as the shared baseline image; later instances
+	// attach the same image by reference and are charged only dirty pages.
+	// Without a shared artifact (no precompiled code) the instance still
+	// captures a private baseline so ResetToBaseline works uniformly.
+	if m := inst.Memory(); m != nil {
+		if cm.Code == nil || cm.Code.EnsureBaseline(m) == nil {
+			m.CaptureBaseline()
+		}
+	}
 	return &Instance{e: e, store: store, inst: inst}, nil
 }
 
@@ -389,14 +415,41 @@ func (i *Instance) GuestMemoryBytes() int64 {
 	return 0
 }
 
-// FootprintBytes is what one live instance costs in the engine's memory
-// model: per-instance runtime state plus the real linear memory.
-func (i *Instance) FootprintBytes() int64 {
-	return i.e.Profile.WarmInstanceBytes + i.GuestMemoryBytes()
+// PrivateMemoryBytes is the instance's copy-on-write private linear-memory
+// cost: the pages it has dirtied since instantiation or the last reset. The
+// baseline image the clean pages alias is accounted separately, once per
+// module (CompiledModule.BaselineBytes).
+func (i *Instance) PrivateMemoryBytes() int64 {
+	if m := i.inst.Memory(); m != nil {
+		return m.PrivateBytes()
+	}
+	return 0
 }
 
-// MemorySnapshot copies the current linear memory; taken right after
-// instantiation it is the reset image a warm pool restores between requests.
+// FootprintBytes is what one live instance costs in the engine's memory
+// model: per-instance runtime state plus the private (dirty) linear-memory
+// pages. A freshly instantiated or freshly reset instance costs exactly
+// WarmInstanceBytes — its whole memory aliases the shared baseline.
+func (i *Instance) FootprintBytes() int64 {
+	return i.e.Profile.WarmInstanceBytes + i.PrivateMemoryBytes()
+}
+
+// ResetToBaseline rewinds linear memory to the module's baseline image by
+// copying back only dirty pages (releasing pages grown during the request),
+// and returns how many pages were copied. This is the warm pool's
+// between-requests reset: cost scales with pages touched, not memory size.
+func (i *Instance) ResetToBaseline() int {
+	if m := i.inst.Memory(); m != nil {
+		if n := m.ResetToBaseline(); n >= 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// MemorySnapshot copies the current linear memory. This is the legacy
+// full-copy reset image (superseded by the shared baseline + dirty-page
+// reset); it is kept as the comparison baseline for the CoW benchmarks.
 func (i *Instance) MemorySnapshot() []byte {
 	if m := i.inst.Memory(); m != nil {
 		return append([]byte(nil), m.Bytes()...)
@@ -404,8 +457,10 @@ func (i *Instance) MemorySnapshot() []byte {
 	return nil
 }
 
-// ResetMemory restores linear memory to a snapshot, releasing any pages the
-// guest grew since it was taken.
+// ResetMemory restores linear memory to a snapshot with a full-memory copy,
+// releasing any pages the guest grew since it was taken. Legacy counterpart
+// of ResetToBaseline, kept for the benchmarks that measure what the old
+// reset cost.
 func (i *Instance) ResetMemory(snapshot []byte) {
 	if m := i.inst.Memory(); m != nil {
 		m.Restore(snapshot)

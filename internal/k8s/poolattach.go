@@ -49,7 +49,24 @@ func (a *WarmPoolAttachment) Sync(bytes int64) {
 	a.charged = t
 }
 
-// ChargedBytes returns the bytes currently mapped for the pool.
+// SyncShared maps a digest-keyed read-only artifact of the pool's module —
+// compiled code (wasm-code:<digest>) or the baseline memory image
+// (wasm-data:<digest>) — as a shared mapping, exactly like the engine's
+// shared library: the node accounts one copy per name no matter how many
+// pools or container runtimes map it. Pair it with Sync carrying only the
+// pool's private remainder (serve.Pool.MemoryBytes minus the artifact
+// bytes) to split a pool's charge between per-node shared state and
+// per-instance private state.
+func (a *WarmPoolAttachment) SyncShared(name string, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	a.proc.MapShared(name, bytes)
+}
+
+// ChargedBytes returns the private bytes currently mapped for the pool
+// (shared artifacts mapped via SyncShared are accounted node-wide, not
+// here).
 func (a *WarmPoolAttachment) ChargedBytes() int64 { return a.charged }
 
 // Process exposes the carrier process (tests and metrics).

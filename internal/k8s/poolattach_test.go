@@ -71,6 +71,72 @@ func TestWarmPoolMemoryIsKubeletVisible(t *testing.T) {
 	}
 }
 
+// TestWarmPoolSharedArtifactsCountedOncePerNode: two pools serving the same
+// module map its compiled code and baseline memory image via SyncShared, and
+// the node charges each digest-keyed artifact once — only the per-instance
+// private remainder scales with the number of pools.
+func TestWarmPoolSharedArtifactsCountedOncePerNode(t *testing.T) {
+	c := newTestCluster(t)
+	node := c.Nodes[0]
+	eng := engine.New(engine.Wasmtime)
+	bin, err := workloads.Binary("request-handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := eng.Compile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newAttachedPool := func(name string) (*serve.Pool, *WarmPoolAttachment) {
+		att, err := node.AttachWarmPool(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := serve.NewPool(eng, cm, serve.Config{Size: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shared int64
+		for _, art := range pool.SharedArtifacts() {
+			att.SyncShared(art.Name, art.Bytes)
+			shared += art.Bytes
+		}
+		att.Sync(pool.MemoryBytes() - shared)
+		return pool, att
+	}
+
+	pool1, att1 := newAttachedPool("gw1")
+	arts := pool1.SharedArtifacts()
+	if len(arts) != 2 {
+		t.Fatalf("shared artifacts = %d, want code + baseline", len(arts))
+	}
+	var sharedBytes int64
+	for _, a := range arts {
+		if a.Bytes <= 0 {
+			t.Fatalf("artifact %s has %d bytes", a.Name, a.Bytes)
+		}
+		sharedBytes += simos.RoundPages(a.Bytes)
+	}
+	used1 := node.OS.UsedBeyondIdle()
+	if used1 < sharedBytes+att1.ChargedBytes() {
+		t.Fatalf("free vantage %d misses artifacts (%d shared + %d private)",
+			used1, sharedBytes, att1.ChargedBytes())
+	}
+
+	// A second pool of the same module adds only its private instance bytes:
+	// the wasm-code and wasm-data mappings dedupe on their digest-keyed names.
+	_, att2 := newAttachedPool("gw2")
+	used2 := node.OS.UsedBeyondIdle()
+	if delta := used2 - used1; delta != att2.ChargedBytes() {
+		t.Fatalf("second pool cost %d, want private-only %d (shared artifacts recharged?)",
+			delta, att2.ChargedBytes())
+	}
+	if att2.ChargedBytes() >= att1.ChargedBytes()+sharedBytes {
+		t.Fatal("second pool's private charge swallowed the shared artifacts")
+	}
+}
+
 func TestWarmPoolAttachmentPageRounding(t *testing.T) {
 	c := newTestCluster(t)
 	att, err := c.Nodes[0].AttachWarmPool("rounding")

@@ -9,6 +9,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -43,17 +44,21 @@ type Stats struct {
 	Discarded int64
 	// Evicted counts idle instances dropped by the TTL sweep.
 	Evicted int64
+	// ResetPages counts the dirty pages copied back by Release's
+	// copy-on-write resets: the total reset work, proportional to pages
+	// touched by requests rather than to memory size.
+	ResetPages int64
 }
 
 // WarmInstance is one pooled (or cold-started) live instance. It must be
 // used by one request at a time; the pool hands it out exclusively between
-// Acquire/ColdStart and Release.
+// Acquire/ColdStart and Release. Instances hold no private reset snapshot:
+// all instances of the pool's module alias one shared baseline image, and
+// Release copies back only the pages a request dirtied.
 type WarmInstance struct {
 	inst *engine.Instance
-	// snapshot is the linear-memory image right after instantiation; Release
-	// restores it so no guest state survives between requests.
-	snapshot []byte
-	// footprint is the accounted bytes (engine state + base linear memory).
+	// footprint is the accounted bytes while idle (engine per-instance state;
+	// private dirty pages are zero after a reset).
 	footprint int64
 	// lastUsed is the simulated release time, for TTL eviction.
 	lastUsed des.Time
@@ -83,15 +88,22 @@ type Pool struct {
 	memBytes  int64
 	highWater int64
 	onMem     func(int64)
+	// baselineBytes is the one accounted copy of the shared baseline memory
+	// image, charged when the first instance captures it (0 until then — a
+	// cold-only pool that never instantiates charges no guest memory at all).
+	baselineBytes int64
 
 	stats Stats
 }
 
 // NewPool compiles nothing itself: cm must come from eng.Compile. It
 // pre-instantiates cfg.Size warm instances through the real
-// engine.Instantiate path. The module's compiled-code artifact is charged to
-// pool memory exactly once: every instance references the same immutable
-// ModuleCode, mirroring the paper's shared-runtime-code accounting.
+// engine.Instantiate path. The module's compiled-code artifact and its
+// baseline memory image are each charged to pool memory exactly once: every
+// instance references the same immutable ModuleCode and aliases the same
+// baseline image, and is individually charged only its engine-side state
+// plus the pages it has dirtied, mirroring the paper's shared-read-only-state
+// accounting.
 func NewPool(eng *engine.Engine, cm *engine.CompiledModule, cfg Config) (*Pool, error) {
 	p := &Pool{eng: eng, cm: cm, cfg: cfg}
 	p.mu.Lock()
@@ -112,7 +124,9 @@ func NewPool(eng *engine.Engine, cm *engine.CompiledModule, cfg Config) (*Pool, 
 // Engine returns the pool's engine.
 func (p *Pool) Engine() *engine.Engine { return p.eng }
 
-// newInstance instantiates and accounts one instance (not yet idle).
+// newInstance instantiates and accounts one instance (not yet idle). The
+// first instantiation also captures the module's baseline image, charged
+// once for the pool's lifetime.
 func (p *Pool) newInstance(cold bool) (*WarmInstance, error) {
 	inst, err := p.eng.Instantiate(p.cm)
 	if err != nil {
@@ -120,11 +134,14 @@ func (p *Pool) newInstance(cold bool) (*WarmInstance, error) {
 	}
 	wi := &WarmInstance{
 		inst:      inst,
-		snapshot:  inst.MemorySnapshot(),
 		footprint: inst.FootprintBytes(),
 		cold:      cold,
 	}
 	p.mu.Lock()
+	if b := p.cm.BaselineBytes(); b > p.baselineBytes {
+		p.addMemLocked(b - p.baselineBytes)
+		p.baselineBytes = b
+	}
 	p.addMemLocked(wi.footprint)
 	p.mu.Unlock()
 	return wi, nil
@@ -189,20 +206,23 @@ func (p *Pool) ColdStart() (*WarmInstance, error) {
 	return wi, nil
 }
 
-// Release returns a leased instance. Linear memory is restored to the
-// instantiation snapshot — no request state survives — and the instance is
-// recycled into the pool if it has room (fewer than Size idle), otherwise
-// discarded. Growth the guest performed during the request is accounted and
-// released with the reset.
+// Release returns a leased instance. Linear memory is rewound to the shared
+// baseline image by copying back only the pages the request dirtied — no
+// guest state survives, and reset cost scales with pages touched, not memory
+// size — then the instance is recycled into the pool if it has room (fewer
+// than Size idle), otherwise discarded. Pages the request privatized
+// (dirtied or grew) are peak-accounted and released with the reset.
 func (p *Pool) Release(wi *WarmInstance, now des.Time) {
-	grown := wi.inst.FootprintBytes() - wi.footprint
-	wi.inst.ResetMemory(wi.snapshot)
+	private := wi.inst.FootprintBytes() - wi.footprint
+	resetPages := wi.inst.ResetToBaseline()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if grown > 0 {
-		// Peak accounting for memory the request grew, released by the reset.
-		p.addMemLocked(grown)
-		p.addMemLocked(-grown)
+	p.stats.ResetPages += int64(resetPages)
+	if private > 0 {
+		// Peak accounting for pages the request privatized, released by the
+		// copy-on-write reset.
+		p.addMemLocked(private)
+		p.addMemLocked(-private)
 	}
 	p.leased--
 	wi.lastUsed = now
@@ -262,9 +282,43 @@ func (p *Pool) Leased() int {
 // all pool instances share.
 func (p *Pool) SharedCodeBytes() int64 { return p.cm.CodeBytes() }
 
+// SharedBaselineBytes is the one accounted copy of the baseline memory image
+// all pool instances alias; 0 until a first instance has captured it.
+func (p *Pool) SharedBaselineBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.baselineBytes
+}
+
+// SharedArtifact names one node-shareable read-only artifact of the pool's
+// module, keyed by content digest like a shared library: compiled code as
+// wasm-code:<digest>, the baseline memory image as wasm-data:<digest>.
+// internal/k8s maps these as shared mappings so several pools (or container
+// runtimes) of one module on a node account each artifact once.
+type SharedArtifact struct {
+	Name  string
+	Bytes int64
+}
+
+// SharedArtifacts lists the pool's digest-keyed shared artifacts with their
+// current accounted sizes. The baseline entry appears once an instance has
+// been created.
+func (p *Pool) SharedArtifacts() []SharedArtifact {
+	arts := []SharedArtifact{
+		{Name: fmt.Sprintf("wasm-code:%x", p.cm.Digest[:8]), Bytes: p.cm.CodeBytes()},
+	}
+	if b := p.cm.BaselineBytes(); b > 0 {
+		arts = append(arts, SharedArtifact{
+			Name:  fmt.Sprintf("wasm-data:%x", p.cm.Digest[:8]),
+			Bytes: b,
+		})
+	}
+	return arts
+}
+
 // MemoryBytes is the currently accounted pool memory (one shared compiled
-// artifact, plus idle + leased instances: engine per-instance state and real
-// linear memory).
+// artifact, one shared baseline image, plus idle + leased instances: engine
+// per-instance state and private dirty pages).
 func (p *Pool) MemoryBytes() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -74,10 +74,14 @@ func TestPoolSizeZeroAlwaysCold(t *testing.T) {
 	if pool.Idle() != 0 {
 		t.Fatalf("idle = %d after release into size-0 pool", pool.Idle())
 	}
-	// Only the one shared compiled-code artifact remains accounted.
-	if pool.MemoryBytes() != pool.SharedCodeBytes() {
-		t.Fatalf("memory = %d after discard, want shared code %d",
-			pool.MemoryBytes(), pool.SharedCodeBytes())
+	// Only the shared artifacts remain accounted: the compiled code plus the
+	// baseline image the cold start captured.
+	if want := pool.SharedCodeBytes() + pool.SharedBaselineBytes(); pool.MemoryBytes() != want {
+		t.Fatalf("memory = %d after discard, want shared artifacts %d",
+			pool.MemoryBytes(), want)
+	}
+	if pool.SharedBaselineBytes() == 0 {
+		t.Fatal("cold start did not capture a shared baseline image")
 	}
 	st := pool.Stats()
 	if st.ColdStarts != 1 || st.Discarded != 1 || st.Recycled != 0 {
@@ -87,8 +91,14 @@ func TestPoolSizeZeroAlwaysCold(t *testing.T) {
 
 func TestPoolMemoryAccounting(t *testing.T) {
 	pool := newTestPool(t, engine.Wasmtime, Config{Size: 3})
-	per := engine.Wasmtime.WarmInstanceBytes + 64*1024 // one-page guest memory
-	shared := pool.SharedCodeBytes()                   // charged exactly once
+	// Copy-on-write accounting: an idle instance costs only its engine-side
+	// state — its whole linear memory aliases the shared baseline image,
+	// charged once alongside the compiled code.
+	per := engine.Wasmtime.WarmInstanceBytes
+	if got := pool.SharedBaselineBytes(); got != 64*1024 {
+		t.Fatalf("shared baseline = %d, want one 64 KiB page", got)
+	}
+	shared := pool.SharedCodeBytes() + pool.SharedBaselineBytes() // charged exactly once
 	if got := pool.MemoryBytes(); got != shared+3*per {
 		t.Fatalf("pool memory = %d, want %d", got, shared+3*per)
 	}
@@ -121,8 +131,9 @@ func TestPoolIdleTTLEviction(t *testing.T) {
 	if n := pool.EvictIdle(des.Time(2 * time.Second)); n != 2 {
 		t.Fatalf("evicted %d, want 2", n)
 	}
-	if pool.Idle() != 0 || pool.MemoryBytes() != pool.SharedCodeBytes() {
-		t.Fatalf("idle=%d mem=%d after eviction", pool.Idle(), pool.MemoryBytes())
+	if shared := pool.SharedCodeBytes() + pool.SharedBaselineBytes(); pool.Idle() != 0 || pool.MemoryBytes() != shared {
+		t.Fatalf("idle=%d mem=%d after eviction, want shared artifacts %d",
+			pool.Idle(), pool.MemoryBytes(), shared)
 	}
 	if st := pool.Stats(); st.Evicted != 2 {
 		t.Fatalf("stats = %+v", st)
@@ -303,8 +314,13 @@ func TestRunReportsPoolHighWater(t *testing.T) {
 		QueueDeadline: time.Second, Export: "handle", Arg: 100,
 	})
 	rep := Run(eng, d, LoadConfig{RatePerSec: 100, Duration: 500 * time.Millisecond, Seed: 3})
-	per := engine.WasmEdge.WarmInstanceBytes + 64*1024
-	if rep.PoolHighWaterBytes < 2*per {
-		t.Fatalf("high water %d below steady-state %d", rep.PoolHighWaterBytes, 2*per)
+	// Steady state: shared code + shared baseline + two idle instances at
+	// engine-state cost. Requests dirty pages on top, so the high-water mark
+	// must clear the steady state by at least one privatized page.
+	steady := pool.SharedCodeBytes() + pool.SharedBaselineBytes() +
+		2*engine.WasmEdge.WarmInstanceBytes
+	if rep.PoolHighWaterBytes < steady+64*1024 {
+		t.Fatalf("high water %d below steady-state-plus-dirty-page %d",
+			rep.PoolHighWaterBytes, steady+64*1024)
 	}
 }

@@ -210,6 +210,10 @@ func (w *P1) environGet(ctx *exec.HostContext, args []exec.Value) ([]exec.Value,
 	return w.writeStringList(ctx, w.cfg.Env, exec.AsU32(args[0]), exec.AsU32(args[1]))
 }
 
+// nulByte is the string terminator written after each list entry; a package
+// variable so writeStringList stays allocation-free per string.
+var nulByte = [1]byte{0}
+
 func (w *P1) writeStringList(ctx *exec.HostContext, list []string, ptrs, buf uint32) ([]exec.Value, error) {
 	mem := ctx.Memory
 	off := buf
@@ -217,7 +221,7 @@ func (w *P1) writeStringList(ctx *exec.HostContext, list []string, ptrs, buf uin
 		if !mem.WriteUint32(ptrs+uint32(i*4), off) {
 			return errnoVal(ErrnoFault), nil
 		}
-		if !mem.Write(off, append([]byte(s), 0)) {
+		if !mem.WriteString(off, s) || !mem.Write(off+uint32(len(s)), nulByte[:]) {
 			return errnoVal(ErrnoFault), nil
 		}
 		off += uint32(len(s)) + 1
@@ -240,7 +244,10 @@ func (w *P1) clockResGet(ctx *exec.HostContext, args []exec.Value) ([]exec.Value
 }
 
 // readIOVecs gathers the guest's iovec array into slices of guest memory.
-func readIOVecs(mem *exec.Memory, iovs, iovsLen uint32) ([][]byte, bool) {
+// writable selects WritableView for host functions that fill the buffers
+// (fd_read): writes into guest memory must land in the dirty-page bitmap or
+// the copy-on-write reset would miss them.
+func readIOVecs(mem *exec.Memory, iovs, iovsLen uint32, writable bool) ([][]byte, bool) {
 	out := make([][]byte, 0, iovsLen)
 	for i := uint32(0); i < iovsLen; i++ {
 		base, ok1 := mem.ReadUint32(iovs + i*8)
@@ -248,7 +255,13 @@ func readIOVecs(mem *exec.Memory, iovs, iovsLen uint32) ([][]byte, bool) {
 		if !ok1 || !ok2 {
 			return nil, false
 		}
-		view, ok := mem.View(base, length)
+		var view []byte
+		var ok bool
+		if writable {
+			view, ok = mem.WritableView(base, length)
+		} else {
+			view, ok = mem.View(base, length)
+		}
 		if !ok {
 			return nil, false
 		}
@@ -263,7 +276,7 @@ func (w *P1) fdWrite(ctx *exec.HostContext, args []exec.Value) ([]exec.Value, er
 	if !ok {
 		return errnoVal(ErrnoBadf), nil
 	}
-	vecs, okv := readIOVecs(ctx.Memory, exec.AsU32(args[1]), exec.AsU32(args[2]))
+	vecs, okv := readIOVecs(ctx.Memory, exec.AsU32(args[1]), exec.AsU32(args[2]), false)
 	if !okv {
 		return errnoVal(ErrnoFault), nil
 	}
@@ -307,7 +320,7 @@ func (w *P1) fdRead(ctx *exec.HostContext, args []exec.Value) ([]exec.Value, err
 	if !ok {
 		return errnoVal(ErrnoBadf), nil
 	}
-	vecs, okv := readIOVecs(ctx.Memory, exec.AsU32(args[1]), exec.AsU32(args[2]))
+	vecs, okv := readIOVecs(ctx.Memory, exec.AsU32(args[1]), exec.AsU32(args[2]), true)
 	if !okv {
 		return errnoVal(ErrnoFault), nil
 	}
@@ -691,12 +704,13 @@ func (w *P1) fdReaddir(ctx *exec.HostContext, args []exec.Value) ([]exec.Value, 
 }
 
 func (w *P1) randomGet(ctx *exec.HostContext, args []exec.Value) ([]exec.Value, error) {
-	n := exec.AsU32(args[1])
-	buf := make([]byte, n)
-	w.rng.Read(buf)
-	if !ctx.Memory.Write(exec.AsU32(args[0]), buf) {
+	// Fill guest memory in place: WritableView marks the pages dirty and
+	// avoids a per-call staging allocation.
+	buf, ok := ctx.Memory.WritableView(exec.AsU32(args[0]), exec.AsU32(args[1]))
+	if !ok {
 		return errnoVal(ErrnoFault), nil
 	}
+	w.rng.Read(buf)
 	return errnoVal(ErrnoSuccess), nil
 }
 
@@ -722,7 +736,9 @@ func (w *P1) pollOneoff(ctx *exec.HostContext, args []exec.Value) ([]exec.Value,
 	mem := ctx.Memory
 	written := uint32(0)
 	for i := uint32(0); i < nsubs; i++ {
-		sub, ok := mem.Read(in+i*48, 48)
+		// View, not Read: the subscription bytes are decoded immediately, so
+		// aliasing guest memory avoids a 48-byte allocation per subscription.
+		sub, ok := mem.View(in+i*48, 48)
 		if !ok {
 			return errnoVal(ErrnoFault), nil
 		}
@@ -777,6 +793,10 @@ type RunResult struct {
 	ExitCode     uint32
 	Instructions uint64
 	MemoryPages  uint32
+	// PrivatePages counts the linear-memory pages the run dirtied relative
+	// to the module's shared baseline image (the post-instantiation
+	// contents): the copy-on-write private cost of this execution.
+	PrivatePages uint32
 	BytesWritten int64
 }
 
@@ -804,6 +824,13 @@ func (w *P1) RunModule(store *exec.Store, mc *exec.ModuleCode) (RunResult, error
 		}
 		return RunResult{}, err
 	}
+	// Share the post-instantiation memory as the module's baseline image:
+	// _start then dirties only the pages it writes, and N containers of one
+	// digest alias one copy of the clean pages (PrivatePages reports the
+	// divergence).
+	if m := inst.Memory(); m != nil {
+		mc.EnsureBaseline(m)
+	}
 	_, err = inst.Call("_start")
 	if err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
@@ -822,6 +849,7 @@ func (w *P1) result(store *exec.Store, inst *exec.Instance, before uint64, code 
 	}
 	if inst != nil && inst.Memory() != nil {
 		res.MemoryPages = inst.Memory().Pages()
+		res.PrivatePages = uint32(inst.Memory().DirtyPages())
 	}
 	return res
 }

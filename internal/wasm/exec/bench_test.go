@@ -3,6 +3,7 @@ package exec
 import (
 	"testing"
 
+	"wasmcontainers/internal/wasm"
 	"wasmcontainers/internal/wat"
 )
 
@@ -203,6 +204,24 @@ func BenchmarkInterpCallIndirect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := inst.Call("dispatch", 100000); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemoryGrowIncremental grows a memory one page at a time to 256
+// pages per iteration: with capacity-headroom (amortized doubling)
+// reallocation this is O(n) total copying, where the old
+// reallocate-per-grow scheme was O(n²).
+func BenchmarkMemoryGrowIncremental(b *testing.B) {
+	t := wasm.MemoryType{Limits: wasm.Limits{Min: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMemory(t, 0)
+		for m.Pages() < 256 {
+			if m.Grow(1) < 0 {
+				b.Fatal("grow failed")
+			}
 		}
 	}
 }

@@ -1,0 +1,220 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+
+	"wasmcontainers/internal/wasm"
+)
+
+func newCowMemory(minPages uint32) *Memory {
+	return NewMemory(wasm.MemoryType{Limits: wasm.Limits{Min: minPages}}, 0)
+}
+
+func TestDirtyTrackingMutationPaths(t *testing.T) {
+	m := newCowMemory(4)
+	m.CaptureBaseline()
+	if n := m.DirtyPages(); n != 0 {
+		t.Fatalf("dirty after capture = %d, want 0", n)
+	}
+
+	// store marks the written page; a store straddling a page boundary marks
+	// both pages it touches.
+	if !m.store(100, 0, 4, 0xdeadbeef) {
+		t.Fatal("store failed")
+	}
+	if n := m.DirtyPages(); n != 1 {
+		t.Fatalf("dirty after store = %d, want 1", n)
+	}
+	if !m.store(wasm.PageSize-2, 0, 4, 1) { // spans pages 0 and 1
+		t.Fatal("spanning store failed")
+	}
+	if n := m.DirtyPages(); n != 2 {
+		t.Fatalf("dirty after spanning store = %d, want 2", n)
+	}
+
+	// Write marks every page the slice covers.
+	if !m.Write(2*wasm.PageSize-10, make([]byte, 20)) { // pages 1 and 2
+		t.Fatal("Write failed")
+	}
+	if n := m.DirtyPages(); n != 3 {
+		t.Fatalf("dirty after Write = %d, want 3", n)
+	}
+
+	// WriteUint32/64, WriteString, WritableView mark too.
+	m.WriteUint32(3*wasm.PageSize+8, 7)
+	if n := m.DirtyPages(); n != 4 {
+		t.Fatalf("dirty after WriteUint32 = %d, want 4", n)
+	}
+	m.ResetToBaseline()
+	m.WriteUint64(5, 9)
+	m.WriteString(wasm.PageSize+1, "hello")
+	if buf, ok := m.WritableView(2*wasm.PageSize, 8); !ok {
+		t.Fatal("WritableView failed")
+	} else {
+		buf[0] = 1
+	}
+	if n := m.DirtyPages(); n != 3 {
+		t.Fatalf("dirty after WriteUint64+WriteString+WritableView = %d, want 3", n)
+	}
+
+	// Reads never mark.
+	m.ResetToBaseline()
+	m.Read(0, 128)
+	m.View(0, 128)
+	m.ReadUint32(0)
+	m.ReadUint64(0)
+	m.ReadString(0, 16)
+	m.load(0, 0, 8)
+	if n := m.DirtyPages(); n != 0 {
+		t.Fatalf("dirty after reads = %d, want 0", n)
+	}
+}
+
+func TestResetToBaselineCopiesOnlyDirtyPages(t *testing.T) {
+	m := newCowMemory(8)
+	// Pre-baseline content on every page, as data segments would leave it.
+	for p := uint32(0); p < 8; p++ {
+		m.Write(p*wasm.PageSize, []byte{byte(p + 1)})
+	}
+	b := m.CaptureBaseline()
+	if b.Pages() != 8 || b.Bytes() != 8*wasm.PageSize {
+		t.Fatalf("baseline = %d pages / %d bytes", b.Pages(), b.Bytes())
+	}
+
+	// Dirty two of eight pages.
+	m.store(3*wasm.PageSize+17, 0, 1, 0xff)
+	m.WriteUint32(6*wasm.PageSize, 0xffffffff)
+	if copied := m.ResetToBaseline(); copied != 2 {
+		t.Fatalf("reset copied %d pages, want 2", copied)
+	}
+	if !bytes.Equal(m.Bytes(), b.data) {
+		t.Fatal("memory does not match baseline after reset")
+	}
+	if n := m.DirtyPages(); n != 0 {
+		t.Fatalf("dirty after reset = %d, want 0", n)
+	}
+	if m.PrivateBytes() != 0 {
+		t.Fatalf("private bytes after reset = %d, want 0", m.PrivateBytes())
+	}
+
+	// A clean memory resets for free.
+	if copied := m.ResetToBaseline(); copied != 0 {
+		t.Fatalf("clean reset copied %d pages", copied)
+	}
+}
+
+func TestGrowThenResetShrinksToBaseline(t *testing.T) {
+	m := newCowMemory(1)
+	m.CaptureBaseline()
+
+	if prev := m.Grow(3); prev != 1 {
+		t.Fatalf("grow returned %d, want 1", prev)
+	}
+	// Grown pages count as private/dirty: they have no baseline backing.
+	if n := m.DirtyPages(); n != 3 {
+		t.Fatalf("dirty after grow = %d, want 3", n)
+	}
+	if m.PrivateBytes() != 3*wasm.PageSize {
+		t.Fatalf("private after grow = %d", m.PrivateBytes())
+	}
+	m.store(2*wasm.PageSize, 0, 8, 42) // write into a grown page
+
+	if copied := m.ResetToBaseline(); copied != 0 {
+		t.Fatalf("reset copied %d pages, want 0 (grown pages are dropped, not copied)", copied)
+	}
+	if m.Pages() != 1 {
+		t.Fatalf("pages after reset = %d, want baseline 1", m.Pages())
+	}
+	if m.DirtyPages() != 0 || m.PrivateBytes() != 0 {
+		t.Fatalf("dirty=%d private=%d after reset", m.DirtyPages(), m.PrivateBytes())
+	}
+
+	// Re-growing within retained capacity must expose zero pages, not the
+	// stale bytes from before the reset.
+	if prev := m.Grow(2); prev != 1 {
+		t.Fatalf("regrow returned %d", prev)
+	}
+	if v, _ := m.ReadUint64(2 * wasm.PageSize); v != 0 {
+		t.Fatalf("regrown page not zeroed: %#x", v)
+	}
+}
+
+func TestGrowAmortizedCapacity(t *testing.T) {
+	m := newCowMemory(1)
+	const target = 64
+	allocs := 0
+	lastCap := cap(m.data)
+	for m.Pages() < target {
+		if m.Grow(1) < 0 {
+			t.Fatal("grow failed")
+		}
+		if cap(m.data) != lastCap {
+			allocs++
+			lastCap = cap(m.data)
+		}
+	}
+	// Doubling from 1 to 64 pages needs ~log2(64) reallocations, not 63.
+	if allocs > 8 {
+		t.Fatalf("%d reallocations growing to %d pages; capacity headroom not amortizing", allocs, target)
+	}
+	if m.Grows() != target-1 {
+		t.Fatalf("grows = %d", m.Grows())
+	}
+}
+
+func TestGrowRespectsMaxWithHeadroom(t *testing.T) {
+	m := NewMemory(wasm.MemoryType{Limits: wasm.Limits{Min: 1, HasMax: true, Max: 3}}, 0)
+	if m.Grow(1) != 1 || m.Grow(1) != 2 {
+		t.Fatal("grow within max failed")
+	}
+	if cap(m.data) > 3*wasm.PageSize {
+		t.Fatalf("capacity %d exceeds max memory size", cap(m.data))
+	}
+	if m.Grow(1) != -1 {
+		t.Fatal("grow past max succeeded")
+	}
+}
+
+func TestAttachBaselineSharesOneImage(t *testing.T) {
+	a := newCowMemory(2)
+	a.Write(10, []byte("baseline"))
+	img := a.CaptureBaseline()
+
+	b := newCowMemory(2)
+	b.Write(10, []byte("baseline")) // deterministic instantiation stand-in
+	if !b.AttachBaseline(img) {
+		t.Fatal("attach failed")
+	}
+	if a.Baseline() != b.Baseline() {
+		t.Fatal("instances do not share one baseline image")
+	}
+
+	// Dirtying a never leaks into b, and both reset against the same image.
+	a.Write(10, []byte("DIRTYDIR"))
+	if s, _ := b.ReadString(10, 8); s != "baseline" {
+		t.Fatalf("b observed a's dirty page: %q", s)
+	}
+	a.ResetToBaseline()
+	if s, _ := a.ReadString(10, 8); s != "baseline" {
+		t.Fatalf("a after reset: %q", s)
+	}
+
+	// Size mismatch refuses the attach.
+	c := newCowMemory(3)
+	if c.AttachBaseline(img) {
+		t.Fatal("attach accepted a size-mismatched image")
+	}
+}
+
+func TestRestoreMarksAllDirty(t *testing.T) {
+	m := newCowMemory(2)
+	snap := append([]byte(nil), m.Bytes()...)
+	m.CaptureBaseline()
+	m.Restore(snap)
+	// Restore's relation to the baseline is unknown: conservatively every
+	// page is dirty, so a later CoW reset rewrites them all.
+	if n := m.DirtyPages(); n != 2 {
+		t.Fatalf("dirty after Restore = %d, want 2", n)
+	}
+}

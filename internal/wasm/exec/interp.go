@@ -400,6 +400,7 @@ func (inst *Instance) execMisc(in *instr, stack []Value, mem *Memory) ([]Value, 
 			return nil, newTrap(TrapMemoryOutOfBounds)
 		}
 		copy(mem.data[dst:dst+n], mem.data[src:src+n])
+		mem.markRange(uint64(dst), uint64(n))
 	case wasm.MiscMemoryFill:
 		n := AsU32(stack[len(stack)-1])
 		val := byte(stack[len(stack)-2])
@@ -411,6 +412,7 @@ func (inst *Instance) execMisc(in *instr, stack []Value, mem *Memory) ([]Value, 
 		for i := uint32(0); i < n; i++ {
 			mem.data[dst+i] = val
 		}
+		mem.markRange(uint64(dst), uint64(n))
 	}
 	return stack, nil
 }

@@ -2,12 +2,20 @@ package exec
 
 import (
 	"encoding/binary"
+	"math/bits"
 
 	"wasmcontainers/internal/wasm"
 )
 
 // Memory is a linear memory instance. Data is always a multiple of the
 // 64 KiB page size long.
+//
+// Every mutation path sets a bit in a per-page dirty bitmap. Together with a
+// shared immutable BaselineImage (the post-instantiation memory contents,
+// typically held by the module's ModuleCode and shared by every instance of
+// that digest on the node) this gives copy-on-write semantics at page
+// granularity: an instance's private cost is its dirty pages, and resetting
+// between requests copies back only those pages instead of the whole memory.
 type Memory struct {
 	Type wasm.MemoryType
 	data []byte
@@ -16,6 +24,12 @@ type Memory struct {
 	// grows counts successful memory.grow calls (telemetry for the
 	// engine-profile memory models).
 	grows int
+	// dirty has one bit per 64 KiB page of data, set on first write since the
+	// last baseline capture/attach/reset. Always sized to cover len(data).
+	dirty []uint64
+	// baseline is the shared read-only image dirty pages diverge from; nil
+	// until captured or attached.
+	baseline *BaselineImage
 }
 
 // NewMemory allocates a memory instance for the given type. limitPages is an
@@ -28,10 +42,12 @@ func NewMemory(t wasm.MemoryType, limitPages uint32) *Memory {
 	if limitPages > 0 && limitPages < max {
 		max = limitPages
 	}
+	pages := uint64(t.Limits.Min)
 	return &Memory{
 		Type:     t,
-		data:     make([]byte, int(t.Limits.Min)*wasm.PageSize),
+		data:     make([]byte, int(pages)*wasm.PageSize),
 		maxPages: max,
+		dirty:    make([]uint64, (pages+63)/64),
 	}
 }
 
@@ -44,8 +60,37 @@ func (m *Memory) Size() int { return len(m.data) }
 // Grows returns how many times the memory has grown since instantiation.
 func (m *Memory) Grows() int { return m.grows }
 
+// markPage flags the page containing byte offset ea as dirty. ea must be in
+// bounds (callers mark after their bounds check).
+func (m *Memory) markPage(ea uint64) {
+	p := ea >> 16
+	m.dirty[p>>6] |= 1 << (p & 63)
+}
+
+// markRange flags every page overlapping [ea, ea+n).
+func (m *Memory) markRange(ea, n uint64) {
+	if n == 0 {
+		return
+	}
+	for p := ea >> 16; p <= (ea+n-1)>>16; p++ {
+		m.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
+
+// markAll conservatively flags every current page dirty.
+func (m *Memory) markAll() {
+	pages := uint64(m.Pages())
+	for p := uint64(0); p < pages; p++ {
+		m.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
+
 // Grow extends the memory by delta pages, returning the previous page count
 // or -1 (as per memory.grow semantics) if the limit would be exceeded.
+// Reallocation keeps capacity headroom (amortized doubling up to maxPages),
+// so a guest growing one page at a time pays O(n) total copying, not O(n²).
+// New pages are zero and marked dirty: relative to any baseline they are
+// private memory, released again by ResetToBaseline.
 func (m *Memory) Grow(delta uint32) int32 {
 	cur := m.Pages()
 	if delta == 0 {
@@ -55,27 +100,153 @@ func (m *Memory) Grow(delta uint32) int32 {
 	if newPages > uint64(m.maxPages) {
 		return -1
 	}
-	grown := make([]byte, int(newPages)*wasm.PageSize)
-	copy(grown, m.data)
-	m.data = grown
+	newLen := int(newPages) * wasm.PageSize
+	if newLen <= cap(m.data) {
+		// Reslice within existing capacity. Pages in [cur, newPages) may hold
+		// stale bytes from before a shrink (ResetToBaseline reslices down
+		// without clearing); memory.grow must expose zeroes.
+		oldLen := len(m.data)
+		m.data = m.data[:newLen]
+		clear(m.data[oldLen:])
+	} else {
+		newCap := 2 * cap(m.data)
+		if newCap < newLen {
+			newCap = newLen
+		}
+		if maxLen := int(m.maxPages) * wasm.PageSize; newCap > maxLen {
+			newCap = maxLen
+		}
+		grown := make([]byte, newLen, newCap)
+		copy(grown, m.data)
+		m.data = grown
+	}
+	for need := int(newPages+63) / 64; len(m.dirty) < need; {
+		m.dirty = append(m.dirty, 0)
+	}
+	for p := uint64(cur); p < newPages; p++ {
+		m.dirty[p>>6] |= 1 << (p & 63)
+	}
 	m.grows++
 	return int32(cur)
 }
 
-// Bytes exposes the backing store. Callers must not resize it.
+// Bytes exposes the backing store. Callers must not resize it, and must not
+// write through it (writes bypass dirty tracking; use Write or WritableView).
 func (m *Memory) Bytes() []byte { return m.data }
 
 // Restore rewinds the memory to a previously captured snapshot of its
 // backing bytes: contents are copied back and the size snaps to the
 // snapshot's length, releasing pages acquired by memory.grow since the
-// snapshot. Warm instance pools use this to guarantee no guest state leaks
-// between requests. The snapshot length must be a page multiple (as
-// returned by Bytes on a live memory).
+// snapshot. This is the legacy full-copy reset (kept as the baseline the
+// CoW benchmarks compare against); warm pools now use ResetToBaseline. The
+// snapshot length must be a page multiple (as returned by Bytes on a live
+// memory). Because the snapshot's relation to any attached baseline is
+// unknown, every page is conservatively marked dirty.
 func (m *Memory) Restore(snapshot []byte) {
 	if len(m.data) != len(snapshot) {
 		m.data = make([]byte, len(snapshot))
 	}
 	copy(m.data, snapshot)
+	for need := (len(snapshot)/wasm.PageSize + 63) / 64; len(m.dirty) < need; {
+		m.dirty = append(m.dirty, 0)
+	}
+	m.markAll()
+}
+
+// BaselineImage is an immutable copy of a memory's post-instantiation
+// contents, shared by reference between every instance of a module digest.
+// It is the memory-side twin of the shared compiled-code artifact: accounted
+// once per node, with instances charged only their private dirty pages.
+type BaselineImage struct {
+	data []byte
+}
+
+// Bytes returns the accounted size of the image.
+func (b *BaselineImage) Bytes() int64 { return int64(len(b.data)) }
+
+// Pages returns the image size in 64 KiB pages.
+func (b *BaselineImage) Pages() uint32 { return uint32(len(b.data) / wasm.PageSize) }
+
+// CaptureBaseline snapshots the current contents as a new shared baseline,
+// attaches it, and clears the dirty bitmap: from here on the memory's
+// private cost is the pages it diverges by.
+func (m *Memory) CaptureBaseline() *BaselineImage {
+	b := &BaselineImage{data: append([]byte(nil), m.data...)}
+	m.baseline = b
+	clear(m.dirty)
+	return b
+}
+
+// AttachBaseline adopts an existing shared baseline. The memory's current
+// contents must already equal the image byte-for-byte (instantiation of a
+// given module is deterministic, so every fresh instance reaches the same
+// state); only the length is checked. Returns false on length mismatch, in
+// which case the memory is left untouched.
+func (m *Memory) AttachBaseline(b *BaselineImage) bool {
+	if b == nil || len(b.data) != len(m.data) {
+		return false
+	}
+	m.baseline = b
+	clear(m.dirty)
+	return true
+}
+
+// Baseline returns the attached shared image, or nil.
+func (m *Memory) Baseline() *BaselineImage { return m.baseline }
+
+// DirtyPages counts pages written since the last baseline capture/attach or
+// reset (including pages acquired by memory.grow).
+func (m *Memory) DirtyPages() int {
+	n := 0
+	for _, w := range m.dirty {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// PrivateBytes is the memory's copy-on-write private cost: dirty pages when
+// a baseline is attached, the whole memory otherwise.
+func (m *Memory) PrivateBytes() int64 {
+	if m.baseline == nil {
+		return int64(len(m.data))
+	}
+	return int64(m.DirtyPages()) * wasm.PageSize
+}
+
+// ResetToBaseline rewinds the memory to the attached baseline by copying
+// back only dirty pages, releasing pages grown beyond the baseline and
+// clearing the dirty bitmap. Cost is proportional to pages touched since the
+// last reset, not memory size. Returns the number of pages copied, or -1 if
+// no baseline is attached (the memory is left unchanged).
+func (m *Memory) ResetToBaseline() int {
+	b := m.baseline
+	if b == nil {
+		return -1
+	}
+	if len(m.data) > len(b.data) {
+		// Drop grown pages: their dirty bits are discarded with them.
+		m.data = m.data[:len(b.data)]
+	}
+	basePages := uint64(len(b.data)) / wasm.PageSize
+	copied := 0
+	for wi, w := range m.dirty {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << bit
+			p := uint64(wi)*64 + uint64(bit)
+			if p >= basePages {
+				continue
+			}
+			off := p * wasm.PageSize
+			copy(m.data[off:off+wasm.PageSize], b.data[off:off+wasm.PageSize])
+			copied++
+		}
+		m.dirty[wi] = 0
+	}
+	if need := int(basePages+63) / 64; len(m.dirty) > need {
+		m.dirty = m.dirty[:need]
+	}
+	return copied
 }
 
 // inBounds reports whether [addr, addr+n) lies within the memory. n must be
@@ -97,11 +268,26 @@ func (m *Memory) Read(addr, n uint32) ([]byte, bool) {
 }
 
 // View returns a slice aliasing memory [addr, addr+n), or false on OOB.
+// The view is for reading; writing through it would bypass dirty tracking
+// (use WritableView for that).
 func (m *Memory) View(addr, n uint32) ([]byte, bool) {
 	ea := uint64(addr)
 	if ea+uint64(n) > uint64(len(m.data)) {
 		return nil, false
 	}
+	return m.data[ea : ea+uint64(n)], true
+}
+
+// WritableView is View for host functions that fill guest memory in place
+// (avoiding a staging allocation): the covered pages are marked dirty up
+// front, so writes through the returned slice stay visible to the
+// copy-on-write reset.
+func (m *Memory) WritableView(addr, n uint32) ([]byte, bool) {
+	ea := uint64(addr)
+	if ea+uint64(n) > uint64(len(m.data)) {
+		return nil, false
+	}
+	m.markRange(ea, uint64(n))
 	return m.data[ea : ea+uint64(n)], true
 }
 
@@ -112,6 +298,19 @@ func (m *Memory) Write(addr uint32, b []byte) bool {
 		return false
 	}
 	copy(m.data[ea:], b)
+	m.markRange(ea, uint64(len(b)))
+	return true
+}
+
+// WriteString copies s into memory at addr without an intermediate []byte
+// allocation, returning false on OOB.
+func (m *Memory) WriteString(addr uint32, s string) bool {
+	ea := uint64(addr)
+	if ea+uint64(len(s)) > uint64(len(m.data)) {
+		return false
+	}
+	copy(m.data[ea:], s)
+	m.markRange(ea, uint64(len(s)))
 	return true
 }
 
@@ -127,6 +326,8 @@ func (m *Memory) ReadUint32(addr uint32) (uint32, bool) {
 func (m *Memory) WriteUint32(addr uint32, v uint32) bool {
 	if ea, ok := m.inBounds(addr, 0, 4); ok {
 		binary.LittleEndian.PutUint32(m.data[ea:], v)
+		m.markPage(ea)
+		m.markPage(ea + 3)
 		return true
 	}
 	return false
@@ -144,6 +345,8 @@ func (m *Memory) ReadUint64(addr uint32) (uint64, bool) {
 func (m *Memory) WriteUint64(addr uint32, v uint64) bool {
 	if ea, ok := m.inBounds(addr, 0, 8); ok {
 		binary.LittleEndian.PutUint64(m.data[ea:], v)
+		m.markPage(ea)
+		m.markPage(ea + 7)
 		return true
 	}
 	return false
@@ -151,11 +354,11 @@ func (m *Memory) WriteUint64(addr uint32, v uint64) bool {
 
 // ReadString reads n bytes at addr as a string, returning false on OOB.
 func (m *Memory) ReadString(addr, n uint32) (string, bool) {
-	b, ok := m.Read(addr, n)
-	if !ok {
+	ea := uint64(addr)
+	if ea+uint64(n) > uint64(len(m.data)) {
 		return "", false
 	}
-	return string(b), true
+	return string(m.data[ea : ea+uint64(n)]), true
 }
 
 // load fetches width bytes for the interpreter; returns the zero-extended
@@ -177,7 +380,9 @@ func (m *Memory) load(addr, offset uint32, width int) (uint64, bool) {
 	}
 }
 
-// store writes width bytes for the interpreter.
+// store writes width bytes for the interpreter. The hot-loop dirty marking
+// is one shift/or on the first page plus a compare for the (rare) access
+// that straddles a page boundary.
 func (m *Memory) store(addr, offset uint32, width int, v uint64) bool {
 	ea, ok := m.inBounds(addr, offset, width)
 	if !ok {
@@ -192,6 +397,11 @@ func (m *Memory) store(addr, offset uint32, width int, v uint64) bool {
 		binary.LittleEndian.PutUint32(m.data[ea:], uint32(v))
 	default:
 		binary.LittleEndian.PutUint64(m.data[ea:], v)
+	}
+	p := ea >> 16
+	m.dirty[p>>6] |= 1 << (p & 63)
+	if last := (ea + uint64(width) - 1) >> 16; last != p {
+		m.dirty[last>>6] |= 1 << (last & 63)
 	}
 	return true
 }

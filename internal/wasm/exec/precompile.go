@@ -2,21 +2,28 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"wasmcontainers/internal/wasm"
 )
 
 // ModuleCode is the compiled, executable form of a validated module: every
 // function body lowered to the interpreter's pre-decoded instruction format.
-// It is immutable after Precompile and safe to share between any number of
-// stores and instances concurrently — this is what the module-compilation
-// cache hands out so N instances of the same module compile once and share
-// one copy of compiled-code bytes, mirroring the paper's shared-runtime-code
-// memory accounting.
+// The compiled code is immutable after Precompile and safe to share between
+// any number of stores and instances concurrently — this is what the
+// module-compilation cache hands out so N instances of the same module
+// compile once and share one copy of compiled-code bytes, mirroring the
+// paper's shared-runtime-code memory accounting. The lone mutable slot is
+// the lazily captured baseline memory image (guarded by baseMu): the
+// memory-side twin of the code artifact, captured from the first instance
+// and shared by reference with every later one.
 type ModuleCode struct {
 	m         *wasm.Module
 	codes     []*compiledCode // one per module-defined function
 	codeBytes int64
+
+	baseMu   sync.Mutex
+	baseline *BaselineImage
 }
 
 // Precompile lowers every function body of a validated module. The module
@@ -51,3 +58,39 @@ func (mc *ModuleCode) CodeBytes() int64 { return mc.codeBytes }
 
 // NumFuncs returns the number of module-defined (non-imported) functions.
 func (mc *ModuleCode) NumFuncs() int { return len(mc.codes) }
+
+// EnsureBaseline gives mem the module's shared baseline memory image. The
+// first call captures mem's current (post-instantiation) contents as the
+// image; later calls attach the same image by reference, so N instances of
+// one digest share one copy and are individually charged only their dirty
+// pages. Instantiation is deterministic, so every fresh instance arrives
+// here with identical contents. Returns the shared image, or nil when mem is
+// nil or its size no longer matches the captured image (the memory then
+// keeps its own private baseline semantics).
+func (mc *ModuleCode) EnsureBaseline(mem *Memory) *BaselineImage {
+	if mem == nil {
+		return nil
+	}
+	mc.baseMu.Lock()
+	defer mc.baseMu.Unlock()
+	if mc.baseline == nil {
+		mc.baseline = mem.CaptureBaseline()
+		return mc.baseline
+	}
+	if !mem.AttachBaseline(mc.baseline) {
+		return nil
+	}
+	return mc.baseline
+}
+
+// BaselineBytes is the accounted size of the shared baseline image, 0 until
+// a first instance has been captured. Like CodeBytes it is charged once per
+// node regardless of instance count.
+func (mc *ModuleCode) BaselineBytes() int64 {
+	mc.baseMu.Lock()
+	defer mc.baseMu.Unlock()
+	if mc.baseline == nil {
+		return 0
+	}
+	return mc.baseline.Bytes()
+}
