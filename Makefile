@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures results examples clean
+.PHONY: all build vet test race obs-overhead bench figures results examples clean
 
-all: build vet test race
+all: build vet test race obs-overhead
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,20 @@ vet:
 test:
 	$(GO) test ./...
 
-# Concurrency check: the serve warm pool is hammered from many goroutines.
+# Concurrency check: the serve warm pool, the dispatcher's observer
+# accessors, and the obs registry/tracer are hammered from many goroutines.
 race:
 	$(GO) test -race ./...
+
+# Telemetry overhead gate: the per-request instrumentation sequence with
+# telemetry disabled must not allocate. The anchored grep keeps "240
+# allocs/op" from matching "0 allocs/op".
+obs-overhead:
+	@out=$$($(GO) test -run NONE -bench BenchmarkInvokeTelemetryDisabled \
+		-benchmem -benchtime 10000x ./internal/obs/); \
+	echo "$$out"; \
+	if ! echo "$$out" | grep -qE '[[:space:]]0 allocs/op'; then \
+		echo "obs-overhead: disabled telemetry path allocates"; exit 1; fi
 
 # Run every benchmark once (tables, figures, ablations, microbenches,
 # interpreter hot-loop and engine instantiate benches).

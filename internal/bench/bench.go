@@ -11,8 +11,15 @@ import (
 	"strings"
 
 	"wasmcontainers/internal/k8s"
+	"wasmcontainers/internal/obs"
 	"wasmcontainers/internal/simos"
 )
+
+// TableSchemaVersion identifies the JSON layout of Table. Bump it when
+// renaming or removing fields so downstream consumers of results/<id>.json
+// can detect incompatible output; additive changes (like the telemetry
+// snapshot) keep the version.
+const TableSchemaVersion = 2
 
 // WasmImage and PythonImage are the benchmark images (the paper's minimal
 // microservice in both forms).
@@ -85,11 +92,17 @@ var (
 
 // Table is a printable experiment result.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	// SchemaVersion stamps the JSON layout (TableSchemaVersion); zero until
+	// JSON() renders the table.
+	SchemaVersion int `json:"schema_version"`
+	Title         string
+	Columns       []string
+	Rows          [][]string
 	// Notes carries derived observations (reduction percentages etc.).
 	Notes []string
+	// Telemetry is the metrics snapshot of the run that produced the table,
+	// attached by cmd/continuum when -telemetry is set; omitted otherwise.
+	Telemetry *obs.Snapshot `json:"telemetry,omitempty"`
 }
 
 // Format renders the table as aligned text.
@@ -160,8 +173,10 @@ func (t *Table) CSV() string {
 }
 
 // JSON renders the table as indented JSON (machine-readable counterpart of
-// Format/CSV; written as <id>.json by cmd/continuum).
+// Format/CSV; written as <id>.json by cmd/continuum). It stamps the current
+// schema version.
 func (t *Table) JSON() string {
+	t.SchemaVersion = TableSchemaVersion
 	b, err := json.MarshalIndent(t, "", "  ")
 	if err != nil {
 		return "{}"
@@ -195,6 +210,12 @@ func MeasureDeployment(cfg RuntimeConfig, density int) (MemoryMeasurement, error
 	if err != nil {
 		return MemoryMeasurement{}, err
 	}
+	tele := Telemetry()
+	if tr := tele.Tracer(); tr != nil {
+		tr.SetClock(func() int64 { return int64(cluster.Engine.Now()) })
+		tr.SetPID(nextRunPID())
+	}
+	cluster.SetObserver(tele)
 	// Pre-pull the image: the paper measures with images already present,
 	// so layer cache is excluded from per-container figures.
 	if err := cluster.Nodes[0].Runtime.PrePull(cfg.Image); err != nil {

@@ -45,7 +45,21 @@ func MeasureServing(p engine.Profile, poolSize int, ratePerSec float64, window t
 	}
 	defer att.Detach()
 
+	// The DES engine exists before any instrumented work so the tracer can
+	// run on simulated time for the whole lifecycle: module compile and pool
+	// pre-instantiation land at t=0, the request phases at their simulated
+	// instants. Real compile/instantiate nanoseconds ride along as span
+	// attributes and histograms.
+	sim := des.NewEngine()
+	tele := Telemetry()
+	if tr := tele.Tracer(); tr != nil {
+		tr.SetClock(func() int64 { return int64(sim.Now()) })
+		tr.SetPID(nextRunPID())
+	}
+
 	eng := engine.New(p)
+	eng.SetObserver(tele)
+	att.SetObserver(tele)
 	bin, err := workloads.Binary(ServingWorkload)
 	if err != nil {
 		return ServingMeasurement{}, err
@@ -67,7 +81,6 @@ func MeasureServing(p engine.Profile, poolSize int, ratePerSec float64, window t
 	if conc == 0 {
 		conc = 8
 	}
-	sim := des.NewEngine()
 	d := serve.NewDispatcher(sim, pool, serve.DispatcherConfig{
 		MaxConcurrency: conc,
 		QueueDepth:     64,
@@ -76,6 +89,7 @@ func MeasureServing(p engine.Profile, poolSize int, ratePerSec float64, window t
 		Export:         "handle",
 		Arg:            servingArg,
 	})
+	d.SetObserver(tele)
 	rep := serve.Run(sim, d, serve.LoadConfig{
 		RatePerSec: ratePerSec,
 		Duration:   window,

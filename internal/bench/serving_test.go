@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
 
 	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/obs"
 )
 
 // The serving acceptance claim: for every engine profile, warm p50 latency
@@ -72,5 +74,86 @@ func TestTableJSONRoundTrips(t *testing.T) {
 	}
 	if !strings.HasSuffix(j, "\n") {
 		t.Fatal("JSON output not newline-terminated")
+	}
+	// The schema version is stamped at render time, and without telemetry the
+	// snapshot block is omitted entirely.
+	var parsed struct {
+		SchemaVersion int             `json:"schema_version"`
+		Telemetry     json.RawMessage `json:"telemetry"`
+	}
+	if err := json.Unmarshal([]byte(j), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.SchemaVersion != TableSchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", parsed.SchemaVersion, TableSchemaVersion)
+	}
+	if parsed.Telemetry != nil {
+		t.Fatalf("telemetry block present without a snapshot: %s", parsed.Telemetry)
+	}
+}
+
+// TestTableJSONCarriesTelemetrySnapshot attaches a snapshot the way
+// cmd/continuum -telemetry does and checks it round-trips through the JSON
+// rendering.
+func TestTableJSONCarriesTelemetrySnapshot(t *testing.T) {
+	tele := obs.New(obs.Config{})
+	tele.Counter("dispatch_completed_total").Add(7)
+	tele.Histogram("dispatch_latency_ns").Record(1500)
+	snap := tele.Snapshot()
+	tab := &Table{Title: "t", Columns: []string{"a"}, Rows: [][]string{{"1"}}, Telemetry: &snap}
+	var parsed struct {
+		SchemaVersion int           `json:"schema_version"`
+		Telemetry     *obs.Snapshot `json:"telemetry"`
+	}
+	if err := json.Unmarshal([]byte(tab.JSON()), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Telemetry == nil {
+		t.Fatal("telemetry block missing")
+	}
+	if len(parsed.Telemetry.Counters) != 1 || parsed.Telemetry.Counters[0].Value != 7 {
+		t.Fatalf("counters = %+v", parsed.Telemetry.Counters)
+	}
+	if len(parsed.Telemetry.Histograms) != 1 || parsed.Telemetry.Histograms[0].Count != 1 {
+		t.Fatalf("histograms = %+v", parsed.Telemetry.Histograms)
+	}
+}
+
+// TestMeasureServingWithTelemetry runs one observed serving measurement end
+// to end through the package-level sink (the cmd/continuum -telemetry path)
+// and checks the run leaves both metrics and lifecycle spans behind, on the
+// simulated timeline.
+func TestMeasureServingWithTelemetry(t *testing.T) {
+	tele := obs.New(obs.Config{})
+	SetTelemetry(tele)
+	defer SetTelemetry(nil)
+	m, err := MeasureServing(engine.WAMR, 2, 80, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tele.Metrics()
+	if got := reg.Counter("dispatch_completed_total").Value(); got != m.Report.Dispatcher.Completed {
+		t.Errorf("dispatch_completed_total = %d, want %d", got, m.Report.Dispatcher.Completed)
+	}
+	if got := reg.Counter("loadgen_offered_total").Value(); got != m.Report.Offered {
+		t.Errorf("loadgen_offered_total = %d, want %d", got, m.Report.Offered)
+	}
+	if got := reg.Counter(obs.Labeled("engine_instantiates_total", "engine", "wamr")).Value(); got == 0 {
+		t.Error("no engine instantiates observed")
+	}
+	if got := reg.Counter("modcache_misses_total").Value(); got != 1 {
+		t.Errorf("modcache_misses_total = %d, want 1 compile", got)
+	}
+	phases := map[string]bool{}
+	for _, s := range tele.Tracer().Spans() {
+		phases[s.Name] = true
+		if s.PID == 0 {
+			t.Fatalf("span missing run PID: %+v", s)
+		}
+	}
+	for _, want := range []string{"module-load", "instantiate", "acquire", "invoke", "reset"} {
+		if !phases[want] {
+			t.Errorf("no %q spans in observed serving run (got %v)", want, phases)
+		}
 	}
 }

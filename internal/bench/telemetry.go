@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"wasmcontainers/internal/obs"
+)
+
+// The harness-wide telemetry sink. Experiments run strictly sequentially, so
+// a package-level slot (rather than threading a parameter through every
+// Measure* signature) keeps the instrumentation additive; the mutex only
+// protects against a scraper reading while an experiment swaps the sink.
+var (
+	teleMu     sync.Mutex
+	activeTele *obs.Telemetry
+	telePIDSeq atomic.Int64
+)
+
+// SetTelemetry installs the telemetry sink every subsequent Measure* run
+// observes into, or disables observation with nil (the default). Runs under
+// the same sink are distinguished by trace PID: each MeasureServing /
+// MeasureDeployment claims the next PID so a multi-run experiment renders as
+// one process group per run in the Chrome trace viewer.
+func SetTelemetry(t *obs.Telemetry) {
+	teleMu.Lock()
+	defer teleMu.Unlock()
+	activeTele = t
+}
+
+// Telemetry returns the currently installed sink, nil when disabled.
+func Telemetry() *obs.Telemetry {
+	teleMu.Lock()
+	defer teleMu.Unlock()
+	return activeTele
+}
+
+// nextRunPID claims a fresh trace process ID for one measurement run.
+func nextRunPID() int64 { return telePIDSeq.Add(1) }

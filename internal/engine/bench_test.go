@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/wasm/exec"
 	"wasmcontainers/internal/wat"
 )
 
@@ -55,6 +57,52 @@ func BenchmarkInstantiateCold(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := eng.Instantiate(cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchInvokeInstance builds one live instance of the bench module.
+func benchInvokeInstance(b *testing.B, tele *obs.Telemetry) *Instance {
+	b.Helper()
+	eng := New(WAMR)
+	eng.SetObserver(tele)
+	cm, err := eng.Compile(benchBinary(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := eng.Instantiate(cm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkInvokeTelemetryDisabled measures the real engine invoke path with
+// telemetry wired then disabled (nil observer): the companion to the
+// internal/obs gate, establishing the full-path baseline the enabled variant
+// is compared against (≤2% slowdown budget). The invoke itself allocates
+// (result slice), so the alloc gate lives in internal/obs where the
+// instrumentation sequence runs in isolation.
+func BenchmarkInvokeTelemetryDisabled(b *testing.B) {
+	inst := benchInvokeInstance(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Invoke("run", exec.I32(int32(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvokeTelemetryEnabled is the same invoke loop with live counters
+// and histograms.
+func BenchmarkInvokeTelemetryEnabled(b *testing.B) {
+	inst := benchInvokeInstance(b, obs.New(obs.Config{}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Invoke("run", exec.I32(int32(i))); err != nil {
 			b.Fatal(err)
 		}
 	}

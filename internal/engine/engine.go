@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"wasmcontainers/internal/obs"
 	"wasmcontainers/internal/wasi"
 	"wasmcontainers/internal/wasm"
 	"wasmcontainers/internal/wasm/cache"
@@ -204,6 +205,38 @@ type Engine struct {
 	// modCache deduplicates Compile: N identical binaries decode, validate,
 	// and lower once, and share one compiled artifact.
 	modCache *cache.Cache
+
+	// Telemetry handles, pre-resolved by SetObserver and nil when disabled:
+	// the invoke hot path then pays one nil check per handle and zero
+	// allocations (BenchmarkInvokeTelemetryDisabled enforces this).
+	obs             *obs.Telemetry
+	obsInstantiates *obs.Counter
+	obsInstWallNs   *obs.Histogram
+	obsInvokes      *obs.Counter
+	obsInvokeInstr  *obs.Histogram
+	obsTraps        *obs.Counter
+	obsTracer       *obs.Tracer
+}
+
+// SetObserver wires telemetry into the engine and its module cache. Metric
+// names carry an engine label so cache-sharing engines stay separable in the
+// Prometheus dump. Pass nil to disable (the default).
+func (e *Engine) SetObserver(t *obs.Telemetry) {
+	e.obs = t
+	if t == nil {
+		e.obsInstantiates, e.obsInvokes, e.obsTraps = nil, nil, nil
+		e.obsInstWallNs, e.obsInvokeInstr, e.obsTracer = nil, nil, nil
+		e.modCache.SetObserver(nil)
+		return
+	}
+	label := func(name string) string { return obs.Labeled(name, "engine", e.Profile.Name) }
+	e.obsInstantiates = t.Counter(label("engine_instantiates_total"))
+	e.obsInstWallNs = t.Histogram(label("engine_instantiate_wall_ns"))
+	e.obsInvokes = t.Counter(label("engine_invokes_total"))
+	e.obsInvokeInstr = t.Histogram(label("engine_invoke_instructions"))
+	e.obsTraps = t.Counter(label("engine_traps_total"))
+	e.obsTracer = t.Tracer()
+	e.modCache.SetObserver(t)
 }
 
 // New creates an engine for the profile with its own module cache.
@@ -288,6 +321,11 @@ type RunResult struct {
 // shapes the derived cost figures.
 func (e *Engine) Run(cm *CompiledModule, cfg wasi.Config) (RunResult, error) {
 	w := wasi.New(cfg)
+	w.SetObserver(e.obs)
+	var spanStart int64
+	if e.obsTracer != nil {
+		spanStart = e.obsTracer.Now()
+	}
 	store := exec.NewStore(exec.Config{})
 	var res wasi.RunResult
 	var err error
@@ -298,6 +336,12 @@ func (e *Engine) Run(cm *CompiledModule, cfg wasi.Config) (RunResult, error) {
 	}
 	if err != nil {
 		return RunResult{}, fmt.Errorf("%s: %w", e.Profile.Name, err)
+	}
+	if e.obsTracer != nil {
+		e.obsTracer.Span("wasi-run", "engine", 0, spanStart, e.obsTracer.Now(),
+			obs.Str("engine", e.Profile.Name),
+			obs.I64("instructions", int64(res.Instructions)),
+			obs.I64("exit_code", int64(res.ExitCode)))
 	}
 	return e.annotate(res), nil
 }
@@ -358,6 +402,12 @@ type Instance struct {
 // data segments, start function). Used for both pool pre-warming and the
 // dispatcher's cold-start fallback.
 func (e *Engine) Instantiate(cm *CompiledModule) (*Instance, error) {
+	var spanStart int64
+	var wallStart time.Time
+	if e.obsTracer != nil {
+		spanStart = e.obsTracer.Now()
+		wallStart = time.Now()
+	}
 	store := exec.NewStore(exec.Config{})
 	var inst *exec.Instance
 	var err error
@@ -368,6 +418,19 @@ func (e *Engine) Instantiate(cm *CompiledModule) (*Instance, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.Profile.Name, err)
+	}
+	e.obsInstantiates.Inc()
+	if e.obsTracer != nil {
+		wallNs := time.Since(wallStart).Nanoseconds()
+		e.obsInstWallNs.Record(wallNs)
+		var pages int64
+		if m := inst.Memory(); m != nil {
+			pages = int64(m.Size()) / wasm.PageSize
+		}
+		e.obsTracer.Span("instantiate", "engine", 0, spanStart, e.obsTracer.Now(),
+			obs.Str("engine", e.Profile.Name),
+			obs.I64("wall_ns", wallNs),
+			obs.I64("memory_pages", pages))
 	}
 	// Copy-on-write setup: the first instance of a digest donates its
 	// post-instantiation memory as the shared baseline image; later instances
@@ -395,10 +458,13 @@ type InvokeResult struct {
 func (i *Instance) Invoke(export string, args ...exec.Value) (InvokeResult, error) {
 	before := i.store.InstructionCount()
 	vals, err := i.inst.Call(export, args...)
+	i.e.obsInvokes.Inc()
 	if err != nil {
+		i.e.obsTraps.Inc()
 		return InvokeResult{}, fmt.Errorf("%s: %w", i.e.Profile.Name, err)
 	}
 	n := i.store.InstructionCount() - before
+	i.e.obsInvokeInstr.Record(int64(n))
 	return InvokeResult{
 		Values:            vals,
 		Instructions:      n,

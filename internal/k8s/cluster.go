@@ -7,6 +7,7 @@ import (
 	"wasmcontainers/internal/containerd"
 	"wasmcontainers/internal/cri"
 	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/obs"
 	"wasmcontainers/internal/simos"
 )
 
@@ -166,6 +167,15 @@ func (c *Cluster) Deploy(opts DeployOptions) ([]*Pod, error) {
 		pods = append(pods, p)
 	}
 	return pods, nil
+}
+
+// SetObserver wires telemetry into every node's kubelet (pod gauges,
+// started/failed counters, node-memory gauges). Pass nil to disable (the
+// default).
+func (c *Cluster) SetObserver(t *obs.Telemetry) {
+	for _, n := range c.Nodes {
+		n.Kubelet.SetObserver(t)
+	}
 }
 
 // Run drives the simulation until quiescent and returns the final time.

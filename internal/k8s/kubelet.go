@@ -7,6 +7,7 @@ import (
 	"wasmcontainers/internal/containerd"
 	"wasmcontainers/internal/cri"
 	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/obs"
 	"wasmcontainers/internal/simos"
 )
 
@@ -50,6 +51,31 @@ type Kubelet struct {
 	taskLock *des.Resource
 	proc     *simos.Process
 	podCount int
+
+	// Telemetry handles, nil when observation is disabled (nil handles no-op
+	// without allocating).
+	obsPods       *obs.Gauge
+	obsStarted    *obs.Counter
+	obsFailed     *obs.Counter
+	obsNodeMemory *obs.Gauge
+}
+
+// SetObserver wires node-scoped telemetry into the kubelet: a managed-pods
+// gauge, started/failed counters, and a node_memory_used_bytes{node=...}
+// gauge refreshed from the simulated node's beyond-idle memory at every pod
+// transition. Pass nil to disable (the default).
+func (k *Kubelet) SetObserver(t *obs.Telemetry) {
+	if t == nil {
+		k.obsPods, k.obsStarted, k.obsFailed, k.obsNodeMemory = nil, nil, nil, nil
+		return
+	}
+	node := k.node.Config().Name
+	k.obsPods = t.Gauge(obs.Labeled("kubelet_managed_pods", "node", node))
+	k.obsStarted = t.Counter(obs.Labeled("kubelet_pods_started_total", "node", node))
+	k.obsFailed = t.Counter(obs.Labeled("kubelet_pods_failed_total", "node", node))
+	k.obsNodeMemory = t.Gauge(obs.Labeled("node_memory_used_bytes", "node", node))
+	k.obsPods.Set(int64(k.podCount))
+	k.obsNodeMemory.Set(k.node.UsedBeyondIdle())
 }
 
 // NewKubelet wires a kubelet to its node.
@@ -85,11 +111,14 @@ func (k *Kubelet) HandlePod(p *Pod) {
 	if k.podCount >= k.cfg.MaxPods {
 		p.Status.Phase = PodFailed
 		p.Status.Message = fmt.Sprintf("kubelet: max pods (%d) exceeded", k.cfg.MaxPods)
+		k.obsFailed.Inc()
 		k.api.Record("PodFailed", p.Namespace+"/"+p.Name, p.Status.Message)
 		return
 	}
 	k.podCount++
 	k.proc.MapPrivate(k.cfg.GrowthPerPod)
+	k.obsPods.Set(int64(k.podCount))
+	k.obsNodeMemory.Set(k.node.UsedBeyondIdle())
 	k.eng.After(k.cfg.SyncDelay, func() { k.syncPod(p) })
 }
 
@@ -149,6 +178,8 @@ func (k *Kubelet) syncPod(p *Pod) {
 					if remaining == 0 {
 						p.Status.Phase = PodRunning
 						p.Status.RunningAt = k.eng.Now()
+						k.obsStarted.Inc()
+						k.obsNodeMemory.Set(k.node.UsedBeyondIdle())
 						k.api.Record("PodRunning", p.Namespace+"/"+p.Name, report.Handler)
 						k.api.UpdatePod(p)
 					}
@@ -161,6 +192,7 @@ func (k *Kubelet) syncPod(p *Pod) {
 func (k *Kubelet) failPod(p *Pod, msg string) {
 	p.Status.Phase = PodFailed
 	p.Status.Message = msg
+	k.obsFailed.Inc()
 	k.api.Record("PodFailed", p.Namespace+"/"+p.Name, msg)
 	k.api.UpdatePod(p)
 }

@@ -1,0 +1,105 @@
+package k8s
+
+import (
+	"testing"
+
+	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/simos"
+)
+
+// TestClusterTelemetry deploys pods on an observed cluster and checks the
+// kubelet-level gauges and counters track what the cluster reports through
+// its own accounting.
+func TestClusterTelemetry(t *testing.T) {
+	c := newTestCluster(t)
+	tele := obs.New(obs.Config{Clock: func() int64 { return int64(c.Engine.Now()) }})
+	c.SetObserver(tele)
+	pods, err := c.Deploy(DeployOptions{
+		RuntimeClassName: "crun-wamr",
+		Image:            "minimal-service:wasm",
+		Replicas:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if _, err := c.LastStartTime(pods); err != nil {
+		t.Fatal(err)
+	}
+	reg := tele.Metrics()
+	started := reg.Counter(obs.Labeled("kubelet_pods_started_total", "node", "worker-0"))
+	if started.Value() != 3 {
+		t.Fatalf("kubelet_pods_started_total = %d, want 3", started.Value())
+	}
+	managed := reg.Gauge(obs.Labeled("kubelet_managed_pods", "node", "worker-0"))
+	if managed.Value() != 3 {
+		t.Fatalf("kubelet_managed_pods = %d, want 3", managed.Value())
+	}
+	failed := reg.Counter(obs.Labeled("kubelet_pods_failed_total", "node", "worker-0"))
+	if failed.Value() != 0 {
+		t.Fatalf("kubelet_pods_failed_total = %d, want 0", failed.Value())
+	}
+	// The node-memory gauge mirrors the simulated node's beyond-idle usage at
+	// the last pod transition, when all three workloads were resident.
+	mem := reg.Gauge(obs.Labeled("node_memory_used_bytes", "node", "worker-0"))
+	if got, used := mem.Value(), c.Nodes[0].OS.UsedBeyondIdle(); got != used {
+		t.Fatalf("node_memory_used_bytes = %d, node reports %d", got, used)
+	}
+	if mem.Value() <= 0 {
+		t.Fatal("node memory gauge never updated")
+	}
+}
+
+// TestWarmPoolAttachmentTelemetry checks the warmpool_charged_bytes gauge
+// follows Sync through growth, shrink, and detach.
+func TestWarmPoolAttachmentTelemetry(t *testing.T) {
+	c := newTestCluster(t)
+	tele := obs.New(obs.Config{})
+	att, err := c.Nodes[0].AttachWarmPool("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att.SetObserver(tele)
+	g := tele.Metrics().Gauge(obs.Labeled("warmpool_charged_bytes", "pool", "gw"))
+	att.Sync(3 * simos.MiB)
+	if g.Value() != 3*simos.MiB {
+		t.Fatalf("gauge = %d after sync, want %d", g.Value(), 3*simos.MiB)
+	}
+	att.Sync(1 * simos.MiB)
+	if g.Value() != 1*simos.MiB {
+		t.Fatalf("gauge = %d after shrink, want %d", g.Value(), 1*simos.MiB)
+	}
+	att.Detach()
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d after detach, want 0", g.Value())
+	}
+}
+
+// TestKubeletFailureCounter overflows MaxPods and checks the failure counter
+// catches the rejected pods.
+func TestKubeletFailureCounter(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.KubeletConfig.MaxPods = 2
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele := obs.New(obs.Config{})
+	c.SetObserver(tele)
+	if _, err := c.Deploy(DeployOptions{
+		RuntimeClassName: "crun-wamr",
+		Image:            "minimal-service:wasm",
+		Replicas:         4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	failed := tele.Metrics().Counter(obs.Labeled("kubelet_pods_failed_total", "node", "worker-0"))
+	if failed.Value() != 2 {
+		t.Fatalf("kubelet_pods_failed_total = %d, want 2", failed.Value())
+	}
+	started := tele.Metrics().Counter(obs.Labeled("kubelet_pods_started_total", "node", "worker-0"))
+	if started.Value() != 2 {
+		t.Fatalf("kubelet_pods_started_total = %d, want 2", started.Value())
+	}
+}

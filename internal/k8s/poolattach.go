@@ -3,6 +3,7 @@ package k8s
 import (
 	"fmt"
 
+	"wasmcontainers/internal/obs"
 	"wasmcontainers/internal/simos"
 )
 
@@ -16,7 +17,12 @@ import (
 type WarmPoolAttachment struct {
 	node    *WorkerNode
 	proc    *simos.Process
+	name    string
 	charged int64
+
+	// obsCharged mirrors charged bytes into telemetry; nil (and free) when
+	// observation is disabled.
+	obsCharged *obs.Gauge
 }
 
 // AttachWarmPool spawns the gateway process that will carry the pool's
@@ -27,7 +33,19 @@ func (n *WorkerNode) AttachWarmPool(name string) (*WarmPoolAttachment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("k8s: attach warm pool %s: %w", name, err)
 	}
-	return &WarmPoolAttachment{node: n, proc: proc}, nil
+	return &WarmPoolAttachment{node: n, proc: proc, name: name}, nil
+}
+
+// SetObserver wires a warmpool_charged_bytes{pool=...} gauge tracking the
+// private bytes the attachment currently carries in the node's cgroup
+// hierarchy. Pass nil to disable (the default).
+func (a *WarmPoolAttachment) SetObserver(t *obs.Telemetry) {
+	if t == nil {
+		a.obsCharged = nil
+		return
+	}
+	a.obsCharged = t.Gauge(obs.Labeled("warmpool_charged_bytes", "pool", a.name))
+	a.obsCharged.Set(a.charged)
 }
 
 // Sync sets the attachment's charge to the pool's current accounted bytes,
@@ -47,6 +65,7 @@ func (a *WarmPoolAttachment) Sync(bytes int64) {
 		a.proc.UnmapPrivate(a.charged - t)
 	}
 	a.charged = t
+	a.obsCharged.Set(a.charged)
 }
 
 // SyncShared maps a digest-keyed read-only artifact of the pool's module —

@@ -20,17 +20,30 @@ type Summary struct {
 	P50    float64
 	P95    float64
 	P99    float64
+	// Dropped counts NaN/Inf inputs Summarize skipped; one pathological
+	// sample reports here instead of poisoning every derived statistic.
+	Dropped int
 }
 
-// Summarize computes summary statistics; it returns a zero Summary for an
-// empty sample.
+// Summarize computes summary statistics over the finite entries of xs,
+// skipping (and counting) NaN and ±Inf; it returns a zero Summary for an
+// empty or all-non-finite sample.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
-		return Summary{}
-	}
-	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
-	var sum float64
+	finite := make([]float64, 0, len(xs))
+	dropped := 0
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			dropped++
+			continue
+		}
+		finite = append(finite, x)
+	}
+	if len(finite) == 0 {
+		return Summary{Dropped: dropped}
+	}
+	s := Summary{N: len(finite), Min: finite[0], Max: finite[0], Dropped: dropped}
+	var sum float64
+	for _, x := range finite {
 		sum += x
 		if x < s.Min {
 			s.Min = x
@@ -39,16 +52,16 @@ func Summarize(xs []float64) Summary {
 			s.Max = x
 		}
 	}
-	s.Mean = sum / float64(len(xs))
+	s.Mean = sum / float64(len(finite))
 	var ss float64
-	for _, x := range xs {
+	for _, x := range finite {
 		d := x - s.Mean
 		ss += d * d
 	}
-	if len(xs) > 1 {
-		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	if len(finite) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(finite)-1))
 	}
-	sorted := append([]float64(nil), xs...)
+	sorted := finite
 	sort.Float64s(sorted)
 	s.P50 = percentile(sorted, 0.50)
 	s.P95 = percentile(sorted, 0.95)
@@ -90,6 +103,10 @@ func Increase(a, b float64) float64 {
 
 // String renders the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f stddev=%.3f p50=%.3f p95=%.3f p99=%.3f",
+	out := fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f stddev=%.3f p50=%.3f p95=%.3f p99=%.3f",
 		s.N, s.Mean, s.Min, s.Max, s.StdDev, s.P50, s.P95, s.P99)
+	if s.Dropped > 0 {
+		out += fmt.Sprintf(" dropped=%d", s.Dropped)
+	}
+	return out
 }

@@ -37,6 +37,63 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// TestSummarizeNonFinite is table-driven over NaN/Inf handling: non-finite
+// samples are skipped and counted in Dropped instead of poisoning the
+// statistics.
+func TestSummarizeNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name    string
+		in      []float64
+		n       int
+		dropped int
+		mean    float64
+		p50     float64
+	}{
+		{name: "empty", in: nil, n: 0, dropped: 0},
+		{name: "single", in: []float64{3}, n: 1, dropped: 0, mean: 3, p50: 3},
+		{name: "all nan", in: []float64{nan, nan}, n: 0, dropped: 2},
+		{name: "all inf", in: []float64{inf, -inf}, n: 0, dropped: 2},
+		{name: "nan among finite", in: []float64{1, nan, 3}, n: 2, dropped: 1, mean: 2, p50: 2},
+		{name: "inf among finite", in: []float64{inf, 2, -inf, 4}, n: 2, dropped: 2, mean: 3, p50: 3},
+		{name: "mixed", in: []float64{nan, 5, inf, 5, nan}, n: 2, dropped: 3, mean: 5, p50: 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Summarize(tc.in)
+			if s.N != tc.n || s.Dropped != tc.dropped {
+				t.Fatalf("N=%d Dropped=%d, want %d/%d", s.N, s.Dropped, tc.n, tc.dropped)
+			}
+			if tc.n > 0 && (s.Mean != tc.mean || s.P50 != tc.p50) {
+				t.Fatalf("Mean=%v P50=%v, want %v/%v", s.Mean, s.P50, tc.mean, tc.p50)
+			}
+			if math.IsNaN(s.Mean) || math.IsNaN(s.StdDev) || math.IsInf(s.Mean, 0) {
+				t.Fatalf("non-finite stats leaked: %+v", s)
+			}
+		})
+	}
+}
+
+func TestSummaryStringDropped(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN()})
+	if got := s.String(); !containsDropped(got) {
+		t.Fatalf("String() should report dropped: %q", got)
+	}
+	s2 := Summarize([]float64{1})
+	if got := s2.String(); containsDropped(got) {
+		t.Fatalf("String() should omit dropped when zero: %q", got)
+	}
+}
+
+func containsDropped(s string) bool {
+	for i := 0; i+len("dropped=") <= len(s); i++ {
+		if s[i:i+len("dropped=")] == "dropped=" {
+			return true
+		}
+	}
+	return false
+}
+
 func TestReductionAndIncrease(t *testing.T) {
 	if r := Reduction(4, 8); r != 50 {
 		t.Fatalf("Reduction(4,8) = %v", r)

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one Chrome trace-event ("X" = complete event: begin + end in
+// one record). Timestamps and durations are microseconds, the unit
+// chrome://tracing and Perfetto expect.
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	PID  int64                  `json:"pid"`
+	TID  int64                  `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container format.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. Span attributes become event
+// args; each span's Start/Dur nanoseconds convert to the format's
+// microseconds.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	events := make([]traceEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			PID:  s.PID,
+			TID:  s.TID,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]interface{}, len(s.Attrs))
+			for _, a := range s.Attrs {
+				if a.Str != "" {
+					ev.Args[a.Key] = a.Str
+				} else {
+					ev.Args[a.Key] = a.Val
+				}
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

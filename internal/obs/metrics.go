@@ -1,0 +1,381 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic counter. All methods are safe on a nil receiver
+// (no-ops returning zero), so components can resolve handles once from a
+// possibly-nil Telemetry and call them unconditionally on hot paths with
+// zero allocations and a single predictable branch when disabled.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins instantaneous measurement.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket layout: log-linear, HDR-style. Values below 2^histSubBits
+// get exact unit-width buckets; above that, each power-of-two octave is split
+// into 2^histSubBits linear sub-buckets, bounding the relative quantile error
+// to one part in 2^histSubBits (12.5% with 3 sub-bits) — one bucket width.
+const (
+	histSubBits = 3
+	histBase    = 1 << histSubBits
+	// histBuckets covers every non-negative int64: the maximum index is
+	// histBase + (62-histSubBits)*histBase + (histBase-1) = 487.
+	histBuckets = 488
+)
+
+// bucketIdx maps a non-negative value to its bucket index.
+func bucketIdx(v uint64) int {
+	if v < histBase {
+		return int(v)
+	}
+	shift := uint(bits.Len64(v) - 1 - histSubBits)
+	return histBase + int(shift)<<histSubBits + int((v>>shift)&(histBase-1))
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of a bucket index.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < histBase {
+		return int64(idx), int64(idx)
+	}
+	rel := idx - histBase
+	shift := uint(rel >> histSubBits)
+	pos := int64(rel & (histBase - 1))
+	lo = (histBase + pos) << shift
+	return lo, lo + int64(1)<<shift - 1
+}
+
+// Histogram records int64 samples (typically nanoseconds, bytes, or pages)
+// into fixed log-linear buckets. Record is lock-free and allocation-free:
+// one atomic add per bucket plus count/sum/min/max maintenance, ~ns cost.
+// Negative samples clamp to zero. Histograms with identical layout (all of
+// them — the layout is fixed) merge by bucket-wise addition.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // MaxInt64 until the first Record
+	max    atomic.Int64 // MinInt64 until the first Record
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIdx(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Merge adds o's buckets into h (o may be nil). Both histograms share the
+// fixed layout, so the merge is exact: quantile estimates over the merged
+// histogram carry the same one-bucket error bound as over the parts.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if v := o.min.Load(); v != math.MaxInt64 {
+		for {
+			cur := h.min.Load()
+			if v >= cur || h.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+	if v := o.max.Load(); v != math.MinInt64 {
+		for {
+			cur := h.max.Load()
+			if v <= cur || h.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) as the midpoint of the
+// bucket holding the sample of that rank, clamped to the recorded min/max.
+// The estimate is within one bucket width of the exact order statistic.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			mid := lo + (hi-lo)/2
+			if mn := h.min.Load(); mid < mn {
+				mid = mn
+			}
+			if mx := h.max.Load(); mid > mx {
+				mid = mx
+			}
+			return mid
+		}
+	}
+	return h.max.Load()
+}
+
+// BucketWidth returns the width of the bucket that would hold v: the
+// resolution (and hence the quantile error bound) at that magnitude.
+func BucketWidth(v int64) int64 {
+	if v < 0 {
+		v = 0
+	}
+	lo, hi := bucketBounds(bucketIdx(uint64(v)))
+	return hi - lo + 1
+}
+
+// NamedValue is one counter or gauge in a snapshot.
+type NamedValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot (non-cumulative).
+type Bucket struct {
+	// UpperBound is the inclusive upper value bound of the bucket.
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Name    string   `json:"name"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	P50     int64    `json:"p50"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time dump of a registry, sorted by metric name.
+// It marshals to JSON as the `telemetry` block of bench result files.
+type Snapshot struct {
+	Counters   []NamedValue        `json:"counters"`
+	Gauges     []NamedValue        `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Registry holds named metrics. Lookup methods get-or-create under a mutex;
+// hot paths resolve handles once and then touch only atomics. A nil registry
+// returns nil handles, which in turn no-op — the disabled fast path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot dumps every metric, sorted by name. Values are read with the
+// registration mutex held, but individual metrics keep being written
+// concurrently; each value is an atomic read, so the snapshot is per-metric
+// consistent (the usual scrape semantics).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{Counters: []NamedValue{}, Gauges: []NamedValue{}, Histograms: []HistogramSnapshot{}}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make([]NamedValue, 0, len(r.counters)),
+		Gauges:     make([]NamedValue, 0, len(r.gauges)),
+		Histograms: make([]HistogramSnapshot, 0, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, NamedValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, NamedValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+		}
+		if hs.Count > 0 {
+			hs.Min = h.min.Load()
+			hs.Max = h.max.Load()
+		}
+		for i := range h.counts {
+			if n := h.counts[i].Load(); n > 0 {
+				_, hi := bucketBounds(i)
+				hs.Buckets = append(hs.Buckets, Bucket{UpperBound: hi, Count: n})
+			}
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,86 @@
+// Package obs is the repository's telemetry layer: an atomic,
+// allocation-free-on-hot-path metrics registry (monotonic counters, gauges,
+// mergeable log-linear histograms) and a fixed-capacity ring-buffer span
+// tracer covering the full request lifecycle — loadgen arrival, dispatcher
+// queue wait, pool acquire (warm hit vs cold start), engine instantiate
+// (with the module cache's decode/validate/lower and hit/miss split), guest
+// invoke (instructions consumed, trap info), and copy-on-write reset (dirty
+// pages copied). Two exporters turn a run into files: Prometheus text
+// exposition (WritePrometheus) and Chrome trace-event JSON
+// (WriteChromeTrace, loadable in chrome://tracing or Perfetto).
+//
+// The disabled path is free by construction: every instrumented component
+// holds pre-resolved handles (possibly nil) and each handle method no-ops on
+// a nil receiver with zero allocations — enforced by
+// BenchmarkInvokeTelemetryDisabled and the Makefile obs-overhead gate. Span
+// emission, whose variadic attributes would allocate even for a no-op call,
+// is additionally guarded by an `if tracer != nil` at every call site.
+package obs
+
+import "strings"
+
+// Telemetry bundles the metrics registry and the span tracer. A nil
+// *Telemetry is the disabled state: every accessor returns nil handles whose
+// methods no-op.
+type Telemetry struct {
+	metrics *Registry
+	tracer  *Tracer
+}
+
+// Config shapes a Telemetry instance.
+type Config struct {
+	// TraceCapacity bounds the span ring buffer; 0 means
+	// DefaultTraceCapacity.
+	TraceCapacity int
+	// Clock supplies span timestamps in nanoseconds; nil uses wall time
+	// since creation. The serving harness swaps in the DES clock per run.
+	Clock func() int64
+}
+
+// New creates an enabled Telemetry.
+func New(cfg Config) *Telemetry {
+	return &Telemetry{
+		metrics: NewRegistry(),
+		tracer:  NewTracer(cfg.TraceCapacity, cfg.Clock),
+	}
+}
+
+// Metrics returns the registry (nil when disabled).
+func (t *Telemetry) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// Tracer returns the span tracer (nil when disabled).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Counter resolves a counter handle; nil when disabled.
+func (t *Telemetry) Counter(name string) *Counter { return t.Metrics().Counter(name) }
+
+// Gauge resolves a gauge handle; nil when disabled.
+func (t *Telemetry) Gauge(name string) *Gauge { return t.Metrics().Gauge(name) }
+
+// Histogram resolves a histogram handle; nil when disabled.
+func (t *Telemetry) Histogram(name string) *Histogram { return t.Metrics().Histogram(name) }
+
+// Snapshot dumps the registry (empty when disabled).
+func (t *Telemetry) Snapshot() Snapshot { return t.Metrics().Snapshot() }
+
+// Labeled renders a metric name with one label pair in Prometheus form:
+// Labeled("pool_warm_hits_total", "engine", "wamr") →
+// `pool_warm_hits_total{engine="wamr"}`. Additional pairs append to an
+// already-labeled name.
+func Labeled(name, key, value string) string {
+	value = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	if i := strings.LastIndexByte(name, '}'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i] + `,` + key + `="` + value + `"}`
+	}
+	return name + `{` + key + `="` + value + `"}`
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// splitName separates a Labeled metric name into its base name and label
+// block: `x{a="b"}` → ("x", `a="b"`). Unlabeled names return an empty label
+// block.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// promLine renders one sample, merging extra label pairs into the name's
+// label block.
+func promLine(w io.Writer, base, labels, extra string, value int64) error {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all != "" {
+		_, err := fmt.Fprintf(w, "%s{%s} %d\n", base, all, value)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", base, value)
+	return err
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative `_bucket{le=...}` series with `_sum` and `_count`. Labeled
+// names produced by Labeled() keep their label blocks; the histogram `le`
+// label merges into them. Metrics sharing a base name emit one # TYPE line.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	typed := map[string]bool{}
+	header := func(base, kind string) error {
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+	for _, c := range s.Counters {
+		base, labels := splitName(c.Name)
+		if err := header(base, "counter"); err != nil {
+			return err
+		}
+		if err := promLine(w, base, labels, "", c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		base, labels := splitName(g.Name)
+		if err := header(base, "gauge"); err != nil {
+			return err
+		}
+		if err := promLine(w, base, labels, "", g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		base, labels := splitName(h.Name)
+		if err := header(base, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if err := promLine(w, base+"_bucket", labels,
+				fmt.Sprintf("le=%q", fmt.Sprintf("%d", b.UpperBound)), cum); err != nil {
+				return err
+			}
+		}
+		if err := promLine(w, base+"_bucket", labels, `le="+Inf"`, h.Count); err != nil {
+			return err
+		}
+		if err := promLine(w, base+"_sum", labels, "", h.Sum); err != nil {
+			return err
+		}
+		if err := promLine(w, base+"_count", labels, "", h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute. Val carries numeric attributes; a non-empty
+// Str takes precedence and carries string attributes.
+type Attr struct {
+	Key string
+	Val int64
+	Str string
+}
+
+// I64 builds a numeric attribute.
+func I64(key string, v int64) Attr { return Attr{Key: key, Val: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Str: v} }
+
+// Span is one completed interval on the request lifecycle: queue wait, pool
+// acquire, engine instantiate, guest invoke, CoW reset, cache compile.
+// Start/Dur are in the tracer clock's nanoseconds (simulated time when the
+// tracer is wired to the DES engine, wall time otherwise).
+type Span struct {
+	Name  string
+	Cat   string
+	PID   int64
+	TID   int64
+	Start int64
+	Dur   int64
+	Attrs []Attr
+}
+
+// Tracer records spans into a fixed-capacity ring buffer: tracing a long
+// load run costs bounded memory, and the newest spans win. The zero-cost
+// disabled path is a nil *Tracer — callers emitting spans must guard with
+// `if tr != nil` at the call site (the variadic attribute list would
+// otherwise allocate even for a no-op call).
+type Tracer struct {
+	mu    sync.Mutex
+	clock func() int64
+	pid   int64
+	ring  []Span
+	next  int
+	total int64
+}
+
+// DefaultTraceCapacity bounds the span ring when no capacity is given:
+// enough for every request phase of a multi-second load run.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer creates a tracer holding the last `capacity` spans. clock
+// returns the current time in nanoseconds; nil uses the wall clock.
+func NewTracer(capacity int, clock func() int64) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if clock == nil {
+		start := time.Now()
+		clock = func() int64 { return int64(time.Since(start)) }
+	}
+	return &Tracer{clock: clock, ring: make([]Span, capacity)}
+}
+
+// Now reads the tracer clock (0 on a nil tracer).
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clock()
+}
+
+// SetClock swaps the time source. The serving harness points it at the DES
+// engine so span timestamps land on the simulated timeline the latency
+// figures use.
+func (t *Tracer) SetClock(clock func() int64) {
+	if t == nil || clock == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = clock
+}
+
+// SetPID stamps subsequent spans with a logical process id (the Chrome trace
+// viewer groups tracks by pid; the bench harness uses one pid per run).
+func (t *Tracer) SetPID(pid int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pid = pid
+}
+
+// Span records one completed interval [start, end] with optional attributes.
+// end < start is clamped to a zero-duration span.
+func (t *Tracer) Span(name, cat string, tid, start, end int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	t.mu.Lock()
+	t.ring[t.next] = Span{
+		Name: name, Cat: cat, PID: t.pid, TID: tid,
+		Start: start, Dur: dur, Attrs: attrs,
+	}
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans oldest-first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	if n > int64(len(t.ring)) {
+		n = int64(len(t.ring))
+	}
+	out := make([]Span, 0, n)
+	start := 0
+	if t.total > int64(len(t.ring)) {
+		start = t.next // ring has wrapped; oldest retained span is at next
+	}
+	for i := int64(0); i < n; i++ {
+		out = append(out, t.ring[(start+int(i))%len(t.ring)])
+	}
+	return out
+}
+
+// Recorded returns how many spans were ever recorded (including ones the
+// ring has since overwritten).
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many spans the ring overwrote.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total <= int64(len(t.ring)) {
+		return 0
+	}
+	return t.total - int64(len(t.ring))
+}

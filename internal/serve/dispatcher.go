@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"sync"
 	"time"
 
 	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/obs"
 	"wasmcontainers/internal/wasm/exec"
 )
 
@@ -85,16 +87,40 @@ type RequestResult struct {
 }
 
 // Dispatcher routes requests to a warm pool under a concurrency limit with
-// bounded queueing. It is single-threaded and driven by the DES engine: all
-// latency is simulated, but each admitted request really executes the guest
-// function (on the instance it was handed) to obtain its instruction count.
+// bounded queueing. Its semantics are single-threaded: Submit and the DES
+// callbacks that complete requests must all run on the one goroutine driving
+// the DES engine (des.Engine itself is not safe for concurrent use, so this
+// contract is inherited, not new). The mutex below exists only so that
+// *observers* on other goroutines — a progress printer, a metrics scraper, a
+// -race test — can call Stats, QueueLen, and InFlight while a simulation
+// runs and read a consistent snapshot.
 type Dispatcher struct {
-	eng   *des.Engine
-	pool  *Pool
-	cfg   DispatcherConfig
-	busy  int
-	queue []queuedRequest
-	stats DispatcherStats
+	eng  *des.Engine
+	pool *Pool
+	cfg  DispatcherConfig
+
+	// mu guards busy, queue, stats, and reqSeq for cross-goroutine readers;
+	// see the type comment. done callbacks and pool calls run outside it.
+	mu     sync.Mutex
+	busy   int
+	queue  []queuedRequest
+	stats  DispatcherStats
+	reqSeq int64
+
+	// Telemetry handles, nil when observation is disabled (nil handles no-op
+	// without allocating; the tracer needs an explicit nil check at span
+	// call sites).
+	tele           *obs.Telemetry
+	obsSubmitted   *obs.Counter
+	obsCompleted   *obs.Counter
+	obsRejected    *obs.Counter
+	obsExpired     *obs.Counter
+	obsFailed      *obs.Counter
+	obsQueueDepth  *obs.Gauge
+	obsInFlight    *obs.Gauge
+	obsLatencyNs   *obs.Histogram
+	obsQueueWaitNs *obs.Histogram
+	obsTracer      *obs.Tracer
 }
 
 // NewDispatcher wires a dispatcher to a DES engine and a pool.
@@ -105,32 +131,82 @@ func NewDispatcher(eng *des.Engine, pool *Pool, cfg DispatcherConfig) *Dispatche
 	return &Dispatcher{eng: eng, pool: pool, cfg: cfg}
 }
 
+// SetObserver wires telemetry into the dispatcher: outcome counters,
+// queue-depth and in-flight gauges, latency/queue-wait histograms, and the
+// per-request lifecycle spans (queue-wait → acquire → invoke) on the
+// simulated timeline, one trace track (TID) per request. It also wires the
+// pool so the request timeline and the pool's reset spans land in one trace.
+// Pass nil to disable (the default); the disabled path costs a nil check per
+// event and no allocations.
+func (d *Dispatcher) SetObserver(t *obs.Telemetry) {
+	d.mu.Lock()
+	d.tele = t
+	if t == nil {
+		d.obsSubmitted, d.obsCompleted, d.obsRejected = nil, nil, nil
+		d.obsExpired, d.obsFailed = nil, nil
+		d.obsQueueDepth, d.obsInFlight = nil, nil
+		d.obsLatencyNs, d.obsQueueWaitNs, d.obsTracer = nil, nil, nil
+	} else {
+		d.obsSubmitted = t.Counter("dispatch_submitted_total")
+		d.obsCompleted = t.Counter("dispatch_completed_total")
+		d.obsRejected = t.Counter("dispatch_rejected_total")
+		d.obsExpired = t.Counter("dispatch_expired_total")
+		d.obsFailed = t.Counter("dispatch_failed_total")
+		d.obsQueueDepth = t.Gauge("dispatch_queue_depth")
+		d.obsInFlight = t.Gauge("dispatch_in_flight")
+		d.obsLatencyNs = t.Histogram("dispatch_latency_ns")
+		d.obsQueueWaitNs = t.Histogram("dispatch_queue_wait_ns")
+		d.obsTracer = t.Tracer()
+	}
+	d.mu.Unlock()
+	d.pool.SetObserver(t)
+}
+
 // Submit offers one request at the current simulated time. done runs exactly
 // once — immediately for rejections, at the simulated completion time
 // otherwise. done may be nil.
 func (d *Dispatcher) Submit(done func(RequestResult)) {
-	d.stats.Submitted++
 	if done == nil {
 		done = func(RequestResult) {}
 	}
+	d.mu.Lock()
+	d.stats.Submitted++
+	d.obsSubmitted.Inc()
 	if d.busy >= d.cfg.MaxConcurrency {
 		if d.cfg.Policy == PolicyQueue && len(d.queue) < d.cfg.QueueDepth {
 			d.queue = append(d.queue, queuedRequest{enqueued: d.eng.Now(), done: done})
+			d.obsQueueDepth.Set(int64(len(d.queue)))
+			d.mu.Unlock()
 			return
 		}
 		d.stats.Rejected++
+		d.obsRejected.Inc()
+		d.mu.Unlock()
 		done(RequestResult{})
 		return
 	}
+	d.mu.Unlock()
 	d.start(done, 0)
 }
 
 // start runs one admitted request: acquire warm or fall back to cold, invoke
 // the guest for real, convert the work to simulated latency, and schedule
-// completion.
+// completion. Each request gets its own trace track (TID) so the queue-wait,
+// acquire, and invoke phases of concurrent requests render as parallel
+// lanes.
 func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration) {
+	d.mu.Lock()
 	d.busy++
+	d.reqSeq++
+	seq := d.reqSeq
+	d.obsInFlight.Set(int64(d.busy))
+	tracer := d.obsTracer
+	d.mu.Unlock()
 	now := d.eng.Now()
+	d.obsQueueWaitNs.Record(int64(queueWait))
+	if tracer != nil && queueWait > 0 {
+		tracer.Span("queue-wait", "serve", seq, int64(now-des.Time(queueWait)), int64(now))
+	}
 	wi, warm := d.pool.Acquire(now)
 	var overhead time.Duration
 	if warm {
@@ -139,27 +215,51 @@ func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration) {
 		var err error
 		wi, err = d.pool.ColdStart()
 		if err != nil {
+			d.mu.Lock()
 			d.busy--
 			d.stats.Failed++
+			d.obsFailed.Inc()
+			d.obsInFlight.Set(int64(d.busy))
+			d.mu.Unlock()
 			done(RequestResult{Admitted: true, Cold: true, Err: err})
 			return
 		}
 		overhead = d.pool.Engine().ColdStartCost()
+	}
+	coldAttr := int64(0)
+	if !warm {
+		coldAttr = 1
+	}
+	acqEnd := int64(now) + int64(overhead)
+	if tracer != nil {
+		tracer.Span("acquire", "serve", seq, int64(now), acqEnd,
+			obs.I64("cold", coldAttr))
 	}
 	res, err := wi.Invoke(d.cfg.Export, exec.I32(d.cfg.Arg))
 	latency := queueWait + overhead
 	if err == nil {
 		latency += res.SimulatedExecTime
 	}
+	if tracer != nil {
+		tracer.Span("invoke", "serve", seq, acqEnd, acqEnd+int64(res.SimulatedExecTime),
+			obs.I64("cold", coldAttr),
+			obs.I64("instructions", int64(res.Instructions)))
+	}
 	cold := !warm
 	d.eng.After(overhead+res.SimulatedExecTime, func() {
 		d.pool.Release(wi, d.eng.Now())
+		d.mu.Lock()
 		d.busy--
 		if err != nil {
 			d.stats.Failed++
+			d.obsFailed.Inc()
 		} else {
 			d.stats.Completed++
+			d.obsCompleted.Inc()
 		}
+		d.obsInFlight.Set(int64(d.busy))
+		d.mu.Unlock()
+		d.obsLatencyNs.Record(int64(latency))
 		done(RequestResult{Admitted: true, Cold: cold, Latency: latency, QueueWait: queueWait, Err: err})
 		d.drainQueue()
 	})
@@ -169,15 +269,24 @@ func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration) {
 // that outlived the deadline while parked.
 func (d *Dispatcher) drainQueue() {
 	now := d.eng.Now()
-	for d.busy < d.cfg.MaxConcurrency && len(d.queue) > 0 {
+	for {
+		d.mu.Lock()
+		if d.busy >= d.cfg.MaxConcurrency || len(d.queue) == 0 {
+			d.mu.Unlock()
+			return
+		}
 		q := d.queue[0]
 		d.queue = d.queue[1:]
+		d.obsQueueDepth.Set(int64(len(d.queue)))
 		wait := time.Duration(now - q.enqueued)
 		if d.cfg.QueueDeadline > 0 && wait > d.cfg.QueueDeadline {
 			d.stats.Expired++
+			d.obsExpired.Inc()
+			d.mu.Unlock()
 			q.done(RequestResult{})
 			continue
 		}
+		d.mu.Unlock()
 		d.start(q.done, wait)
 	}
 }
@@ -185,11 +294,36 @@ func (d *Dispatcher) drainQueue() {
 // Pool returns the dispatcher's pool.
 func (d *Dispatcher) Pool() *Pool { return d.pool }
 
-// QueueLen returns the number of requests currently parked.
-func (d *Dispatcher) QueueLen() int { return len(d.queue) }
+// Telemetry returns the telemetry wired by SetObserver, nil when disabled.
+// Collaborators (the load generator) resolve their own handles from it; all
+// obs accessors are nil-safe, so callers need no nil check of their own.
+func (d *Dispatcher) Telemetry() *obs.Telemetry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tele
+}
 
-// InFlight returns the number of requests currently executing.
-func (d *Dispatcher) InFlight() int { return d.busy }
+// QueueLen returns the number of requests currently parked. Safe to call
+// from observer goroutines while a simulation runs.
+func (d *Dispatcher) QueueLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.queue)
+}
 
-// Stats returns a snapshot of the outcome counters.
-func (d *Dispatcher) Stats() DispatcherStats { return d.stats }
+// InFlight returns the number of requests currently executing. Safe to call
+// from observer goroutines while a simulation runs.
+func (d *Dispatcher) InFlight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busy
+}
+
+// Stats returns a snapshot of the outcome counters. Safe to call from
+// observer goroutines while a simulation runs; the DES contract (see the
+// type comment) keeps the counters themselves single-writer.
+func (d *Dispatcher) Stats() DispatcherStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

@@ -47,12 +47,18 @@ func Run(eng *des.Engine, d *Dispatcher, cfg LoadConfig) Report {
 	rep := Report{}
 	var all, warmLat, coldLat []float64
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Resolve load-generator handles from the dispatcher's telemetry: nil
+	// (and free) when observation is disabled.
+	tele := d.Telemetry()
+	offered := tele.Counter("loadgen_offered_total")
+	e2eNs := tele.Histogram("loadgen_e2e_latency_ns")
 	// Chained exponential gaps give a Poisson process.
 	record := func(r RequestResult) {
 		if !r.Admitted || r.Err != nil {
 			return
 		}
 		s := r.Latency.Seconds()
+		e2eNs.Record(int64(r.Latency))
 		all = append(all, s)
 		if r.Cold {
 			coldLat = append(coldLat, s)
@@ -63,6 +69,7 @@ func Run(eng *des.Engine, d *Dispatcher, cfg LoadConfig) Report {
 	at := des.Time(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
 	for at <= des.Time(cfg.Duration) {
 		rep.Offered++
+		offered.Inc()
 		eng.At(at, func() { d.Submit(record) })
 		at += des.Time(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
 	}

@@ -15,6 +15,7 @@ import (
 
 	"wasmcontainers/internal/des"
 	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/obs"
 	"wasmcontainers/internal/wasm/exec"
 )
 
@@ -94,6 +95,50 @@ type Pool struct {
 	baselineBytes int64
 
 	stats Stats
+
+	// Telemetry handles, nil when observation is disabled (nil handles no-op
+	// without allocating; the tracer needs an explicit nil check at span
+	// call sites).
+	obsWarmHits   *obs.Counter
+	obsColdStarts *obs.Counter
+	obsRecycled   *obs.Counter
+	obsDiscarded  *obs.Counter
+	obsEvicted    *obs.Counter
+	obsIdle       *obs.Gauge
+	obsLeased     *obs.Gauge
+	obsMemBytes   *obs.Gauge
+	obsResetPages *obs.Histogram
+	obsTracer     *obs.Tracer
+}
+
+// SetObserver wires telemetry into the pool: warm-hit/cold-start/recycle
+// counters, idle/leased/memory gauges, a reset-dirty-pages histogram, and a
+// "reset" span per Release carrying the dirty-page count. Pass nil to disable
+// (the default); the disabled path costs a nil check per event and no
+// allocations.
+func (p *Pool) SetObserver(t *obs.Telemetry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t == nil {
+		p.obsWarmHits, p.obsColdStarts, p.obsRecycled = nil, nil, nil
+		p.obsDiscarded, p.obsEvicted = nil, nil
+		p.obsIdle, p.obsLeased, p.obsMemBytes = nil, nil, nil
+		p.obsResetPages, p.obsTracer = nil, nil
+		return
+	}
+	p.obsWarmHits = t.Counter("pool_warm_hits_total")
+	p.obsColdStarts = t.Counter("pool_cold_starts_total")
+	p.obsRecycled = t.Counter("pool_recycled_total")
+	p.obsDiscarded = t.Counter("pool_discarded_total")
+	p.obsEvicted = t.Counter("pool_evicted_total")
+	p.obsIdle = t.Gauge("pool_idle_instances")
+	p.obsLeased = t.Gauge("pool_leased_instances")
+	p.obsMemBytes = t.Gauge("pool_memory_bytes")
+	p.obsResetPages = t.Histogram("pool_reset_dirty_pages")
+	p.obsTracer = t.Tracer()
+	p.obsIdle.Set(int64(len(p.idle)))
+	p.obsLeased.Set(int64(p.leased))
+	p.obsMemBytes.Set(p.memBytes)
 }
 
 // NewPool compiles nothing itself: cm must come from eng.Compile. It
@@ -158,6 +203,7 @@ func (p *Pool) addMemLocked(delta int64) {
 	if p.onMem != nil {
 		p.onMem(p.memBytes)
 	}
+	p.obsMemBytes.Set(p.memBytes)
 }
 
 // SetMemoryListener registers fn to observe every accounted-memory change
@@ -188,6 +234,9 @@ func (p *Pool) Acquire(now des.Time) (*WarmInstance, bool) {
 	p.idle = p.idle[:len(p.idle)-1]
 	p.leased++
 	p.stats.WarmHits++
+	p.obsWarmHits.Inc()
+	p.obsIdle.Set(int64(len(p.idle)))
+	p.obsLeased.Set(int64(p.leased))
 	return wi, true
 }
 
@@ -202,6 +251,8 @@ func (p *Pool) ColdStart() (*WarmInstance, error) {
 	p.mu.Lock()
 	p.leased++
 	p.stats.ColdStarts++
+	p.obsColdStarts.Inc()
+	p.obsLeased.Set(int64(p.leased))
 	p.mu.Unlock()
 	return wi, nil
 }
@@ -218,6 +269,12 @@ func (p *Pool) Release(wi *WarmInstance, now des.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.ResetPages += int64(resetPages)
+	p.obsResetPages.Record(int64(resetPages))
+	if p.obsTracer != nil {
+		p.obsTracer.Span("reset", "pool", 0, int64(now), int64(now),
+			obs.I64("dirty_pages", int64(resetPages)),
+			obs.I64("private_bytes", private))
+	}
 	if private > 0 {
 		// Peak accounting for pages the request privatized, released by the
 		// copy-on-write reset.
@@ -225,14 +282,18 @@ func (p *Pool) Release(wi *WarmInstance, now des.Time) {
 		p.addMemLocked(-private)
 	}
 	p.leased--
+	p.obsLeased.Set(int64(p.leased))
 	wi.lastUsed = now
 	if len(p.idle) < p.cfg.Size {
 		wi.cold = false
 		p.idle = append(p.idle, wi)
 		p.stats.Recycled++
+		p.obsRecycled.Inc()
+		p.obsIdle.Set(int64(len(p.idle)))
 		return
 	}
 	p.stats.Discarded++
+	p.obsDiscarded.Inc()
 	p.addMemLocked(-wi.footprint)
 }
 
@@ -255,12 +316,16 @@ func (p *Pool) evictIdleLocked(now des.Time) int {
 		if wi.lastUsed < cutoff {
 			evicted++
 			p.stats.Evicted++
+			p.obsEvicted.Inc()
 			p.addMemLocked(-wi.footprint)
 			continue
 		}
 		kept = append(kept, wi)
 	}
 	p.idle = kept
+	if evicted > 0 {
+		p.obsIdle.Set(int64(len(p.idle)))
+	}
 	return evicted
 }
 

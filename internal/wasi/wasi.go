@@ -13,6 +13,7 @@ import (
 	"path"
 	"sort"
 
+	"wasmcontainers/internal/obs"
 	"wasmcontainers/internal/vfs"
 	"wasmcontainers/internal/wasm"
 	"wasmcontainers/internal/wasm/exec"
@@ -101,6 +102,27 @@ type P1 struct {
 	// Exited is set when proc_exit was called.
 	Exited   bool
 	ExitCode uint32
+
+	// Telemetry handles, nil when observation is disabled (SetObserver):
+	// the syscall hot paths then cost one nil check each, no allocations.
+	obsWriteBytes *obs.Counter
+	obsReadBytes  *obs.Counter
+	obsRandBytes  *obs.Counter
+	obsExits      *obs.Counter
+}
+
+// SetObserver wires telemetry counters for the WASI syscall surface: bytes
+// moved through fd_write/fd_read, random_get entropy served, and proc_exit
+// calls. Pass nil to disable (the default).
+func (w *P1) SetObserver(t *obs.Telemetry) {
+	if t == nil {
+		w.obsWriteBytes, w.obsReadBytes, w.obsRandBytes, w.obsExits = nil, nil, nil, nil
+		return
+	}
+	w.obsWriteBytes = t.Counter("wasi_fd_write_bytes_total")
+	w.obsReadBytes = t.Counter("wasi_fd_read_bytes_total")
+	w.obsRandBytes = t.Counter("wasi_random_bytes_total")
+	w.obsExits = t.Counter("wasi_proc_exits_total")
 }
 
 // New creates a WASI instance from cfg.
@@ -289,6 +311,7 @@ func (w *P1) fdWrite(ctx *exec.HostContext, args []exec.Value) ([]exec.Value, er
 		}
 	}
 	w.BytesWritten += int64(written)
+	w.obsWriteBytes.Add(int64(written))
 	if !ctx.Memory.WriteUint32(exec.AsU32(args[3]), uint32(written)) {
 		return errnoVal(ErrnoFault), nil
 	}
@@ -348,6 +371,7 @@ func (w *P1) fdRead(ctx *exec.HostContext, args []exec.Value) ([]exec.Value, err
 			break
 		}
 	}
+	w.obsReadBytes.Add(int64(total))
 	if !ctx.Memory.WriteUint32(exec.AsU32(args[3]), uint32(total)) {
 		return errnoVal(ErrnoFault), nil
 	}
@@ -711,6 +735,7 @@ func (w *P1) randomGet(ctx *exec.HostContext, args []exec.Value) ([]exec.Value, 
 		return errnoVal(ErrnoFault), nil
 	}
 	w.rng.Read(buf)
+	w.obsRandBytes.Add(int64(len(buf)))
 	return errnoVal(ErrnoSuccess), nil
 }
 
@@ -770,6 +795,7 @@ func (w *P1) schedYield(ctx *exec.HostContext, args []exec.Value) ([]exec.Value,
 func (w *P1) procExit(ctx *exec.HostContext, args []exec.Value) ([]exec.Value, error) {
 	w.Exited = true
 	w.ExitCode = exec.AsU32(args[0])
+	w.obsExits.Inc()
 	return nil, &exec.ExitError{Code: w.ExitCode}
 }
 
