@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race obs-overhead bench figures results examples clean
+.PHONY: all build vet test race obs-overhead faults-smoke bench figures results examples clean
 
-all: build vet test race obs-overhead
+all: build vet test race obs-overhead faults-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,9 @@ test:
 
 # Concurrency check: the serve warm pool, the dispatcher's observer
 # accessors, and the obs registry/tracer are hammered from many goroutines.
+# TestChaosObserversRaceFree and TestConcurrentDrawsRaceFree additionally
+# poll the circuit breaker and the fault injector from 8 goroutines while a
+# chaos simulation runs.
 race:
 	$(GO) test -race ./...
 
@@ -31,6 +34,13 @@ obs-overhead:
 	echo "$$out"; \
 	if ! echo "$$out" | grep -qE '[[:space:]]0 allocs/op'; then \
 		echo "obs-overhead: disabled telemetry path allocates"; exit 1; fi
+
+# Chaos smoke: run the full fault-injection ablation grid once. Each cell
+# verifies the admission identity (Submitted == Completed+Rejected+Expired+
+# Failed) and that no request stalls, so a dispatcher liveness regression
+# fails this target even when unit tests miss it.
+faults-smoke:
+	$(GO) run ./cmd/continuum -exp faults > /dev/null
 
 # Run every benchmark once (tables, figures, ablations, microbenches,
 # interpreter hot-loop and engine instantiate benches).

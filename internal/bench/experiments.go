@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{ID: "serve", Description: "Warm-pool gateway: latency vs pool size and arrival rate", Run: Serving},
 		{ID: "cache", Description: "Ablation: content-addressed module cache, cold vs cached instantiate", Run: AblationModuleCache},
 		{ID: "cow", Description: "Ablation: copy-on-write warm instances, shared baseline + dirty-page reset", Run: AblationCoW},
+		{ID: "faults", Description: "Ablation: fault injection x resilience policy (retries, breaker, pressure)", Run: AblationFaults},
 	}
 }
 

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/faults"
+	"wasmcontainers/internal/k8s"
+	"wasmcontainers/internal/serve"
+	"wasmcontainers/internal/workloads"
+)
+
+// faultSeed fixes the injector PRNG for every cell so the whole ablation is
+// reproducible: same seed, same fault sequence, same counters.
+const faultSeed = 42
+
+// FaultMeasurement is one cell of the faults ablation grid.
+type FaultMeasurement struct {
+	Engine    string
+	FaultRate float64
+	Resilient bool
+	Report    serve.Report
+	Faults    faults.Stats
+	// PressureEvictions counts warm instances the node reclaimed during the
+	// injected memory-pressure episodes.
+	PressureEvictions int
+}
+
+// resilientDispatcherConfig adds the resilience layer to a baseline serving
+// dispatcher config: capped-exponential retries, a per-request timeout, and
+// the per-pool circuit breaker.
+func resilientDispatcherConfig(cfg serve.DispatcherConfig) serve.DispatcherConfig {
+	cfg.MaxRetries = 2
+	cfg.RetryBackoff = time.Millisecond
+	cfg.RetryBackoffCap = 8 * time.Millisecond
+	cfg.RequestTimeout = 500 * time.Millisecond
+	cfg.BreakerThreshold = 5
+	cfg.BreakerCooldown = 20 * time.Millisecond
+	return cfg
+}
+
+// MeasureFaultServing runs one chaos serving experiment: the standard warm
+// pool on a simulated worker node, with a seeded fault injector arming
+// instantiation failures, guest traps, slow cold starts (all at faultRate;
+// traps and failures both at or above the acceptance floor when faultRate
+// is), and two node memory-pressure episodes that drain warm-pool idle
+// instances through the kubelet attachment. The resilient arm turns on
+// retries, timeout, and the circuit breaker; the baseline arm serves the
+// same faults with the plain dispatcher. The admission identity
+// Submitted == Completed + Rejected + Expired + Failed is verified before
+// returning — a violation is an error, not a table cell.
+func MeasureFaultServing(p engine.Profile, faultRate float64, resilient bool, ratePerSec float64, window time.Duration) (FaultMeasurement, error) {
+	cluster, err := k8s.NewCluster(k8s.DefaultClusterConfig())
+	if err != nil {
+		return FaultMeasurement{}, err
+	}
+	node := cluster.Nodes[0]
+	att, err := node.AttachWarmPool(fmt.Sprintf("%s-faults", p.Name))
+	if err != nil {
+		return FaultMeasurement{}, err
+	}
+	defer att.Detach()
+
+	sim := des.NewEngine()
+	tele := Telemetry()
+	if tr := tele.Tracer(); tr != nil {
+		tr.SetClock(func() int64 { return int64(sim.Now()) })
+		tr.SetPID(nextRunPID())
+	}
+
+	eng := engine.New(p)
+	eng.SetObserver(tele)
+	att.SetObserver(tele)
+	bin, err := workloads.Binary(ServingWorkload)
+	if err != nil {
+		return FaultMeasurement{}, err
+	}
+	cm, err := eng.Compile(bin)
+	if err != nil {
+		return FaultMeasurement{}, err
+	}
+	const poolSize = 8
+	pool, err := serve.NewPool(eng, cm, serve.Config{Size: poolSize, IdleTTL: 2 * time.Second})
+	if err != nil {
+		return FaultMeasurement{}, err
+	}
+	pool.SetMemoryListener(att.Sync)
+	att.SetDrainer(func() int { return pool.DrainIdle(sim.Now()) })
+
+	// Armed only after pool pre-warming: standby instances must exist so the
+	// pressure episodes have something to reclaim, and only request-path work
+	// is subjected to faults.
+	in := faults.New(faults.Config{
+		Seed:                faultSeed,
+		InstantiateFailRate: faultRate,
+		TrapRate:            faultRate,
+		SlowColdRate:        faultRate,
+		SlowColdFactor:      4,
+		PressureAt:          []time.Duration{window / 3, 2 * window / 3},
+	})
+	eng.SetFaultInjector(in)
+	evictions := 0
+	in.ArmPressure(sim, func() { evictions += node.MemoryPressure() })
+
+	cfg := serve.DispatcherConfig{
+		MaxConcurrency: poolSize,
+		QueueDepth:     64,
+		Policy:         serve.PolicyQueue,
+		QueueDeadline:  time.Second,
+		Export:         "handle",
+		Arg:            servingArg,
+	}
+	if resilient {
+		cfg = resilientDispatcherConfig(cfg)
+	}
+	d := serve.NewDispatcher(sim, pool, cfg)
+	d.SetObserver(tele)
+	rep := serve.Run(sim, d, serve.LoadConfig{
+		RatePerSec: ratePerSec,
+		Duration:   window,
+		Seed:       1,
+	})
+	pool.SetMemoryListener(nil)
+	att.SetDrainer(nil)
+
+	st := rep.Dispatcher
+	if st.Submitted != st.Completed+st.Rejected+st.Expired+st.Failed {
+		return FaultMeasurement{}, fmt.Errorf(
+			"faults %s: accounting identity broken: %+v", p.Name, st)
+	}
+	if d.InFlight() != 0 || d.QueueLen() != 0 {
+		return FaultMeasurement{}, fmt.Errorf(
+			"faults %s: stalled requests after drain: inflight=%d queue=%d",
+			p.Name, d.InFlight(), d.QueueLen())
+	}
+	return FaultMeasurement{
+		Engine:            p.Name,
+		FaultRate:         faultRate,
+		Resilient:         resilient,
+		Report:            rep,
+		Faults:            in.Stats(),
+		PressureEvictions: evictions,
+	}, nil
+}
+
+// FaultRates is the ablation's injected fault-rate axis (applied to
+// instantiation, traps, and slow cold starts alike). The top rates clear the
+// 10% acceptance floor.
+var FaultRates = []float64{0, 0.10, 0.25}
+
+// retryAmplification is attempts per admitted request: 1.0 means no retries
+// fired; 1.3 means the fault load inflated pool traffic by 30%.
+func retryAmplification(st serve.DispatcherStats) float64 {
+	admitted := st.Completed + st.Failed
+	if admitted == 0 {
+		return 0
+	}
+	return float64(admitted+st.Retries) / float64(admitted)
+}
+
+// AblationFaults sweeps fault rate x dispatcher policy (baseline vs
+// resilient) for every engine profile under the chaos serving experiment,
+// reporting goodput, failure accounting, retry amplification, breaker
+// activity, pressure evictions, and tail latency under faults.
+func AblationFaults() (*Table, error) {
+	const (
+		window = time.Second
+		rate   = 150.0
+	)
+	t := &Table{
+		Title: "Ablation: fault injection x resilience policy (1s open-loop, 150 r/s, seeded chaos)",
+		Columns: []string{
+			"engine", "fault rate", "policy", "offered", "goodput (r/s)",
+			"failed", "rejected", "expired", "retries", "retry amp",
+			"breaker opens", "pressure evictions", "p99 (ms)",
+		},
+	}
+	for _, p := range engine.Profiles() {
+		for _, fr := range FaultRates {
+			for _, resilient := range []bool{false, true} {
+				m, err := MeasureFaultServing(p, fr, resilient, rate, window)
+				if err != nil {
+					return nil, err
+				}
+				st := m.Report.Dispatcher
+				policy := "baseline"
+				if resilient {
+					policy = "resilient"
+				}
+				t.Rows = append(t.Rows, []string{
+					m.Engine,
+					fmt.Sprintf("%.2f", fr),
+					policy,
+					fmt.Sprintf("%d", m.Report.Offered),
+					fmt.Sprintf("%.0f", float64(st.Completed)/window.Seconds()),
+					fmt.Sprintf("%d", st.Failed),
+					fmt.Sprintf("%d", st.Rejected),
+					fmt.Sprintf("%d", st.Expired),
+					fmt.Sprintf("%d", st.Retries),
+					fmt.Sprintf("%.2f", retryAmplification(st)),
+					fmt.Sprintf("%d", st.BreakerOpens),
+					fmt.Sprintf("%d", m.PressureEvictions),
+					fmt.Sprintf("%.3f", m.Report.Latency.P99*1e3),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"faults (seeded, deterministic): instantiation failures, guest traps with partial execution, 4x slow cold starts, 2 node memory-pressure episodes draining warm pools",
+		"resilient policy: 2 retries w/ capped exponential backoff (1ms..8ms), 500ms request timeout, breaker opens after 5 consecutive failures (20ms half-open cooldown)",
+		"accounting identity Submitted == Completed+Rejected+Expired+Failed verified for every cell; failed-request latency is included in the percentiles' source histogram",
+	)
+	return t, nil
+}

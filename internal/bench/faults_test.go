@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/engine"
+)
+
+// TestFaultServingDeterministicAndAccounted is the acceptance check for the
+// chaos harness: a fixed-seed cell with instantiate and invoke fault rates
+// above the 10% floor completes (MeasureFaultServing itself errors on a
+// broken accounting identity or stalled requests), actually exercises every
+// fault axis, and reproduces identical counters across two runs.
+func TestFaultServingDeterministicAndAccounted(t *testing.T) {
+	run := func() FaultMeasurement {
+		m, err := MeasureFaultServing(engine.WAMR, 0.25, true, 100, 500*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := run()
+	if a.Faults.InstantiateFailures == 0 || a.Faults.Traps == 0 {
+		t.Fatalf("chaos did not bite: %+v", a.Faults)
+	}
+	if a.Faults.PressureEvents != 2 {
+		t.Fatalf("pressure events = %d, want 2", a.Faults.PressureEvents)
+	}
+	if a.PressureEvictions == 0 {
+		t.Fatal("pressure episodes reclaimed no warm instances")
+	}
+	if st := a.Report.Dispatcher; st.Retries == 0 || st.Completed == 0 {
+		t.Fatalf("resilience layer inert: %+v", st)
+	}
+	if b := run(); a != b {
+		t.Fatalf("same seed, different chaos measurement:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFaultFreeResilientMatchesBaseline: with the fault rate at zero, the
+// resilient dispatcher must behave exactly like the baseline — the retry,
+// timeout, and breaker machinery may not perturb a healthy run.
+func TestFaultFreeResilientMatchesBaseline(t *testing.T) {
+	base, err := MeasureFaultServing(engine.WAMR, 0, false, 100, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureFaultServing(engine.WAMR, 0, true, 100, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Report != res.Report {
+		t.Fatalf("resilience machinery perturbed a fault-free run:\n%+v\n%+v",
+			base.Report, res.Report)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"wasmcontainers/internal/faults"
 	"wasmcontainers/internal/obs"
 	"wasmcontainers/internal/wasi"
 	"wasmcontainers/internal/wasm"
@@ -205,6 +206,10 @@ type Engine struct {
 	// modCache deduplicates Compile: N identical binaries decode, validate,
 	// and lower once, and share one compiled artifact.
 	modCache *cache.Cache
+	// faults is the optional fault injector consulted at the engine
+	// boundaries (Instantiate, Invoke, ColdStartCost); nil (the default)
+	// means no injection and costs one nil check per boundary.
+	faults *faults.Injector
 
 	// Telemetry handles, pre-resolved by SetObserver and nil when disabled:
 	// the invoke hot path then pays one nil check per handle and zero
@@ -238,6 +243,17 @@ func (e *Engine) SetObserver(t *obs.Telemetry) {
 	e.obsTracer = t.Tracer()
 	e.modCache.SetObserver(t)
 }
+
+// SetFaultInjector arms (or, with nil, disarms) deterministic fault
+// injection at the engine's serving boundaries: Instantiate may fail with
+// faults.ErrInstantiate, Invoke may trap mid-execution with faults.ErrTrap
+// (billing the partial execution as simulated time), and ColdStartCost may
+// draw a slow-start multiplier. Arm it after pool pre-warming so only
+// request-path work is subjected to faults.
+func (e *Engine) SetFaultInjector(in *faults.Injector) { e.faults = in }
+
+// FaultInjector returns the armed injector, nil when injection is disabled.
+func (e *Engine) FaultInjector() *faults.Injector { return e.faults }
 
 // New creates an engine for the profile with its own module cache.
 func New(p Profile) *Engine { return NewWithCache(p, cache.New(DefaultModuleCacheBytes)) }
@@ -385,8 +401,16 @@ func (e *Engine) ShimFootprint(guestMemoryBytes int64) (podBytes, systemBytes in
 // module load/compile, instantiate, warm-up) without crun's fixed API delay,
 // which a live process does not pay again. internal/serve charges this on
 // every dry-pool fallback, so the per-engine startup profiles shape serving
-// tail latency exactly as they shape the density experiments.
-func (e *Engine) ColdStartCost() time.Duration { return e.Profile.EmbedCPUWork }
+// tail latency exactly as they shape the density experiments. An armed fault
+// injector may draw a slow-start multiplier (cold compile cache, page-cache
+// miss), stretching this one cold start deterministically.
+func (e *Engine) ColdStartCost() time.Duration {
+	c := e.Profile.EmbedCPUWork
+	if m := e.faults.ColdStartMultiplier(); m > 1 {
+		c = time.Duration(float64(c) * m)
+	}
+	return c
+}
 
 // Instance is a live instantiated module held for repeated invocations (the
 // serving path). Each Instance owns a private store, so distinct Instances
@@ -402,6 +426,9 @@ type Instance struct {
 // data segments, start function). Used for both pool pre-warming and the
 // dispatcher's cold-start fallback.
 func (e *Engine) Instantiate(cm *CompiledModule) (*Instance, error) {
+	if err := e.faults.InstantiateError(); err != nil {
+		return nil, fmt.Errorf("%s: %w", e.Profile.Name, err)
+	}
 	var spanStart int64
 	var wallStart time.Time
 	if e.obsTracer != nil {
@@ -454,16 +481,27 @@ type InvokeResult struct {
 }
 
 // Invoke calls an exported function. Execution is real; the profile converts
-// the executed instruction count into simulated CPU time.
+// the executed instruction count into simulated CPU time. On error — a real
+// guest trap or an injected one — the result still carries the instructions
+// that executed before the trap and their simulated time, so callers account
+// the concurrency and latency a failed request actually consumed.
 func (i *Instance) Invoke(export string, args ...exec.Value) (InvokeResult, error) {
 	before := i.store.InstructionCount()
 	vals, err := i.inst.Call(export, args...)
 	i.e.obsInvokes.Inc()
+	n := i.store.InstructionCount() - before
 	if err != nil {
 		i.e.obsTraps.Inc()
-		return InvokeResult{}, fmt.Errorf("%s: %w", i.e.Profile.Name, err)
+		return i.partialResult(n), fmt.Errorf("%s: %w", i.e.Profile.Name, err)
 	}
-	n := i.store.InstructionCount() - before
+	if frac, trap := i.e.faults.TrapFraction(); trap {
+		// Injected mid-invoke trap: the guest "executed" frac of its work
+		// before trapping. The real run completed (and was reset-safe), but
+		// the caller sees a trap that consumed partial simulated time.
+		i.e.obsTraps.Inc()
+		return i.partialResult(uint64(float64(n) * frac)),
+			fmt.Errorf("%s: %w", i.e.Profile.Name, faults.ErrTrap)
+	}
 	i.e.obsInvokeInstr.Record(int64(n))
 	return InvokeResult{
 		Values:            vals,
@@ -471,6 +509,15 @@ func (i *Instance) Invoke(export string, args ...exec.Value) (InvokeResult, erro
 		SimulatedExecTime: time.Duration(float64(n) * i.e.Profile.NsPerInstruction),
 		GuestMemoryBytes:  i.GuestMemoryBytes(),
 	}, nil
+}
+
+// partialResult bills n instructions of a trapped invoke (no return values).
+func (i *Instance) partialResult(n uint64) InvokeResult {
+	return InvokeResult{
+		Instructions:      n,
+		SimulatedExecTime: time.Duration(float64(n) * i.e.Profile.NsPerInstruction),
+		GuestMemoryBytes:  i.GuestMemoryBytes(),
+	}
 }
 
 // GuestMemoryBytes is the instance's current real linear-memory size.

@@ -1,0 +1,197 @@
+// Package faults is a deterministic, seeded fault injector for the serving
+// stack. It models the failure axes the runtime surveys catalog for real
+// Wasm engines — instantiation failures (resource exhaustion, pooling-
+// allocator slot pressure), guest traps mid-invoke, anomalously slow cold
+// starts (compile-cache misses, page-cache cold paths), and node-level
+// memory-pressure episodes — without giving up reproducibility: every
+// decision comes from one seeded PRNG consumed in discrete-event order, so
+// a fixed seed replays the exact same fault sequence, and pressure episodes
+// ride the DES clock like every other simulated event.
+//
+// The injector plugs into the engine boundary (engine.SetFaultInjector
+// consults it in Instantiate, Invoke, and ColdStartCost) and into the node
+// boundary (ArmPressure schedules memory-pressure callbacks that the k8s
+// layer answers by draining warm-pool idle instances). A nil *Injector is
+// the disabled state: every probe method no-ops on a nil receiver, so
+// un-instrumented paths pay one nil check and draw nothing.
+package faults
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"wasmcontainers/internal/des"
+)
+
+// Sentinel errors for injected failures; callers distinguish them from real
+// engine errors with errors.Is.
+var (
+	// ErrInstantiate marks an injected instantiation failure.
+	ErrInstantiate = errors.New("faults: injected instantiation failure")
+	// ErrTrap marks an injected guest trap mid-invoke.
+	ErrTrap = errors.New("faults: injected guest trap")
+)
+
+// Config shapes one injector. All rates are probabilities in [0, 1].
+type Config struct {
+	// Seed fixes the PRNG; the same seed over the same call sequence
+	// reproduces the same faults. Seed 0 is a valid (fixed) seed.
+	Seed int64
+	// InstantiateFailRate is the probability one engine.Instantiate fails.
+	InstantiateFailRate float64
+	// TrapRate is the probability one invoke traps after executing a
+	// uniformly-drawn fraction of its instructions.
+	TrapRate float64
+	// SlowColdRate is the probability one cold start is slowed by
+	// SlowColdFactor.
+	SlowColdRate float64
+	// SlowColdFactor multiplies ColdStartCost on a slow cold start;
+	// values <= 1 disable slowdowns regardless of SlowColdRate.
+	SlowColdFactor float64
+	// PressureAt lists simulated instants of node memory-pressure episodes
+	// for ArmPressure.
+	PressureAt []time.Duration
+}
+
+// Stats counts injected faults. All counters are monotone.
+type Stats struct {
+	// InstantiateFailures counts injected Instantiate errors.
+	InstantiateFailures int64
+	// Traps counts injected invoke traps.
+	Traps int64
+	// SlowColdStarts counts cold starts that drew a slowdown.
+	SlowColdStarts int64
+	// PressureEvents counts fired memory-pressure episodes.
+	PressureEvents int64
+	// Draws counts PRNG consultations (a determinism fingerprint: two runs
+	// of the same scenario must agree on it exactly).
+	Draws int64
+}
+
+// Injector draws fault decisions from a seeded PRNG. The DES contract keeps
+// all draws on the one goroutine driving the simulation; the mutex exists so
+// observer goroutines (progress printers, the -race suite) can read Stats
+// mid-run without racing the writer.
+type Injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *prng
+	stats Stats
+}
+
+// New creates an injector for cfg. A nil return never happens; pass the nil
+// *Injector itself to mean "no faults".
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: newPRNG(uint64(cfg.Seed))}
+}
+
+// prng is a splitmix64 generator: tiny, stdlib-free, and stable across Go
+// releases — math/rand's stream is not guaranteed between versions, and the
+// fault sequence is part of the experiment's reproducibility contract.
+type prng struct{ state uint64 }
+
+func newPRNG(seed uint64) *prng { return &prng{state: seed + 0x9e3779b97f4a7c15} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (p *prng) float64() float64 { return float64(p.next()>>11) / (1 << 53) }
+
+// InstantiateError returns ErrInstantiate when an instantiation failure is
+// injected, nil otherwise (and always on a nil receiver).
+func (in *Injector) InstantiateError() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.InstantiateFailRate <= 0 {
+		return nil
+	}
+	in.stats.Draws++
+	if in.rng.float64() < in.cfg.InstantiateFailRate {
+		in.stats.InstantiateFailures++
+		return ErrInstantiate
+	}
+	return nil
+}
+
+// TrapFraction reports whether this invoke traps; when it does, the returned
+// fraction in (0, 1) is how much of the invoke's work executed before the
+// trap — the engine bills that partial execution as simulated time.
+func (in *Injector) TrapFraction() (float64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.TrapRate <= 0 {
+		return 0, false
+	}
+	in.stats.Draws++
+	if in.rng.float64() >= in.cfg.TrapRate {
+		return 0, false
+	}
+	in.stats.Traps++
+	in.stats.Draws++
+	return in.rng.float64(), true
+}
+
+// ColdStartMultiplier returns the latency multiplier for one cold start:
+// SlowColdFactor when a slowdown is drawn, 1 otherwise (and on nil).
+func (in *Injector) ColdStartMultiplier() float64 {
+	if in == nil {
+		return 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.SlowColdRate <= 0 || in.cfg.SlowColdFactor <= 1 {
+		return 1
+	}
+	in.stats.Draws++
+	if in.rng.float64() < in.cfg.SlowColdRate {
+		in.stats.SlowColdStarts++
+		return in.cfg.SlowColdFactor
+	}
+	return 1
+}
+
+// ArmPressure schedules fn at every Config.PressureAt instant on the DES
+// clock and returns how many episodes were armed. fn runs on the simulation
+// goroutine like any other event; the k8s layer passes the node's
+// memory-pressure response (drain warm-pool idle instances) here.
+func (in *Injector) ArmPressure(eng *des.Engine, fn func()) int {
+	if in == nil || eng == nil || fn == nil {
+		return 0
+	}
+	in.mu.Lock()
+	times := append([]time.Duration(nil), in.cfg.PressureAt...)
+	in.mu.Unlock()
+	for _, at := range times {
+		eng.At(des.Time(at), func() {
+			in.mu.Lock()
+			in.stats.PressureEvents++
+			in.mu.Unlock()
+			fn()
+		})
+	}
+	return len(times)
+}
+
+// Stats returns a snapshot of the fault counters. Safe to call from observer
+// goroutines while a simulation runs.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/des"
+)
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	if err := in.InstantiateError(); err != nil {
+		t.Fatalf("nil injector injected an error: %v", err)
+	}
+	if _, trap := in.TrapFraction(); trap {
+		t.Fatal("nil injector injected a trap")
+	}
+	if m := in.ColdStartMultiplier(); m != 1 {
+		t.Fatalf("nil injector multiplier = %v, want 1", m)
+	}
+	if n := in.ArmPressure(des.NewEngine(), func() {}); n != 0 {
+		t.Fatalf("nil injector armed %d pressure events", n)
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("nil injector stats = %+v", st)
+	}
+}
+
+func TestZeroRatesNeverInject(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if err := in.InstantiateError(); err != nil {
+			t.Fatal("zero-rate injector failed an instantiate")
+		}
+		if _, trap := in.TrapFraction(); trap {
+			t.Fatal("zero-rate injector trapped an invoke")
+		}
+		if in.ColdStartMultiplier() != 1 {
+			t.Fatal("zero-rate injector slowed a cold start")
+		}
+	}
+	if st := in.Stats(); st.Draws != 0 {
+		t.Fatalf("zero-rate injector drew %d times", st.Draws)
+	}
+}
+
+// TestRatesConverge checks the drawn frequencies land near the configured
+// rates — loose bounds; this is a sanity check, not a statistics test.
+func TestRatesConverge(t *testing.T) {
+	const n = 20000
+	in := New(Config{
+		Seed:                7,
+		InstantiateFailRate: 0.2,
+		TrapRate:            0.1,
+		SlowColdRate:        0.5,
+		SlowColdFactor:      8,
+	})
+	for i := 0; i < n; i++ {
+		in.InstantiateError()
+		if frac, trap := in.TrapFraction(); trap && (frac < 0 || frac >= 1) {
+			t.Fatalf("trap fraction %v outside [0,1)", frac)
+		}
+		if m := in.ColdStartMultiplier(); m != 1 && m != 8 {
+			t.Fatalf("multiplier = %v, want 1 or 8", m)
+		}
+	}
+	st := in.Stats()
+	within := func(got int64, rate float64) bool {
+		want := rate * n
+		return float64(got) > 0.85*want && float64(got) < 1.15*want
+	}
+	if !within(st.InstantiateFailures, 0.2) || !within(st.Traps, 0.1) || !within(st.SlowColdStarts, 0.5) {
+		t.Fatalf("rates off: %+v", st)
+	}
+}
+
+// TestDeterministicSequence replays the exact same fault decisions for the
+// same seed, and different ones for a different seed.
+func TestDeterministicSequence(t *testing.T) {
+	run := func(seed int64) ([]bool, Stats) {
+		in := New(Config{Seed: seed, InstantiateFailRate: 0.3, TrapRate: 0.3})
+		var seq []bool
+		for i := 0; i < 500; i++ {
+			seq = append(seq, in.InstantiateError() != nil)
+			_, trap := in.TrapFraction()
+			seq = append(seq, trap)
+		}
+		return seq, in.Stats()
+	}
+	a, as := run(11)
+	b, bs := run(11)
+	if !reflect.DeepEqual(a, b) || as != bs {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	c, _ := run(12)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestInstantiateErrorIsSentinel(t *testing.T) {
+	in := New(Config{Seed: 3, InstantiateFailRate: 1})
+	if err := in.InstantiateError(); !errors.Is(err, ErrInstantiate) {
+		t.Fatalf("err = %v, want ErrInstantiate", err)
+	}
+}
+
+func TestArmPressureFiresOnDESClock(t *testing.T) {
+	eng := des.NewEngine()
+	in := New(Config{PressureAt: []time.Duration{time.Second, 3 * time.Second}})
+	var fired []des.Time
+	if n := in.ArmPressure(eng, func() { fired = append(fired, eng.Now()) }); n != 2 {
+		t.Fatalf("armed %d, want 2", n)
+	}
+	eng.Run()
+	want := []des.Time{des.Time(time.Second), des.Time(3 * time.Second)}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	if st := in.Stats(); st.PressureEvents != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestConcurrentDrawsRaceFree hammers one injector from 8 goroutines under
+// the race detector. Determinism is a single-goroutine (DES) property; this
+// only asserts memory safety and counter conservation.
+func TestConcurrentDrawsRaceFree(t *testing.T) {
+	const goroutines = 8
+	const iters = 2000
+	in := New(Config{
+		Seed:                99,
+		InstantiateFailRate: 0.5,
+		TrapRate:            0.5,
+		SlowColdRate:        0.5,
+		SlowColdFactor:      4,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				in.InstantiateError()
+				in.TrapFraction()
+				in.ColdStartMultiplier()
+				in.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	st := in.Stats()
+	if st.InstantiateFailures == 0 || st.Traps == 0 || st.SlowColdStarts == 0 {
+		t.Fatalf("no faults drawn under concurrency: %+v", st)
+	}
+	// One draw per InstantiateError and ColdStartMultiplier, one or two per
+	// TrapFraction (the fraction costs a second draw on a trap).
+	if want := int64(2*goroutines*iters) + st.Traps + int64(goroutines*iters); st.Draws != want {
+		t.Fatalf("draws = %d, want %d", st.Draws, want)
+	}
+}

@@ -37,6 +37,10 @@ type WorkerNode struct {
 	Runtime *containerd.Client
 	CRI     cri.RuntimeService
 	Kubelet *Kubelet
+
+	// attachments are the warm pools charged to this node, drained in
+	// attachment order when the node comes under memory pressure.
+	attachments []*WarmPoolAttachment
 }
 
 // Kubelet drives pods assigned to its node through the CRI, pacing the work

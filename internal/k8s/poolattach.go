@@ -20,9 +20,14 @@ type WarmPoolAttachment struct {
 	name    string
 	charged int64
 
-	// obsCharged mirrors charged bytes into telemetry; nil (and free) when
+	// drain is the pool's memory-pressure response; nil until SetDrainer.
+	drain func() int
+
+	// obsCharged mirrors charged bytes into telemetry; obsPressure counts
+	// instances evicted by pressure drains. Both nil (and free) when
 	// observation is disabled.
-	obsCharged *obs.Gauge
+	obsCharged  *obs.Gauge
+	obsPressure *obs.Counter
 }
 
 // AttachWarmPool spawns the gateway process that will carry the pool's
@@ -33,7 +38,9 @@ func (n *WorkerNode) AttachWarmPool(name string) (*WarmPoolAttachment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("k8s: attach warm pool %s: %w", name, err)
 	}
-	return &WarmPoolAttachment{node: n, proc: proc, name: name}, nil
+	a := &WarmPoolAttachment{node: n, proc: proc, name: name}
+	n.attachments = append(n.attachments, a)
+	return a, nil
 }
 
 // SetObserver wires a warmpool_charged_bytes{pool=...} gauge tracking the
@@ -46,6 +53,7 @@ func (a *WarmPoolAttachment) SetObserver(t *obs.Telemetry) {
 	}
 	a.obsCharged = t.Gauge(obs.Labeled("warmpool_charged_bytes", "pool", a.name))
 	a.obsCharged.Set(a.charged)
+	a.obsPressure = t.Counter(obs.Labeled("warmpool_pressure_evictions_total", "pool", a.name))
 }
 
 // Sync sets the attachment's charge to the pool's current accounted bytes,
@@ -91,8 +99,48 @@ func (a *WarmPoolAttachment) ChargedBytes() int64 { return a.charged }
 // Process exposes the carrier process (tests and metrics).
 func (a *WarmPoolAttachment) Process() *simos.Process { return a.proc }
 
-// Detach releases the charge and exits the carrier process.
+// SetDrainer registers the pool's memory-pressure response — typically a
+// closure over serve.Pool.DrainIdle — so node-level pressure episodes can
+// reclaim the pool's idle instances through the attachment. Pass nil to
+// unregister.
+func (a *WarmPoolAttachment) SetDrainer(fn func() int) { a.drain = fn }
+
+// Drain invokes the registered drainer (no-op without one) and returns how
+// many instances the pool gave up. The freed bytes flow back through the
+// pool's memory listener into Sync, so the node's cgroup charge shrinks in
+// the same step.
+func (a *WarmPoolAttachment) Drain() int {
+	if a.drain == nil {
+		return 0
+	}
+	n := a.drain()
+	if n > 0 {
+		a.obsPressure.Add(int64(n))
+	}
+	return n
+}
+
+// MemoryPressure simulates a kubelet memory-pressure episode on this node:
+// warm-pool idle instances — the cheapest reclaimable memory on the node —
+// are drained from every attached pool before the kubelet would have to
+// start failing pods. Returns the total number of instances evicted.
+func (n *WorkerNode) MemoryPressure() int {
+	total := 0
+	for _, a := range n.attachments {
+		total += a.Drain()
+	}
+	return total
+}
+
+// Detach releases the charge, exits the carrier process, and removes the
+// attachment from the node's pressure-drain list.
 func (a *WarmPoolAttachment) Detach() {
 	a.Sync(0)
 	a.proc.Exit()
+	for i, att := range a.node.attachments {
+		if att == a {
+			a.node.attachments = append(a.node.attachments[:i], a.node.attachments[i+1:]...)
+			break
+		}
+	}
 }

@@ -137,6 +137,58 @@ func TestWarmPoolSharedArtifactsCountedOncePerNode(t *testing.T) {
 	}
 }
 
+// TestMemoryPressureDrainsWarmPools: a node-level memory-pressure episode
+// reclaims every attached pool's idle instances through the registered
+// drainers, and the freed bytes leave the cluster's memory accounting in the
+// same step — warm capacity is given back before any pod would have to fail.
+func TestMemoryPressureDrainsWarmPools(t *testing.T) {
+	c := newTestCluster(t)
+	node := c.Nodes[0]
+	att, err := node.AttachWarmPool("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Wasmtime)
+	bin, err := workloads.Binary("request-handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := eng.Compile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := serve.NewPool(eng, cm, serve.Config{Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.SetMemoryListener(att.Sync)
+	att.SetDrainer(func() int { return pool.DrainIdle(0) })
+
+	full := c.Metrics.TotalWorkloadBytes()
+	if full == 0 || pool.Idle() != 4 {
+		t.Fatalf("pool not charged before pressure: bytes=%d idle=%d", full, pool.Idle())
+	}
+	if n := node.MemoryPressure(); n != 4 {
+		t.Fatalf("pressure evicted %d instances, want 4", n)
+	}
+	if pool.Idle() != 0 {
+		t.Fatalf("idle = %d after pressure drain", pool.Idle())
+	}
+	drained := c.Metrics.TotalWorkloadBytes()
+	if drained >= full {
+		t.Fatalf("cluster accounting unchanged by drain: %d -> %d", full, drained)
+	}
+	// A second episode finds nothing left to reclaim.
+	if n := node.MemoryPressure(); n != 0 {
+		t.Fatalf("second pressure episode evicted %d", n)
+	}
+	// Detached pools no longer answer pressure.
+	att.SetDrainer(func() int { t.Error("detached pool drained"); return 0 })
+	pool.SetMemoryListener(nil)
+	att.Detach()
+	node.MemoryPressure()
+}
+
 func TestWarmPoolAttachmentPageRounding(t *testing.T) {
 	c := newTestCluster(t)
 	att, err := c.Nodes[0].AttachWarmPool("rounding")

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -31,6 +33,34 @@ func (p AdmissionPolicy) String() string {
 	return "reject"
 }
 
+// ErrRequestTimeout marks a request failed because its retry budget ran past
+// DispatcherConfig.RequestTimeout; the wrapped cause is the last attempt's
+// error. Detect it with errors.Is.
+var ErrRequestTimeout = errors.New("serve: request timeout exceeded")
+
+// BreakerState is the position of the dispatcher's per-pool circuit breaker.
+type BreakerState int
+
+// Breaker positions, ordered by health: Closed admits everything, HalfOpen
+// admits one probe, Open admits nothing.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+// String names the state for traces and tables.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 // DispatcherConfig shapes one dispatcher.
 type DispatcherConfig struct {
 	// MaxConcurrency bounds requests in flight. 0 means 1.
@@ -40,28 +70,73 @@ type DispatcherConfig struct {
 	// Policy selects the over-limit behaviour.
 	Policy AdmissionPolicy
 	// QueueDeadline expires queued requests that wait longer than this in
-	// simulated time; 0 means no deadline.
+	// simulated time; 0 means no deadline. Expiry is lazy but admission-safe:
+	// dead queue heads are dropped both when capacity frees and before the
+	// depth check at admission, so they never cause spurious rejections.
 	QueueDeadline time.Duration
 	// Export is the guest function every request invokes.
 	Export string
 	// Arg is the argument passed to Export.
 	Arg int32
+
+	// MaxRetries is how many times a failed attempt (cold-start
+	// instantiation failure or guest invoke error) is retried before the
+	// request is Failed. 0 disables retries. A retrying request keeps its
+	// concurrency slot through the backoff, like a held connection.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling on each
+	// subsequent one; 0 means 1ms. Backoff is simulated time, scheduled via
+	// des.Engine.After, so retried runs stay deterministic.
+	RetryBackoff time.Duration
+	// RetryBackoffCap caps the exponential backoff; 0 means uncapped.
+	RetryBackoffCap time.Duration
+	// RequestTimeout bounds one request's in-dispatcher lifetime from its
+	// first attempt across all retries: when the next backoff would end past
+	// the deadline the request fails with ErrRequestTimeout instead of
+	// retrying. 0 disables. (Queue wait is bounded separately by
+	// QueueDeadline.)
+	RequestTimeout time.Duration
+
+	// BreakerThreshold opens the per-pool circuit breaker after this many
+	// consecutive failed attempts; 0 disables the breaker. While open, new
+	// requests are rejected (PolicyReject) or parked (PolicyQueue) instead
+	// of dispatched; after BreakerCooldown the breaker half-opens and admits
+	// a single probe, closing on its success.
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay on the DES clock; 0
+	// means 100ms.
+	BreakerCooldown time.Duration
 }
 
-// DispatcherStats counts request outcomes.
+// DispatcherStats counts request outcomes. The admission identity
+// Submitted == Completed + Rejected + Expired + Failed holds exactly once a
+// run has drained (every submitted request reaches one terminal counter).
 type DispatcherStats struct {
 	// Submitted counts all requests offered to the dispatcher.
 	Submitted int64
 	// Completed counts requests that ran to completion.
 	Completed int64
-	// Rejected counts requests turned away at admission (limit reached under
-	// PolicyReject, or queue full under PolicyQueue).
+	// Rejected counts requests turned away at admission: limit reached under
+	// PolicyReject, queue full under PolicyQueue, or breaker open.
 	Rejected int64
-	// Expired counts queued requests dropped at dispatch time because they
-	// waited past QueueDeadline.
+	// Expired counts queued requests dropped — at dispatch or admission
+	// time — because they waited past QueueDeadline.
 	Expired int64
-	// Failed counts requests whose guest invocation errored.
+	// Failed counts requests whose every attempt errored (including
+	// timeouts); each failed request also consumed the simulated time its
+	// attempts occupied a concurrency slot.
 	Failed int64
+
+	// Retries counts retry attempts scheduled after failed attempts.
+	Retries int64
+	// TimedOut counts requests failed by RequestTimeout (a subset of
+	// Failed).
+	TimedOut int64
+	// BreakerOpens counts transitions into the open state.
+	BreakerOpens int64
+	// BreakerShortCircuits counts rejections issued while the breaker denied
+	// admission (a subset of Rejected).
+	BreakerShortCircuits int64
 }
 
 // queuedRequest is one request parked behind the concurrency limit.
@@ -75,52 +150,90 @@ type RequestResult struct {
 	// Admitted is false for rejected or expired requests; the remaining
 	// fields are then zero.
 	Admitted bool
-	// Cold reports whether the request paid a cold-start fallback.
+	// Cold reports whether the last attempt paid a cold-start fallback.
 	Cold bool
-	// Latency is the simulated end-to-end latency: queue wait + instance
-	// acquisition overhead (warm-invoke or cold-start) + guest execution.
+	// Latency is the simulated end-to-end latency: queue wait + retry
+	// backoff + per-attempt acquisition overhead (warm-invoke or cold-start)
+	// + executed guest time. Failed requests report the full time they
+	// occupied a concurrency slot, including partial execution of trapped
+	// invokes.
 	Latency time.Duration
 	// QueueWait is the simulated time spent parked in the wait queue.
 	QueueWait time.Duration
-	// Err is the guest invocation error, if any.
+	// RetryWait is the simulated time spent in backoff between attempts
+	// (included in Latency).
+	RetryWait time.Duration
+	// Attempts is how many attempts ran; 1 means no retries, 0 means never
+	// admitted.
+	Attempts int
+	// Err is the final attempt's error, if any; wrapped by
+	// ErrRequestTimeout when the retry budget ran out of time.
 	Err error
 }
 
+// inflight tracks one admitted request across its attempts. It is touched
+// only from DES callbacks (single goroutine), never concurrently.
+type inflight struct {
+	seq       int64
+	done      func(RequestResult)
+	queueWait time.Duration
+	retryWait time.Duration
+	attempts  int
+	started   des.Time
+	deadline  des.Time // 0 = no timeout
+	timedOut  bool
+	cold      bool
+}
+
 // Dispatcher routes requests to a warm pool under a concurrency limit with
-// bounded queueing. Its semantics are single-threaded: Submit and the DES
-// callbacks that complete requests must all run on the one goroutine driving
-// the DES engine (des.Engine itself is not safe for concurrent use, so this
-// contract is inherited, not new). The mutex below exists only so that
-// *observers* on other goroutines — a progress printer, a metrics scraper, a
-// -race test — can call Stats, QueueLen, and InFlight while a simulation
-// runs and read a consistent snapshot.
+// bounded queueing, capped-exponential retries, per-request timeouts, and a
+// per-pool circuit breaker. Its semantics are single-threaded: Submit and
+// the DES callbacks that complete requests must all run on the one goroutine
+// driving the DES engine (des.Engine itself is not safe for concurrent use,
+// so this contract is inherited, not new). The mutex below exists only so
+// that *observers* on other goroutines — a progress printer, a metrics
+// scraper, a -race test — can call Stats, QueueLen, InFlight, and
+// BreakerState while a simulation runs and read a consistent snapshot.
 type Dispatcher struct {
 	eng  *des.Engine
 	pool *Pool
 	cfg  DispatcherConfig
 
-	// mu guards busy, queue, stats, and reqSeq for cross-goroutine readers;
-	// see the type comment. done callbacks and pool calls run outside it.
+	// mu guards busy, queue, stats, reqSeq, and the breaker fields for
+	// cross-goroutine readers; see the type comment. done callbacks and pool
+	// calls run outside it.
 	mu     sync.Mutex
 	busy   int
 	queue  []queuedRequest
 	stats  DispatcherStats
 	reqSeq int64
 
+	// Circuit breaker state (single-writer under the DES contract). brkGen
+	// invalidates stale half-open timers when the breaker re-opens.
+	brk      BreakerState
+	brkFails int
+	brkProbe bool
+	brkGen   uint64
+
 	// Telemetry handles, nil when observation is disabled (nil handles no-op
 	// without allocating; the tracer needs an explicit nil check at span
 	// call sites).
-	tele           *obs.Telemetry
-	obsSubmitted   *obs.Counter
-	obsCompleted   *obs.Counter
-	obsRejected    *obs.Counter
-	obsExpired     *obs.Counter
-	obsFailed      *obs.Counter
-	obsQueueDepth  *obs.Gauge
-	obsInFlight    *obs.Gauge
-	obsLatencyNs   *obs.Histogram
-	obsQueueWaitNs *obs.Histogram
-	obsTracer      *obs.Tracer
+	tele            *obs.Telemetry
+	obsSubmitted    *obs.Counter
+	obsCompleted    *obs.Counter
+	obsRejected     *obs.Counter
+	obsExpired      *obs.Counter
+	obsFailed       *obs.Counter
+	obsRetries      *obs.Counter
+	obsTimedOut     *obs.Counter
+	obsShortCircuit *obs.Counter
+	obsBreakerTrans *obs.Counter
+	obsBreakerState *obs.Gauge
+	obsQueueDepth   *obs.Gauge
+	obsInFlight     *obs.Gauge
+	obsLatencyNs    *obs.Histogram
+	obsQueueWaitNs  *obs.Histogram
+	obsTracer       *obs.Tracer
 }
 
 // NewDispatcher wires a dispatcher to a DES engine and a pool.
@@ -132,18 +245,21 @@ func NewDispatcher(eng *des.Engine, pool *Pool, cfg DispatcherConfig) *Dispatche
 }
 
 // SetObserver wires telemetry into the dispatcher: outcome counters,
-// queue-depth and in-flight gauges, latency/queue-wait histograms, and the
-// per-request lifecycle spans (queue-wait → acquire → invoke) on the
-// simulated timeline, one trace track (TID) per request. It also wires the
-// pool so the request timeline and the pool's reset spans land in one trace.
-// Pass nil to disable (the default); the disabled path costs a nil check per
-// event and no allocations.
+// queue-depth/in-flight/breaker gauges, latency/queue-wait histograms, and
+// the per-request lifecycle spans (queue-wait → acquire → invoke, plus
+// retry-wait and breaker transitions) on the simulated timeline, one trace
+// track (TID) per request. It also wires the pool so the request timeline
+// and the pool's reset spans land in one trace. Pass nil to disable (the
+// default); the disabled path costs a nil check per event and no
+// allocations.
 func (d *Dispatcher) SetObserver(t *obs.Telemetry) {
 	d.mu.Lock()
 	d.tele = t
 	if t == nil {
 		d.obsSubmitted, d.obsCompleted, d.obsRejected = nil, nil, nil
 		d.obsExpired, d.obsFailed = nil, nil
+		d.obsRetries, d.obsTimedOut, d.obsShortCircuit = nil, nil, nil
+		d.obsBreakerTrans, d.obsBreakerState = nil, nil
 		d.obsQueueDepth, d.obsInFlight = nil, nil
 		d.obsLatencyNs, d.obsQueueWaitNs, d.obsTracer = nil, nil, nil
 	} else {
@@ -152,11 +268,17 @@ func (d *Dispatcher) SetObserver(t *obs.Telemetry) {
 		d.obsRejected = t.Counter("dispatch_rejected_total")
 		d.obsExpired = t.Counter("dispatch_expired_total")
 		d.obsFailed = t.Counter("dispatch_failed_total")
+		d.obsRetries = t.Counter("dispatch_retries_total")
+		d.obsTimedOut = t.Counter("dispatch_timeouts_total")
+		d.obsShortCircuit = t.Counter("dispatch_breaker_short_circuits_total")
+		d.obsBreakerTrans = t.Counter("dispatch_breaker_transitions_total")
+		d.obsBreakerState = t.Gauge("dispatch_breaker_state")
 		d.obsQueueDepth = t.Gauge("dispatch_queue_depth")
 		d.obsInFlight = t.Gauge("dispatch_in_flight")
 		d.obsLatencyNs = t.Histogram("dispatch_latency_ns")
 		d.obsQueueWaitNs = t.Histogram("dispatch_queue_wait_ns")
 		d.obsTracer = t.Tracer()
+		d.obsBreakerState.Set(int64(d.brk))
 	}
 	d.mu.Unlock()
 	d.pool.SetObserver(t)
@@ -169,31 +291,71 @@ func (d *Dispatcher) Submit(done func(RequestResult)) {
 	if done == nil {
 		done = func(RequestResult) {}
 	}
+	now := d.eng.Now()
 	d.mu.Lock()
 	d.stats.Submitted++
 	d.obsSubmitted.Inc()
-	if d.busy >= d.cfg.MaxConcurrency {
+	// Lazy expiry at admission: drop dead queue heads before the depth
+	// check, so requests that already outlived QueueDeadline never hold a
+	// QueueDepth slot against fresh arrivals.
+	dead := d.expireHeadsLocked(now)
+	// Dispatch immediately only with free capacity, a willing breaker, and
+	// an empty queue (earlier arrivals keep FIFO priority).
+	if d.busy >= d.cfg.MaxConcurrency || !d.breakerReadyLocked() || len(d.queue) > 0 {
 		if d.cfg.Policy == PolicyQueue && len(d.queue) < d.cfg.QueueDepth {
-			d.queue = append(d.queue, queuedRequest{enqueued: d.eng.Now(), done: done})
+			d.queue = append(d.queue, queuedRequest{enqueued: now, done: done})
 			d.obsQueueDepth.Set(int64(len(d.queue)))
 			d.mu.Unlock()
+			finishAll(dead)
 			return
 		}
 		d.stats.Rejected++
 		d.obsRejected.Inc()
+		if !d.breakerReadyLocked() {
+			d.stats.BreakerShortCircuits++
+			d.obsShortCircuit.Inc()
+		}
 		d.mu.Unlock()
+		finishAll(dead)
 		done(RequestResult{})
 		return
 	}
+	d.markProbeLocked()
 	d.mu.Unlock()
+	finishAll(dead)
 	d.start(done, 0)
 }
 
-// start runs one admitted request: acquire warm or fall back to cold, invoke
-// the guest for real, convert the work to simulated latency, and schedule
-// completion. Each request gets its own trace track (TID) so the queue-wait,
-// acquire, and invoke phases of concurrent requests render as parallel
-// lanes.
+// expireHeadsLocked pops queued requests that outlived QueueDeadline by now
+// and returns their callbacks for the caller to run outside the lock.
+func (d *Dispatcher) expireHeadsLocked(now des.Time) []func(RequestResult) {
+	if d.cfg.QueueDeadline <= 0 {
+		return nil
+	}
+	var dead []func(RequestResult)
+	for len(d.queue) > 0 && time.Duration(now-d.queue[0].enqueued) > d.cfg.QueueDeadline {
+		dead = append(dead, d.queue[0].done)
+		d.queue = d.queue[1:]
+		d.stats.Expired++
+		d.obsExpired.Inc()
+	}
+	if len(dead) > 0 {
+		d.obsQueueDepth.Set(int64(len(d.queue)))
+	}
+	return dead
+}
+
+// finishAll invokes expired-request callbacks (outside the dispatcher lock).
+func finishAll(dead []func(RequestResult)) {
+	for _, done := range dead {
+		done(RequestResult{})
+	}
+}
+
+// start admits one request: it claims a concurrency slot and a trace track
+// (TID), then runs the first attempt. The slot is held until the request's
+// final outcome — across retries and their backoffs — so MaxConcurrency
+// bounds true in-flight work.
 func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration) {
 	d.mu.Lock()
 	d.busy++
@@ -207,6 +369,24 @@ func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration) {
 	if tracer != nil && queueWait > 0 {
 		tracer.Span("queue-wait", "serve", seq, int64(now-des.Time(queueWait)), int64(now))
 	}
+	r := &inflight{seq: seq, done: done, queueWait: queueWait, started: now}
+	if d.cfg.RequestTimeout > 0 {
+		r.deadline = now + des.Time(d.cfg.RequestTimeout)
+	}
+	d.attempt(r)
+}
+
+// attempt runs one try of an admitted request: acquire warm or fall back to
+// cold, invoke the guest for real, convert the work to simulated latency,
+// and schedule completion. Failed attempts feed the breaker and may schedule
+// a retry; the final outcome always goes through finish, which releases the
+// slot and drains the queue.
+func (d *Dispatcher) attempt(r *inflight) {
+	d.mu.Lock()
+	tracer := d.obsTracer
+	d.mu.Unlock()
+	now := d.eng.Now()
+	r.attempts++
 	wi, warm := d.pool.Acquire(now)
 	var overhead time.Duration
 	if warm {
@@ -215,79 +395,249 @@ func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration) {
 		var err error
 		wi, err = d.pool.ColdStart()
 		if err != nil {
-			d.mu.Lock()
-			d.busy--
-			d.stats.Failed++
-			d.obsFailed.Inc()
-			d.obsInFlight.Set(int64(d.busy))
-			d.mu.Unlock()
-			done(RequestResult{Admitted: true, Cold: true, Err: err})
+			// Cold-start instantiation failed (for real or injected). The
+			// slot stays held through any backoff; win or lose, the request
+			// reaches finish, which drains the queue — this path used to
+			// return without draining and strand queued requests.
+			d.noteFailure()
+			if d.scheduleRetry(r, err) {
+				return
+			}
+			d.finish(r, err)
 			return
 		}
 		overhead = d.pool.Engine().ColdStartCost()
 	}
+	r.cold = !warm
 	coldAttr := int64(0)
 	if !warm {
 		coldAttr = 1
 	}
 	acqEnd := int64(now) + int64(overhead)
 	if tracer != nil {
-		tracer.Span("acquire", "serve", seq, int64(now), acqEnd,
+		tracer.Span("acquire", "serve", r.seq, int64(now), acqEnd,
 			obs.I64("cold", coldAttr))
 	}
 	res, err := wi.Invoke(d.cfg.Export, exec.I32(d.cfg.Arg))
-	latency := queueWait + overhead
-	if err == nil {
-		latency += res.SimulatedExecTime
+	// The slot is occupied for overhead plus the instructions that actually
+	// executed — also when the invoke trapped: res carries the partial
+	// execution, so the invoke span, the completion event, and the reported
+	// latency all agree on what a failed request consumed.
+	errAttr := int64(0)
+	if err != nil {
+		errAttr = 1
 	}
 	if tracer != nil {
-		tracer.Span("invoke", "serve", seq, acqEnd, acqEnd+int64(res.SimulatedExecTime),
+		tracer.Span("invoke", "serve", r.seq, acqEnd, acqEnd+int64(res.SimulatedExecTime),
 			obs.I64("cold", coldAttr),
-			obs.I64("instructions", int64(res.Instructions)))
+			obs.I64("instructions", int64(res.Instructions)),
+			obs.I64("error", errAttr))
 	}
-	cold := !warm
 	d.eng.After(overhead+res.SimulatedExecTime, func() {
 		d.pool.Release(wi, d.eng.Now())
-		d.mu.Lock()
-		d.busy--
 		if err != nil {
-			d.stats.Failed++
-			d.obsFailed.Inc()
-		} else {
-			d.stats.Completed++
-			d.obsCompleted.Inc()
+			d.noteFailure()
+			if d.scheduleRetry(r, err) {
+				return
+			}
+			d.finish(r, err)
+			return
 		}
-		d.obsInFlight.Set(int64(d.busy))
-		d.mu.Unlock()
-		d.obsLatencyNs.Record(int64(latency))
-		done(RequestResult{Admitted: true, Cold: cold, Latency: latency, QueueWait: queueWait, Err: err})
-		d.drainQueue()
+		d.noteSuccess()
+		d.finish(r, nil)
 	})
 }
 
+// scheduleRetry arms the next attempt after a capped-exponential backoff on
+// the DES clock. It reports false — leaving the caller to finish the request
+// — when retries are disabled, exhausted, or the backoff would end past the
+// request's deadline (which marks the request timed out).
+func (d *Dispatcher) scheduleRetry(r *inflight, cause error) bool {
+	if d.cfg.MaxRetries <= 0 || r.attempts > d.cfg.MaxRetries {
+		return false
+	}
+	backoff := d.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	for i := 1; i < r.attempts; i++ {
+		backoff *= 2
+		if d.cfg.RetryBackoffCap > 0 && backoff >= d.cfg.RetryBackoffCap {
+			backoff = d.cfg.RetryBackoffCap
+			break
+		}
+	}
+	now := d.eng.Now()
+	if r.deadline > 0 && now+des.Time(backoff) > r.deadline {
+		r.timedOut = true
+		return false
+	}
+	d.mu.Lock()
+	d.stats.Retries++
+	d.obsRetries.Inc()
+	tracer := d.obsTracer
+	d.mu.Unlock()
+	r.retryWait += backoff
+	if tracer != nil {
+		tracer.Span("retry-wait", "serve", r.seq, int64(now), int64(now)+int64(backoff),
+			obs.I64("attempt", int64(r.attempts)))
+	}
+	d.eng.After(backoff, func() { d.attempt(r) })
+	return true
+}
+
+// finish settles a request's final outcome: it releases the concurrency
+// slot, lands the terminal counter, records latency (success or failure),
+// invokes the callback, and drains freed capacity into the queue.
+func (d *Dispatcher) finish(r *inflight, err error) {
+	now := d.eng.Now()
+	latency := r.queueWait + time.Duration(now-r.started)
+	if r.timedOut {
+		err = fmt.Errorf("%w after %d attempts: %w", ErrRequestTimeout, r.attempts, err)
+	}
+	d.mu.Lock()
+	d.busy--
+	if err != nil {
+		d.stats.Failed++
+		d.obsFailed.Inc()
+		if r.timedOut {
+			d.stats.TimedOut++
+			d.obsTimedOut.Inc()
+		}
+	} else {
+		d.stats.Completed++
+		d.obsCompleted.Inc()
+	}
+	d.obsInFlight.Set(int64(d.busy))
+	d.mu.Unlock()
+	d.obsLatencyNs.Record(int64(latency))
+	r.done(RequestResult{
+		Admitted:  true,
+		Cold:      r.cold,
+		Latency:   latency,
+		QueueWait: r.queueWait,
+		RetryWait: r.retryWait,
+		Attempts:  r.attempts,
+		Err:       err,
+	})
+	d.drainQueue()
+}
+
 // drainQueue dispatches queued requests into freed capacity, dropping any
-// that outlived the deadline while parked.
+// that outlived the deadline while parked. An open breaker (or an
+// outstanding half-open probe) holds the queue; the half-open timer drains
+// it again.
 func (d *Dispatcher) drainQueue() {
 	now := d.eng.Now()
 	for {
 		d.mu.Lock()
-		if d.busy >= d.cfg.MaxConcurrency || len(d.queue) == 0 {
+		// Dead heads never occupy capacity or claim the probe slot.
+		if dead := d.expireHeadsLocked(now); len(dead) > 0 {
+			d.mu.Unlock()
+			finishAll(dead)
+			continue
+		}
+		if d.busy >= d.cfg.MaxConcurrency || len(d.queue) == 0 || !d.breakerReadyLocked() {
 			d.mu.Unlock()
 			return
 		}
 		q := d.queue[0]
 		d.queue = d.queue[1:]
 		d.obsQueueDepth.Set(int64(len(d.queue)))
+		d.markProbeLocked()
 		wait := time.Duration(now - q.enqueued)
-		if d.cfg.QueueDeadline > 0 && wait > d.cfg.QueueDeadline {
-			d.stats.Expired++
-			d.obsExpired.Inc()
-			d.mu.Unlock()
-			q.done(RequestResult{})
-			continue
-		}
 		d.mu.Unlock()
 		d.start(q.done, wait)
+	}
+}
+
+// breakerReadyLocked reports whether admission may dispatch a request now:
+// always with the breaker disabled or closed, never while open, and only
+// while no probe is outstanding during half-open.
+func (d *Dispatcher) breakerReadyLocked() bool {
+	if d.cfg.BreakerThreshold <= 0 {
+		return true
+	}
+	switch d.brk {
+	case BreakerOpen:
+		return false
+	case BreakerHalfOpen:
+		return !d.brkProbe
+	}
+	return true
+}
+
+// markProbeLocked claims the single half-open probe slot.
+func (d *Dispatcher) markProbeLocked() {
+	if d.brk == BreakerHalfOpen {
+		d.brkProbe = true
+	}
+}
+
+// noteSuccess records a successful attempt: the failure streak resets and a
+// half-open breaker closes.
+func (d *Dispatcher) noteSuccess() {
+	if d.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.brkFails = 0
+	if d.brk == BreakerHalfOpen {
+		d.setBreakerLocked(BreakerClosed)
+	}
+	d.mu.Unlock()
+}
+
+// noteFailure records a failed attempt (cold-start instantiation failure or
+// invoke error): the streak grows, at BreakerThreshold consecutive failures
+// the breaker opens, and any failure during half-open reopens it.
+func (d *Dispatcher) noteFailure() {
+	if d.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.brkFails++
+	if d.brk == BreakerHalfOpen || (d.brk == BreakerClosed && d.brkFails >= d.cfg.BreakerThreshold) {
+		d.openBreakerLocked()
+	}
+	d.mu.Unlock()
+}
+
+// openBreakerLocked trips the breaker and arms the half-open transition on
+// the DES clock; brkGen invalidates the timer if the breaker has re-opened
+// since (the newer open armed its own timer).
+func (d *Dispatcher) openBreakerLocked() {
+	d.setBreakerLocked(BreakerOpen)
+	d.stats.BreakerOpens++
+	d.brkGen++
+	gen := d.brkGen
+	cooldown := d.cfg.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = 100 * time.Millisecond
+	}
+	d.eng.After(cooldown, func() {
+		d.mu.Lock()
+		if d.brk == BreakerOpen && d.brkGen == gen {
+			d.setBreakerLocked(BreakerHalfOpen)
+		}
+		d.mu.Unlock()
+		d.drainQueue()
+	})
+}
+
+// setBreakerLocked moves the breaker and mirrors the transition into
+// telemetry: the state gauge, the transition counter, and an instant span.
+func (d *Dispatcher) setBreakerLocked(s BreakerState) {
+	if d.brk == s {
+		return
+	}
+	d.brk = s
+	d.brkProbe = false
+	d.obsBreakerState.Set(int64(s))
+	d.obsBreakerTrans.Inc()
+	if d.obsTracer != nil {
+		now := int64(d.eng.Now())
+		d.obsTracer.Span("breaker", "serve", 0, now, now, obs.Str("state", s.String()))
 	}
 }
 
@@ -311,12 +661,21 @@ func (d *Dispatcher) QueueLen() int {
 	return len(d.queue)
 }
 
-// InFlight returns the number of requests currently executing. Safe to call
-// from observer goroutines while a simulation runs.
+// InFlight returns the number of requests currently executing (or backing
+// off between retries). Safe to call from observer goroutines while a
+// simulation runs.
 func (d *Dispatcher) InFlight() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.busy
+}
+
+// BreakerState returns the circuit breaker's current position. Safe to call
+// from observer goroutines while a simulation runs.
+func (d *Dispatcher) BreakerState() BreakerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.brk
 }
 
 // Stats returns a snapshot of the outcome counters. Safe to call from

@@ -329,6 +329,31 @@ func (p *Pool) evictIdleLocked(now des.Time) int {
 	return evicted
 }
 
+// DrainIdle immediately evicts every idle instance regardless of IdleTTL —
+// the memory-pressure response: idle warm capacity is the cheapest memory a
+// node can reclaim before it has to start failing pods. Leased instances are
+// untouched; subsequent requests fall back to cold starts until Release
+// refills the pool. Returns how many instances were dropped.
+func (p *Pool) DrainIdle(now des.Time) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	evicted := len(p.idle)
+	for _, wi := range p.idle {
+		p.stats.Evicted++
+		p.obsEvicted.Inc()
+		p.addMemLocked(-wi.footprint)
+	}
+	p.idle = p.idle[:0]
+	if evicted > 0 {
+		p.obsIdle.Set(0)
+		if p.obsTracer != nil {
+			p.obsTracer.Span("pressure-drain", "pool", 0, int64(now), int64(now),
+				obs.I64("evicted", int64(evicted)))
+		}
+	}
+	return evicted
+}
+
 // Idle returns the number of instances currently waiting in the pool.
 func (p *Pool) Idle() int {
 	p.mu.Lock()
