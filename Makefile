@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race obs-overhead faults-smoke bench figures results examples clean
+.PHONY: all build vet test race obs-overhead faults-smoke gateway-smoke bench figures results examples clean
 
-all: build vet test race obs-overhead faults-smoke
+all: build vet test race obs-overhead faults-smoke gateway-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ obs-overhead:
 # fails this target even when unit tests miss it.
 faults-smoke:
 	$(GO) run ./cmd/continuum -exp faults > /dev/null
+
+# Gateway smoke: boot continuumd on a random loopback port, invoke a
+# function over HTTP, scrape /metrics for a populated latency histogram,
+# SIGTERM, and assert the drain completed with the admission identity
+# intact. Exercises the real-time DES bridge end to end outside the test
+# binary.
+gateway-smoke:
+	$(GO) run ./cmd/continuumd -smoke
 
 # Run every benchmark once (tables, figures, ablations, microbenches,
 # interpreter hot-loop and engine instantiate benches).

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -36,14 +37,7 @@ func main() {
 	}
 
 	if *list || *expID == "" {
-		fmt.Println("available experiments:")
-		for _, e := range bench.Experiments() {
-			fmt.Printf("  %-18s %s\n", e.ID, e.Description)
-		}
-		if *expID == "" && !*list {
-			os.Exit(2)
-		}
-		return
+		os.Exit(listExitCode(*expID, *list, os.Stdout))
 	}
 
 	fail := func(err error) {
@@ -122,6 +116,21 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// listExitCode prints the experiment catalog to w and returns the process
+// exit code for a no-work invocation: 0 for an explicit -list, 2 when the
+// user simply omitted -exp — that is a usage error, and scripts must see it
+// fail rather than mistake the catalog for results.
+func listExitCode(expID string, list bool, w io.Writer) int {
+	fmt.Fprintln(w, "available experiments:")
+	for _, e := range bench.Experiments() {
+		fmt.Fprintf(w, "  %-18s %s\n", e.ID, e.Description)
+	}
+	if expID == "" && !list {
+		return 2
+	}
+	return 0
 }
 
 // writeTelemetry emits <base>.metrics.prom (Prometheus text exposition) and

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"wasmcontainers/internal/bench"
+)
+
+// TestListExitCode: omitting -exp is a usage error (exit 2) even though the
+// catalog prints; an explicit -list is a successful invocation (exit 0).
+func TestListExitCode(t *testing.T) {
+	cases := []struct {
+		name  string
+		expID string
+		list  bool
+		code  int
+	}{
+		{"no exp, no list: usage error", "", false, 2},
+		{"explicit -list", "", true, 0},
+		{"-list with -exp still lists", "fig3", true, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			if got := listExitCode(tc.expID, tc.list, &out); got != tc.code {
+				t.Errorf("exit code = %d, want %d", got, tc.code)
+			}
+			text := out.String()
+			if !strings.HasPrefix(text, "available experiments:") {
+				t.Errorf("output missing header: %q", text)
+			}
+			for _, e := range bench.Experiments() {
+				if !strings.Contains(text, e.ID) {
+					t.Errorf("catalog missing experiment %q", e.ID)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,261 @@
+// Command continuumd is the deployment framework's network front door: a
+// net/http server exposing function invoke and a minimal Docker-API-shaped
+// control surface over the simulated cluster, with live Prometheus metrics.
+// The simulation keeps costing guest execution; real concurrent connections
+// drive admission through the gateway's real-time DES bridge.
+//
+// Usage:
+//
+//	continuumd                              # serve on 127.0.0.1:8080, real time
+//	continuumd -addr :9000 -dilation 0      # as-fast-as-possible virtual time
+//	continuumd -modules request-handler,cpu-bound -pool 8
+//	continuumd -smoke                       # self-test: invoke, scrape, SIGTERM, drain
+//
+// Endpoints:
+//
+//	POST /v1/functions/{module}     invoke (body = payload; timing headers)
+//	POST /v1/containers/create      Docker-shaped create (body = {"Image","Runtime"})
+//	POST /v1/containers/{id}/start  drive the pod to Running
+//	GET  /v1/containers/json        list (?all=1 includes non-running)
+//	GET  /v1/containers/{id}/stats  cgroup memory via the metrics-server
+//	GET  /v1/cluster                node/pool/dispatcher introspection
+//	GET  /metrics                   live Prometheus exposition
+//	GET  /v1/trace                  Chrome trace-event JSON of the span ring
+//	GET  /healthz                   liveness; 503 while draining
+//
+// SIGTERM/SIGINT starts a graceful drain: new work is refused with 503,
+// in-flight requests flush, then the final dispatcher stats (and the
+// admission identity check) are printed and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wasmcontainers/internal/gateway"
+	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		dilation     = flag.Float64("dilation", 1.0, "wall seconds per simulated second (0 = as fast as possible)")
+		modules      = flag.String("modules", "request-handler", "comma-separated workload modules to serve")
+		profile      = flag.String("profile", "wamr", "engine profile for every function (wamr, wasmtime, wasmer, wasmedge)")
+		poolSize     = flag.Int("pool", 4, "warm pool size per function (0 = cold-only)")
+		conc         = flag.Int("concurrency", 4, "max in-flight requests per function")
+		queueDepth   = flag.Int("queue-depth", 64, "dispatcher wait-queue depth")
+		queueDl      = flag.Duration("queue-deadline", time.Second, "max simulated queue wait before expiry")
+		retries      = flag.Int("retries", 0, "retry attempts for failed invokes")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request retry budget (0 = unbounded)")
+		brkThresh    = flag.Int("breaker-threshold", 0, "consecutive failures opening the circuit breaker (0 = disabled)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 100*time.Millisecond, "breaker open -> half-open delay")
+		submitBuf    = flag.Int("submit-buffer", 256, "bridge submission channel bound (backpressure)")
+		nodes        = flag.Int("nodes", 1, "simulated cluster nodes")
+		accessLog    = flag.Bool("access-log", true, "log one line per request to stderr")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		finalMetrics = flag.String("final-metrics", "", "write the final Prometheus snapshot to this path on shutdown")
+		smoke        = flag.Bool("smoke", false, "self-test: serve on a random port, invoke, scrape /metrics, SIGTERM, assert clean drain")
+	)
+	flag.Parse()
+
+	cfg := gateway.Config{
+		Bridge:       gateway.BridgeConfig{Dilation: *dilation, SubmitBuffer: *submitBuf},
+		ClusterNodes: *nodes,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	for _, m := range strings.Split(*modules, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		fc := gateway.DefaultFunction()
+		fc.Module = m
+		fc.Profile = *profile
+		fc.PoolSize = *poolSize
+		fc.MaxConcurrency = *conc
+		fc.QueueDepth = *queueDepth
+		fc.QueueDeadline = *queueDl
+		fc.MaxRetries = *retries
+		fc.RequestTimeout = *reqTimeout
+		fc.BreakerThreshold = *brkThresh
+		fc.BreakerCooldown = *brkCooldown
+		cfg.Functions = append(cfg.Functions, fc)
+	}
+
+	if *smoke {
+		cfg.AccessLog = nil // keep smoke output parseable
+		os.Exit(runSmoke(cfg, *drainTimeout))
+	}
+
+	code, err := serveUntilSignal(cfg, *addr, *drainTimeout, *finalMetrics, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	os.Exit(code)
+}
+
+// serveUntilSignal runs the gateway until SIGTERM/SIGINT, then drains
+// gracefully and reports final stats. ready (if non-nil) receives the bound
+// address once the listener is up — the smoke path uses it.
+func serveUntilSignal(cfg gateway.Config, addr string, drainTimeout time.Duration, finalMetrics string, ready chan<- string) (int, error) {
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		return 1, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return 1, err
+	}
+	gw.Start()
+	srv := &http.Server{Handler: gw}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "continuumd: listening on %s (dilation %g, %d function(s))\n",
+		ln.Addr(), cfg.Bridge.Dilation, len(cfg.Functions))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "continuumd: %s, draining (budget %s)\n", sig, drainTimeout)
+	case err := <-serveErr:
+		return 1, fmt.Errorf("continuumd: serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := gw.Shutdown(ctx)
+	_ = srv.Shutdown(ctx)
+
+	code := 0
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "continuumd: drain incomplete: %v\n", drainErr)
+		code = 1
+	}
+	for _, fn := range gw.Functions() {
+		st := fn.Dispatcher().Stats()
+		ok := identityHolds(st)
+		fmt.Fprintf(os.Stderr,
+			"continuumd: %s submitted=%d completed=%d rejected=%d expired=%d failed=%d identity=%v\n",
+			fn.Module(), st.Submitted, st.Completed, st.Rejected, st.Expired, st.Failed, ok)
+		if !ok {
+			code = 1
+		}
+	}
+	if finalMetrics != "" {
+		f, err := os.Create(finalMetrics)
+		if err != nil {
+			return 1, err
+		}
+		if err := obs.WritePrometheus(f, gw.Telemetry().Snapshot()); err != nil {
+			f.Close()
+			return 1, err
+		}
+		if err := f.Close(); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(os.Stderr, "continuumd: final metrics written to %s\n", finalMetrics)
+	}
+	return code, nil
+}
+
+// identityHolds checks the dispatcher's admission conservation identity.
+func identityHolds(st serve.DispatcherStats) bool {
+	return st.Submitted == st.Completed+st.Rejected+st.Expired+st.Failed
+}
+
+// runSmoke is the self-test behind `make gateway-smoke`: boot on a random
+// port, invoke a function over loopback, scrape /metrics for a non-empty
+// latency histogram, SIGTERM ourselves, and assert the drain completed with
+// the admission identity intact (serveUntilSignal exits non-zero otherwise).
+func runSmoke(cfg gateway.Config, drainTimeout time.Duration) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "gateway-smoke: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		code, err := serveUntilSignal(cfg, "127.0.0.1:0", drainTimeout, "", ready)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		exit <- code
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		return fail("server did not come up")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	module := cfg.Functions[0].Module
+	for i := 0; i < 5; i++ {
+		resp, err := client.Post(base+"/v1/functions/"+module, "application/octet-stream",
+			strings.NewReader("ping"))
+		if err != nil {
+			return fail("invoke: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fail("invoke status = %d", resp.StatusCode)
+		}
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fail("scrape /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fail("read /metrics: %v", err)
+	}
+	if !histogramNonEmpty(string(body), "dispatch_latency_ns") {
+		return fail("/metrics has no populated dispatch_latency_ns histogram")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return fail("self-SIGTERM: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			return fail("drain exited %d", code)
+		}
+	case <-time.After(drainTimeout + 10*time.Second):
+		return fail("drain did not complete")
+	}
+	fmt.Fprintln(os.Stderr, "gateway-smoke: ok")
+	return 0
+}
+
+// histogramNonEmpty reports whether the exposition text contains a
+// <name>_count sample with a positive value.
+func histogramNonEmpty(text, name string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name+"_count") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" {
+			return true
+		}
+	}
+	return false
+}

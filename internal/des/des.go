@@ -91,6 +91,17 @@ func (e *Engine) Step() bool {
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextAt returns the scheduled time of the earliest pending event, or false
+// when the queue is empty. It lets an external run layer (the gateway's
+// real-time bridge) pace Step calls against a wall clock instead of draining
+// the queue as fast as Run does.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // CPUPool models n identical cores scheduled FCFS. Work submitted to the
 // pool starts on the earliest-free core at or after the submission time.
 type CPUPool struct {

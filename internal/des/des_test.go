@@ -172,3 +172,22 @@ func TestSubmitAtFutureReadyTime(t *testing.T) {
 		t.Fatal("core count")
 	}
 }
+
+func TestNextAt(t *testing.T) {
+	eng := NewEngine()
+	if _, ok := eng.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported an event")
+	}
+	eng.At(40, func() {})
+	eng.At(15, func() {})
+	if at, ok := eng.NextAt(); !ok || at != 15 {
+		t.Fatalf("NextAt = %d,%v, want 15,true", at, ok)
+	}
+	// Peeking does not consume: stepping still fires the earliest event.
+	if !eng.Step() || eng.Now() != 15 {
+		t.Fatalf("Step after NextAt landed at %d, want 15", eng.Now())
+	}
+	if at, ok := eng.NextAt(); !ok || at != 40 {
+		t.Fatalf("NextAt after step = %d,%v, want 40,true", at, ok)
+	}
+}

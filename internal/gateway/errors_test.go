@@ -1,0 +1,124 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/serve"
+)
+
+// TestMapError pins the full dispatcher-error → HTTP vocabulary: distinct
+// admission outcomes must stay distinguishable on the wire.
+func TestMapError(t *testing.T) {
+	hints := retryHints{
+		breakerCooldown: 2 * time.Second,
+		queueDeadline:   500 * time.Millisecond,
+	}
+	cases := []struct {
+		name       string
+		err        error
+		hints      retryHints
+		status     int
+		code       string
+		retryAfter time.Duration
+	}{
+		{"queue full", serve.ErrQueueFull, hints,
+			http.StatusTooManyRequests, "queue_full", 500 * time.Millisecond},
+		{"queue full default hint", serve.ErrQueueFull, retryHints{},
+			http.StatusTooManyRequests, "queue_full", defaultBusyRetry},
+		{"concurrency limit", serve.ErrConcurrencyLimit, hints,
+			http.StatusTooManyRequests, "concurrency_limit", defaultBusyRetry},
+		{"breaker open", serve.ErrBreakerOpen, hints,
+			http.StatusServiceUnavailable, "breaker_open", 2 * time.Second},
+		{"breaker open default cooldown", serve.ErrBreakerOpen, retryHints{},
+			http.StatusServiceUnavailable, "breaker_open", 100 * time.Millisecond},
+		{"queue expired", serve.ErrQueueExpired, hints,
+			http.StatusGatewayTimeout, "queue_expired", 0},
+		{"request timeout", serve.ErrRequestTimeout, hints,
+			http.StatusGatewayTimeout, "request_timeout", 0},
+		{"dispatcher draining", serve.ErrDraining, hints,
+			http.StatusServiceUnavailable, "draining", 0},
+		{"bridge draining", ErrBridgeDraining, hints,
+			http.StatusServiceUnavailable, "draining", 0},
+		{"bridge busy", ErrBridgeBusy, hints,
+			http.StatusServiceUnavailable, "bridge_busy", defaultBusyRetry},
+		{"context canceled", context.Canceled, hints,
+			StatusClientClosedRequest, "client_closed_request", 0},
+		{"context deadline", context.DeadlineExceeded, hints,
+			StatusClientClosedRequest, "client_closed_request", 0},
+		{"guest failure", errors.New("guest trapped"), hints,
+			http.StatusInternalServerError, "invoke_failed", 0},
+		{"wrapped sentinel", fmt.Errorf("attempt 3: %w", serve.ErrQueueFull), hints,
+			http.StatusTooManyRequests, "queue_full", 500 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := MapError(tc.err, tc.hints)
+			if m.Status != tc.status {
+				t.Errorf("status = %d, want %d", m.Status, tc.status)
+			}
+			if m.Code != tc.code {
+				t.Errorf("code = %q, want %q", m.Code, tc.code)
+			}
+			if m.RetryAfter != tc.retryAfter {
+				t.Errorf("retryAfter = %s, want %s", m.RetryAfter, tc.retryAfter)
+			}
+		})
+	}
+}
+
+// TestWriteErrorEnvelope checks the wire shape: the {"error":{...}} JSON
+// body and the whole-seconds Retry-After header mirroring retry_after_ms.
+func TestWriteErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec,
+		ErrorMapping{http.StatusTooManyRequests, "queue_full", 250 * time.Millisecond},
+		serve.ErrQueueFull)
+
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Errorf("content-type = %q", got)
+	}
+	// 250ms rounds up to the minimum expressible Retry-After of 1s.
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("unmarshal body: %v", err)
+	}
+	if env.Error.Code != "queue_full" {
+		t.Errorf("body code = %q", env.Error.Code)
+	}
+	if env.Error.RetryAfterMs != 250 {
+		t.Errorf("retry_after_ms = %d, want 250", env.Error.RetryAfterMs)
+	}
+	if env.Error.Message == "" {
+		t.Error("message is empty")
+	}
+}
+
+// TestWriteErrorNoRetryHeader: mappings without backoff advice must not
+// emit a Retry-After header at all.
+func TestWriteErrorNoRetryHeader(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, ErrorMapping{http.StatusGatewayTimeout, "queue_expired", 0}, serve.ErrQueueExpired)
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Errorf("unexpected Retry-After %q", got)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("unmarshal body: %v", err)
+	}
+	if env.Error.RetryAfterMs != 0 {
+		t.Errorf("retry_after_ms = %d, want omitted/0", env.Error.RetryAfterMs)
+	}
+}

@@ -1,0 +1,512 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/k8s"
+	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/serve"
+	"wasmcontainers/internal/workloads"
+)
+
+// FunctionConfig declares one servable function: a workload module executed
+// by one engine profile behind one warm pool and dispatcher.
+type FunctionConfig struct {
+	// Module is the workload name (see workloads.Names); it is also the
+	// path segment of POST /v1/functions/{module}.
+	Module string
+	// Profile is the engine profile name; empty means wamr.
+	Profile string
+	// Export is the guest entry point; empty means "handle".
+	Export string
+	// Arg is the argument passed to Export (sizes the request work).
+	Arg int32
+	// PoolSize is the warm pool size; 0 means cold-only serving.
+	PoolSize int
+	// IdleTTL evicts idle warm instances; 0 keeps them forever.
+	IdleTTL time.Duration
+
+	// Dispatcher shaping; zero values inherit DispatcherConfig's defaults.
+	MaxConcurrency   int
+	QueueDepth       int
+	QueueDeadline    time.Duration
+	MaxRetries       int
+	RetryBackoff     time.Duration
+	RequestTimeout   time.Duration
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// Config shapes one gateway server.
+type Config struct {
+	// Functions to register; empty registers DefaultFunction.
+	Functions []FunctionConfig
+	// Bridge is the real-time run layer (dilation, submission buffer).
+	Bridge BridgeConfig
+	// ClusterNodes sizes the simulated cluster; 0 means 1.
+	ClusterNodes int
+	// Telemetry receives metrics and spans; nil creates a fresh enabled
+	// instance (the live /metrics endpoint needs one to scrape).
+	Telemetry *obs.Telemetry
+	// AccessLog receives one line per request; nil disables.
+	AccessLog io.Writer
+}
+
+// DefaultFunction serves the request-handler workload the serving
+// experiments use, on the WAMR profile with a small warm pool.
+func DefaultFunction() FunctionConfig {
+	return FunctionConfig{
+		Module:         "request-handler",
+		Profile:        "wamr",
+		Export:         "handle",
+		Arg:            500,
+		PoolSize:       4,
+		MaxConcurrency: 4,
+		QueueDepth:     64,
+		QueueDeadline:  time.Second,
+	}
+}
+
+// Function is one registered module: engine, pool, dispatcher, and the
+// node attachment charging pool memory to the simulated cluster.
+type Function struct {
+	cfg  FunctionConfig
+	eng  *engine.Engine
+	pool *serve.Pool
+	disp *serve.Dispatcher
+	att  *k8s.WarmPoolAttachment
+}
+
+// Dispatcher exposes the function's dispatcher (observer-safe accessors
+// only, per the DES threading contract).
+func (f *Function) Dispatcher() *serve.Dispatcher { return f.disp }
+
+// Pool exposes the function's warm pool.
+func (f *Function) Pool() *serve.Pool { return f.pool }
+
+// Module names the function's workload module.
+func (f *Function) Module() string { return f.cfg.Module }
+
+// Server is the gateway: it owns the simulated cluster (control plane, its
+// own DES engine driven synchronously under a mutex) and the serving bridge
+// (data plane, one DES engine driven in real time by the bridge loop).
+type Server struct {
+	cfg     Config
+	tele    *obs.Telemetry
+	sim     *des.Engine
+	bridge  *Bridge
+	cluster *k8s.Cluster
+	fns     map[string]*Function
+	mux     *http.ServeMux
+	logger  *log.Logger
+
+	// clusterMu serializes control-surface calls: each one mutates API
+	// objects and then drives the cluster's engine to quiescence.
+	clusterMu  sync.Mutex
+	containers map[string]*k8s.Pod // docker-surface id → pod
+
+	reqSeq   atomic.Int64
+	draining atomic.Bool
+	started  time.Time
+
+	obsHTTPReqs   *obs.Counter
+	obsHTTPErrs   *obs.Counter
+	obsWallNs     *obs.Histogram
+	obsBridgeBusy *obs.Counter
+}
+
+// New builds a gateway: simulated cluster, one engine+pool+dispatcher per
+// function (pool memory attached to cluster nodes round-robin), telemetry
+// wired through every layer with the tracer on the serving DES clock. The
+// bridge loop is not yet running — call Start.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Functions) == 0 {
+		cfg.Functions = []FunctionConfig{DefaultFunction()}
+	}
+	tele := cfg.Telemetry
+	if tele == nil {
+		tele = obs.New(obs.Config{})
+	}
+	clusterCfg := k8s.DefaultClusterConfig()
+	if cfg.ClusterNodes > 0 {
+		clusterCfg.NumNodes = cfg.ClusterNodes
+	}
+	cluster, err := k8s.NewCluster(clusterCfg)
+	if err != nil {
+		return nil, err
+	}
+	cluster.SetObserver(tele)
+
+	sim := des.NewEngine()
+	if tr := tele.Tracer(); tr != nil {
+		tr.SetClock(func() int64 { return int64(sim.Now()) })
+	}
+
+	s := &Server{
+		cfg:        cfg,
+		tele:       tele,
+		sim:        sim,
+		bridge:     NewBridge(sim, cfg.Bridge),
+		cluster:    cluster,
+		fns:        map[string]*Function{},
+		containers: map[string]*k8s.Pod{},
+		started:    time.Now(),
+
+		obsHTTPReqs:   tele.Counter("gateway_http_requests_total"),
+		obsHTTPErrs:   tele.Counter("gateway_http_errors_total"),
+		obsWallNs:     tele.Histogram("gateway_wall_latency_ns"),
+		obsBridgeBusy: tele.Counter("gateway_bridge_busy_total"),
+	}
+	if cfg.AccessLog != nil {
+		s.logger = log.New(cfg.AccessLog, "", 0)
+	}
+
+	for i, fc := range cfg.Functions {
+		fn, err := s.newFunction(fc, cluster.Nodes[i%len(cluster.Nodes)])
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.fns[fc.Module]; dup {
+			return nil, fmt.Errorf("gateway: duplicate function module %q", fc.Module)
+		}
+		s.fns[fc.Module] = fn
+	}
+	s.routes()
+	return s, nil
+}
+
+// newFunction wires one module end to end: compile, warm pool, cluster
+// memory attachment, dispatcher.
+func (s *Server) newFunction(fc FunctionConfig, node *k8s.WorkerNode) (*Function, error) {
+	if fc.Profile == "" {
+		fc.Profile = "wamr"
+	}
+	if fc.Export == "" {
+		fc.Export = "handle"
+	}
+	prof, ok := engine.ByName(fc.Profile)
+	if !ok {
+		return nil, fmt.Errorf("gateway: unknown engine profile %q", fc.Profile)
+	}
+	bin, err := workloads.Binary(fc.Module)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+	eng := engine.New(prof)
+	eng.SetObserver(s.tele)
+	cm, err := eng.Compile(bin)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: compile %s: %w", fc.Module, err)
+	}
+	pool, err := serve.NewPool(eng, cm, serve.Config{Size: fc.PoolSize, IdleTTL: fc.IdleTTL})
+	if err != nil {
+		return nil, fmt.Errorf("gateway: pool %s: %w", fc.Module, err)
+	}
+	att, err := node.AttachWarmPool(fmt.Sprintf("%s-%s", fc.Module, fc.Profile))
+	if err != nil {
+		return nil, err
+	}
+	att.SetObserver(s.tele)
+	pool.SetMemoryListener(att.Sync)
+	disp := serve.NewDispatcher(s.sim, pool, serve.DispatcherConfig{
+		MaxConcurrency:   fc.MaxConcurrency,
+		QueueDepth:       fc.QueueDepth,
+		Policy:           serve.PolicyQueue,
+		QueueDeadline:    fc.QueueDeadline,
+		Export:           fc.Export,
+		Arg:              fc.Arg,
+		MaxRetries:       fc.MaxRetries,
+		RetryBackoff:     fc.RetryBackoff,
+		RequestTimeout:   fc.RequestTimeout,
+		BreakerThreshold: fc.BreakerThreshold,
+		BreakerCooldown:  fc.BreakerCooldown,
+	})
+	disp.SetObserver(s.tele)
+	return &Function{cfg: fc, eng: eng, pool: pool, disp: disp, att: att}, nil
+}
+
+// Start launches the bridge event loop; the server is ready to serve once
+// it returns.
+func (s *Server) Start() { s.bridge.Start() }
+
+// Telemetry returns the live telemetry the /metrics endpoint scrapes.
+func (s *Server) Telemetry() *obs.Telemetry { return s.tele }
+
+// Function returns a registered function by module name.
+func (s *Server) Function(module string) (*Function, bool) {
+	f, ok := s.fns[module]
+	return f, ok
+}
+
+// Functions lists the registered functions sorted by module name.
+func (s *Server) Functions() []*Function {
+	out := make([]*Function, 0, len(s.fns))
+	for _, f := range s.fns {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Module < out[j].cfg.Module })
+	return out
+}
+
+// Bridge exposes the real-time run layer (for introspection and tests).
+func (s *Server) Bridge() *Bridge { return s.bridge }
+
+// Shutdown drains the gateway: the health check flips to draining, every
+// dispatcher refuses new work with ErrDraining, the bridge flushes accepted
+// submissions to their final results, and the loop stops. In-flight
+// requests complete; the admission identity Submitted == Completed +
+// Rejected + Expired + Failed balances once Shutdown returns nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	for _, fn := range s.fns {
+		fn.disp.SetDraining(true)
+	}
+	return s.bridge.Drain(ctx)
+}
+
+// routes installs the HTTP surface.
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/functions/{module}", s.handleInvoke)
+	mux.HandleFunc("POST /v1/containers/create", s.handleContainerCreate)
+	mux.HandleFunc("POST /v1/containers/{id}/start", s.handleContainerStart)
+	mux.HandleFunc("GET /v1/containers/json", s.handleContainerList)
+	mux.HandleFunc("GET /v1/containers/{id}/stats", s.handleContainerStats)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	s.mux = mux
+}
+
+// statusWriter captures the response code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP dispatches with access logging and request-scoped telemetry.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.obsHTTPReqs.Inc()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	wall := time.Since(start)
+	s.obsWallNs.Record(int64(wall))
+	if sw.status >= 400 {
+		s.obsHTTPErrs.Inc()
+	}
+	if s.logger != nil {
+		reqID := sw.Header().Get("X-Request-Id")
+		tid := sw.Header().Get("X-Trace-Tid")
+		s.logger.Printf("%s %s %d req_id=%s tid=%s wall=%s",
+			r.Method, r.URL.Path, sw.status, reqID, tid, wall)
+	}
+}
+
+// InvokeResponse is the success body of POST /v1/functions/{module}.
+type InvokeResponse struct {
+	Module       string  `json:"module"`
+	RequestID    string  `json:"request_id"`
+	Cold         bool    `json:"cold"`
+	Attempts     int     `json:"attempts"`
+	LatencyMs    float64 `json:"latency_ms"`
+	QueueWaitMs  float64 `json:"queue_wait_ms"`
+	RetryWaitMs  float64 `json:"retry_wait_ms"`
+	PayloadBytes int64   `json:"payload_bytes"`
+}
+
+// maxPayloadBytes bounds an invoke request body.
+const maxPayloadBytes = 1 << 20
+
+// handleInvoke is the data path: payload in, bridge submission, simulated
+// execution, result + timing out. The X-Request-Id header (client-supplied
+// or generated) is threaded into the span tracer as the request TID via its
+// numeric companion X-Trace-Tid, so a live server's Chrome trace correlates
+// with its access log.
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	module := r.PathValue("module")
+	fn, ok := s.fns[module]
+	if !ok {
+		writeError(w, ErrorMapping{http.StatusNotFound, "unknown_function", 0},
+			fmt.Errorf("gateway: unknown function %q", module))
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPayloadBytes))
+	if err != nil {
+		writeError(w, ErrorMapping{http.StatusRequestEntityTooLarge, "payload_too_large", 0}, err)
+		return
+	}
+	tid := s.reqSeq.Add(1)
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = fmt.Sprintf("req-%08d", tid)
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	w.Header().Set("X-Trace-Tid", fmt.Sprintf("%d", tid))
+
+	res, err := s.bridge.Submit(r.Context(), fn.disp, tid)
+	if err != nil {
+		if err == ErrBridgeBusy {
+			s.obsBridgeBusy.Inc()
+		}
+		writeError(w, MapError(err, fn.hints()), err)
+		return
+	}
+	if res.Err != nil {
+		writeError(w, MapError(res.Err, fn.hints()), res.Err)
+		return
+	}
+	w.Header().Set("X-Cold", fmt.Sprintf("%t", res.Cold))
+	w.Header().Set("X-Sim-Latency-Ms", fmt.Sprintf("%.3f", float64(res.Latency)/1e6))
+	writeJSON(w, http.StatusOK, InvokeResponse{
+		Module:       module,
+		RequestID:    reqID,
+		Cold:         res.Cold,
+		Attempts:     res.Attempts,
+		LatencyMs:    float64(res.Latency) / 1e6,
+		QueueWaitMs:  float64(res.QueueWait) / 1e6,
+		RetryWaitMs:  float64(res.RetryWait) / 1e6,
+		PayloadBytes: int64(len(payload)),
+	})
+}
+
+// hints derives Retry-After advice from the function's dispatcher shape.
+func (f *Function) hints() retryHints {
+	return retryHints{
+		breakerCooldown: f.cfg.BreakerCooldown,
+		queueDeadline:   f.cfg.QueueDeadline,
+	}
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while the flush completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":      state,
+		"uptime_ms":   time.Since(s.started).Milliseconds(),
+		"sim_time_ms": float64(s.bridge.SimNow()) / 1e6,
+		"in_flight":   s.bridge.InFlight(),
+	})
+}
+
+// handleMetrics serves the live Prometheus exposition: the same registry
+// the offline harness snapshots at end of run, scraped mid-flight.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheus(w, s.tele.Snapshot())
+}
+
+// handleTrace serves the span ring as Chrome trace-event JSON, loadable in
+// Perfetto while the server runs.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, s.tele.Tracer().Spans())
+}
+
+// NodeStatus is one node of GET /v1/cluster.
+type NodeStatus struct {
+	Name            string `json:"name"`
+	Pods            int    `json:"pods"`
+	MemUsedBytes    int64  `json:"mem_used_bytes"`
+	MemTotalBytes   int64  `json:"mem_total_bytes"`
+	BeyondIdleBytes int64  `json:"beyond_idle_bytes"`
+}
+
+// FunctionStatus is one function of GET /v1/cluster.
+type FunctionStatus struct {
+	Module          string                `json:"module"`
+	Profile         string                `json:"profile"`
+	PoolSize        int                   `json:"pool_size"`
+	PoolIdle        int                   `json:"pool_idle"`
+	PoolLeased      int                   `json:"pool_leased"`
+	PoolMemoryBytes int64                 `json:"pool_memory_bytes"`
+	ChargedBytes    int64                 `json:"charged_bytes"`
+	QueueLen        int                   `json:"queue_len"`
+	InFlight        int                   `json:"in_flight"`
+	Breaker         string                `json:"breaker"`
+	Draining        bool                  `json:"draining"`
+	Stats           serve.DispatcherStats `json:"stats"`
+}
+
+// ClusterStatus is the body of GET /v1/cluster.
+type ClusterStatus struct {
+	SimTimeMs  float64          `json:"sim_time_ms"`
+	Dilation   float64          `json:"dilation"`
+	Nodes      []NodeStatus     `json:"nodes"`
+	Functions  []FunctionStatus `json:"functions"`
+	Containers int              `json:"containers"`
+}
+
+// handleCluster is the introspection surface: node memory from the
+// simulated OS, pool/dispatcher state from the serving layer. Pools,
+// dispatchers, and node memory accounting all live on the bridge loop's side
+// of the threading contract, so the whole read runs there via Bridge.Do.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	st := ClusterStatus{
+		SimTimeMs: float64(s.bridge.SimNow()) / 1e6,
+		Dilation:  s.cfg.Bridge.Dilation,
+	}
+	err := s.bridge.Do(r.Context(), func() {
+		s.clusterMu.Lock()
+		defer s.clusterMu.Unlock()
+		podsByNode := map[string]int{}
+		for _, p := range s.cluster.API.Pods() {
+			podsByNode[p.Spec.NodeName]++
+		}
+		st.Containers = len(s.containers)
+		for _, n := range s.cluster.Nodes {
+			free := n.OS.Free()
+			st.Nodes = append(st.Nodes, NodeStatus{
+				Name:            n.Name,
+				Pods:            podsByNode[n.Name],
+				MemUsedBytes:    free.UsedBytes,
+				MemTotalBytes:   free.TotalBytes,
+				BeyondIdleBytes: n.OS.UsedBeyondIdle(),
+			})
+		}
+		for _, fn := range s.fns {
+			st.Functions = append(st.Functions, FunctionStatus{
+				Module:          fn.cfg.Module,
+				Profile:         fn.cfg.Profile,
+				PoolSize:        fn.cfg.PoolSize,
+				PoolIdle:        fn.pool.Idle(),
+				PoolLeased:      fn.pool.Leased(),
+				PoolMemoryBytes: fn.pool.MemoryBytes(),
+				ChargedBytes:    fn.att.ChargedBytes(),
+				QueueLen:        fn.disp.QueueLen(),
+				InFlight:        fn.disp.InFlight(),
+				Breaker:         fn.disp.BreakerState().String(),
+				Draining:        fn.disp.Draining(),
+				Stats:           fn.disp.Stats(),
+			})
+		}
+	})
+	if err != nil {
+		writeError(w, MapError(err, retryHints{}), err)
+		return
+	}
+	sort.Slice(st.Functions, func(i, j int) bool { return st.Functions[i].Module < st.Functions[j].Module })
+	writeJSON(w, http.StatusOK, st)
+}

@@ -38,6 +38,27 @@ func (p AdmissionPolicy) String() string {
 // error. Detect it with errors.Is.
 var ErrRequestTimeout = errors.New("serve: request timeout exceeded")
 
+// Rejection and expiry reasons. Refused requests (RequestResult.Admitted ==
+// false) carry one of these in RequestResult.Err so network front ends can
+// map each admission outcome to a distinct protocol error (HTTP status,
+// Retry-After hint) instead of a bare refusal. All are detectable with
+// errors.Is.
+var (
+	// ErrConcurrencyLimit rejects an over-limit request under PolicyReject.
+	ErrConcurrencyLimit = errors.New("serve: concurrency limit reached")
+	// ErrQueueFull rejects a request under PolicyQueue when the wait queue
+	// is at QueueDepth.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrBreakerOpen rejects a request refused while the circuit breaker
+	// denied admission (open, or half-open with its probe outstanding).
+	ErrBreakerOpen = errors.New("serve: circuit breaker open")
+	// ErrQueueExpired drops a queued request that waited past QueueDeadline.
+	ErrQueueExpired = errors.New("serve: queue deadline exceeded")
+	// ErrDraining rejects a request submitted after SetDraining(true): the
+	// dispatcher is flushing in-flight work ahead of shutdown.
+	ErrDraining = errors.New("serve: dispatcher draining")
+)
+
 // BreakerState is the position of the dispatcher's per-pool circuit breaker.
 type BreakerState int
 
@@ -142,13 +163,15 @@ type DispatcherStats struct {
 // queuedRequest is one request parked behind the concurrency limit.
 type queuedRequest struct {
 	enqueued des.Time
+	tid      int64
 	done     func(RequestResult)
 }
 
 // RequestResult describes one finished (or refused) request.
 type RequestResult struct {
-	// Admitted is false for rejected or expired requests; the remaining
-	// fields are then zero.
+	// Admitted is false for rejected or expired requests; Err then carries
+	// the refusal reason (ErrConcurrencyLimit, ErrQueueFull, ErrBreakerOpen,
+	// ErrQueueExpired, ErrDraining) and the remaining fields are zero.
 	Admitted bool
 	// Cold reports whether the last attempt paid a cold-start fallback.
 	Cold bool
@@ -174,7 +197,7 @@ type RequestResult struct {
 // inflight tracks one admitted request across its attempts. It is touched
 // only from DES callbacks (single goroutine), never concurrently.
 type inflight struct {
-	seq       int64
+	tid       int64
 	done      func(RequestResult)
 	queueWait time.Duration
 	retryWait time.Duration
@@ -207,6 +230,13 @@ type Dispatcher struct {
 	queue  []queuedRequest
 	stats  DispatcherStats
 	reqSeq int64
+
+	// draining rejects new submissions with ErrDraining while in-flight and
+	// queued work flushes; quiesceHook (if set) runs on the DES goroutine
+	// each time a settled request leaves the dispatcher quiescent. Both are
+	// the gateway's graceful-shutdown hooks.
+	draining    bool
+	quiesceHook func()
 
 	// Circuit breaker state (single-writer under the DES contract). brkGen
 	// invalidates stale half-open timers when the breaker re-opens.
@@ -287,7 +317,13 @@ func (d *Dispatcher) SetObserver(t *obs.Telemetry) {
 // Submit offers one request at the current simulated time. done runs exactly
 // once — immediately for rejections, at the simulated completion time
 // otherwise. done may be nil.
-func (d *Dispatcher) Submit(done func(RequestResult)) {
+func (d *Dispatcher) Submit(done func(RequestResult)) { d.SubmitTID(0, done) }
+
+// SubmitTID is Submit with an explicit trace track: spans of this request
+// carry tid instead of the dispatcher's own sequence number, so a front end
+// that assigns request IDs (the gateway's X-Request-Id) can correlate its
+// access log with the Chrome trace. tid 0 keeps the internal sequence.
+func (d *Dispatcher) SubmitTID(tid int64, done func(RequestResult)) {
 	if done == nil {
 		done = func(RequestResult) {}
 	}
@@ -295,6 +331,13 @@ func (d *Dispatcher) Submit(done func(RequestResult)) {
 	d.mu.Lock()
 	d.stats.Submitted++
 	d.obsSubmitted.Inc()
+	if d.draining {
+		d.stats.Rejected++
+		d.obsRejected.Inc()
+		d.mu.Unlock()
+		done(RequestResult{Err: ErrDraining})
+		return
+	}
 	// Lazy expiry at admission: drop dead queue heads before the depth
 	// check, so requests that already outlived QueueDeadline never hold a
 	// QueueDepth slot against fresh arrivals.
@@ -303,7 +346,7 @@ func (d *Dispatcher) Submit(done func(RequestResult)) {
 	// an empty queue (earlier arrivals keep FIFO priority).
 	if d.busy >= d.cfg.MaxConcurrency || !d.breakerReadyLocked() || len(d.queue) > 0 {
 		if d.cfg.Policy == PolicyQueue && len(d.queue) < d.cfg.QueueDepth {
-			d.queue = append(d.queue, queuedRequest{enqueued: now, done: done})
+			d.queue = append(d.queue, queuedRequest{enqueued: now, tid: tid, done: done})
 			d.obsQueueDepth.Set(int64(len(d.queue)))
 			d.mu.Unlock()
 			finishAll(dead)
@@ -311,19 +354,25 @@ func (d *Dispatcher) Submit(done func(RequestResult)) {
 		}
 		d.stats.Rejected++
 		d.obsRejected.Inc()
+		reason := ErrConcurrencyLimit
+		if d.cfg.Policy == PolicyQueue {
+			reason = ErrQueueFull
+		}
 		if !d.breakerReadyLocked() {
+			reason = ErrBreakerOpen
 			d.stats.BreakerShortCircuits++
 			d.obsShortCircuit.Inc()
 		}
 		d.mu.Unlock()
 		finishAll(dead)
-		done(RequestResult{})
+		done(RequestResult{Err: reason})
+		d.notifyQuiesced()
 		return
 	}
 	d.markProbeLocked()
 	d.mu.Unlock()
 	finishAll(dead)
-	d.start(done, 0)
+	d.start(done, 0, tid)
 }
 
 // expireHeadsLocked pops queued requests that outlived QueueDeadline by now
@@ -348,7 +397,7 @@ func (d *Dispatcher) expireHeadsLocked(now des.Time) []func(RequestResult) {
 // finishAll invokes expired-request callbacks (outside the dispatcher lock).
 func finishAll(dead []func(RequestResult)) {
 	for _, done := range dead {
-		done(RequestResult{})
+		done(RequestResult{Err: ErrQueueExpired})
 	}
 }
 
@@ -356,20 +405,22 @@ func finishAll(dead []func(RequestResult)) {
 // (TID), then runs the first attempt. The slot is held until the request's
 // final outcome — across retries and their backoffs — so MaxConcurrency
 // bounds true in-flight work.
-func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration) {
+func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration, tid int64) {
 	d.mu.Lock()
 	d.busy++
 	d.reqSeq++
-	seq := d.reqSeq
+	if tid == 0 {
+		tid = d.reqSeq
+	}
 	d.obsInFlight.Set(int64(d.busy))
 	tracer := d.obsTracer
 	d.mu.Unlock()
 	now := d.eng.Now()
 	d.obsQueueWaitNs.Record(int64(queueWait))
 	if tracer != nil && queueWait > 0 {
-		tracer.Span("queue-wait", "serve", seq, int64(now-des.Time(queueWait)), int64(now))
+		tracer.Span("queue-wait", "serve", tid, int64(now-des.Time(queueWait)), int64(now))
 	}
-	r := &inflight{seq: seq, done: done, queueWait: queueWait, started: now}
+	r := &inflight{tid: tid, done: done, queueWait: queueWait, started: now}
 	if d.cfg.RequestTimeout > 0 {
 		r.deadline = now + des.Time(d.cfg.RequestTimeout)
 	}
@@ -415,7 +466,7 @@ func (d *Dispatcher) attempt(r *inflight) {
 	}
 	acqEnd := int64(now) + int64(overhead)
 	if tracer != nil {
-		tracer.Span("acquire", "serve", r.seq, int64(now), acqEnd,
+		tracer.Span("acquire", "serve", r.tid, int64(now), acqEnd,
 			obs.I64("cold", coldAttr))
 	}
 	res, err := wi.Invoke(d.cfg.Export, exec.I32(d.cfg.Arg))
@@ -428,7 +479,7 @@ func (d *Dispatcher) attempt(r *inflight) {
 		errAttr = 1
 	}
 	if tracer != nil {
-		tracer.Span("invoke", "serve", r.seq, acqEnd, acqEnd+int64(res.SimulatedExecTime),
+		tracer.Span("invoke", "serve", r.tid, acqEnd, acqEnd+int64(res.SimulatedExecTime),
 			obs.I64("cold", coldAttr),
 			obs.I64("instructions", int64(res.Instructions)),
 			obs.I64("error", errAttr))
@@ -479,7 +530,7 @@ func (d *Dispatcher) scheduleRetry(r *inflight, cause error) bool {
 	d.mu.Unlock()
 	r.retryWait += backoff
 	if tracer != nil {
-		tracer.Span("retry-wait", "serve", r.seq, int64(now), int64(now)+int64(backoff),
+		tracer.Span("retry-wait", "serve", r.tid, int64(now), int64(now)+int64(backoff),
 			obs.I64("attempt", int64(r.attempts)))
 	}
 	d.eng.After(backoff, func() { d.attempt(r) })
@@ -521,6 +572,7 @@ func (d *Dispatcher) finish(r *inflight, err error) {
 		Err:       err,
 	})
 	d.drainQueue()
+	d.notifyQuiesced()
 }
 
 // drainQueue dispatches queued requests into freed capacity, dropping any
@@ -547,7 +599,7 @@ func (d *Dispatcher) drainQueue() {
 		d.markProbeLocked()
 		wait := time.Duration(now - q.enqueued)
 		d.mu.Unlock()
-		d.start(q.done, wait)
+		d.start(q.done, wait, q.tid)
 	}
 }
 
@@ -638,6 +690,56 @@ func (d *Dispatcher) setBreakerLocked(s BreakerState) {
 	if d.obsTracer != nil {
 		now := int64(d.eng.Now())
 		d.obsTracer.Span("breaker", "serve", 0, now, now, obs.Str("state", s.String()))
+	}
+}
+
+// SetDraining flips the dispatcher's draining state. While draining, new
+// submissions are rejected immediately with ErrDraining; requests already
+// in flight or queued run to their normal outcome, so the admission identity
+// still balances once the flush completes. Safe to call from any goroutine
+// (the flag is observed at the next admission on the DES goroutine); the
+// gateway sets it on SIGTERM before waiting for quiescence.
+func (d *Dispatcher) SetDraining(v bool) {
+	d.mu.Lock()
+	d.draining = v
+	d.mu.Unlock()
+}
+
+// Draining reports whether SetDraining(true) is in effect. Safe to call from
+// observer goroutines.
+func (d *Dispatcher) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Quiesced reports whether the dispatcher holds no work: nothing in flight
+// and nothing queued. Safe to call from observer goroutines; under the DES
+// contract it is authoritative only between events.
+func (d *Dispatcher) Quiesced() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busy == 0 && len(d.queue) == 0
+}
+
+// SetQuiesceHook registers fn to run — on the goroutine driving the DES —
+// each time a settled request leaves the dispatcher with no in-flight or
+// queued work. The gateway's drain path uses it to snapshot final metrics
+// the moment the flush completes instead of polling.
+func (d *Dispatcher) SetQuiesceHook(fn func()) {
+	d.mu.Lock()
+	d.quiesceHook = fn
+	d.mu.Unlock()
+}
+
+// notifyQuiesced runs the quiesce hook if the dispatcher just went idle.
+func (d *Dispatcher) notifyQuiesced() {
+	d.mu.Lock()
+	fn := d.quiesceHook
+	idle := d.busy == 0 && len(d.queue) == 0
+	d.mu.Unlock()
+	if idle && fn != nil {
+		fn()
 	}
 }
 
