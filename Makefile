@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race obs-overhead faults-smoke gateway-smoke bench figures results examples clean
+.PHONY: all build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke bench figures results examples clean
 
-all: build vet test race obs-overhead faults-smoke gateway-smoke
+all: build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ obs-overhead:
 # fails this target even when unit tests miss it.
 faults-smoke:
 	$(GO) run ./cmd/continuum -exp faults > /dev/null
+
+# Tier smoke: run the execution-tier ablation once. The experiment embeds
+# its own gates — a tier-0-only and an eagerly tiered invoke must agree on
+# results and instruction counts, hotness cells must actually tier up and
+# record the artifact in cache accounting, and tiered warm p50 must improve.
+tiers-smoke:
+	$(GO) run ./cmd/continuum -exp tiers > /dev/null
 
 # Gateway smoke: boot continuumd on a random loopback port, invoke a
 # function over HTTP, scrape /metrics for a populated latency histogram,

@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{ID: "cache", Description: "Ablation: content-addressed module cache, cold vs cached instantiate", Run: AblationModuleCache},
 		{ID: "cow", Description: "Ablation: copy-on-write warm instances, shared baseline + dirty-page reset", Run: AblationCoW},
 		{ID: "faults", Description: "Ablation: fault injection x resilience policy (retries, breaker, pressure)", Run: AblationFaults},
+		{ID: "tiers", Description: "Ablation: execution tiers (tier0-only vs hotness tier-up vs eager tier-1)", Run: AblationTiers},
 		{ID: "gateway", Description: "Live HTTP gateway (continuumd) over loopback: concurrent clients vs the DES bridge", Run: Gateway},
 	}
 }

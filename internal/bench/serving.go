@@ -8,6 +8,8 @@ import (
 	"wasmcontainers/internal/engine"
 	"wasmcontainers/internal/k8s"
 	"wasmcontainers/internal/serve"
+	"wasmcontainers/internal/wasm/cache"
+	"wasmcontainers/internal/wasm/exec"
 	"wasmcontainers/internal/workloads"
 )
 
@@ -28,13 +30,26 @@ type ServingMeasurement struct {
 	// right after pool creation: pooled instances occupy node memory before
 	// a single request arrives, exactly like idle pods in the density runs.
 	PoolKubeletMiB float64
+	// TierUps counts tier-0 -> tier-1 lowerings over the run (0 or 1 per
+	// module) and Tier1Bytes the artifact still published at the end.
+	TierUps    uint64
+	Tier1Bytes int64
+	// CacheStats is the engine module cache's final kind-split counters.
+	CacheStats cache.Stats
 }
 
 // MeasureServing runs one open-loop load experiment: a warm pool of poolSize
 // instances (0 = cold-only) for one engine profile, attached to a simulated
 // worker node so pool memory is kubelet-visible, under a Poisson arrival
-// stream of ratePerSec for the given simulated window.
+// stream of ratePerSec for the given simulated window. Tiering runs under the
+// default hotness policy.
 func MeasureServing(p engine.Profile, poolSize int, ratePerSec float64, window time.Duration) (ServingMeasurement, error) {
+	return MeasureServingTiered(p, poolSize, ratePerSec, window, exec.DefaultTierPolicy())
+}
+
+// MeasureServingTiered is MeasureServing with an explicit tier policy — the
+// knob the tiers ablation turns (off / hotness / eager).
+func MeasureServingTiered(p engine.Profile, poolSize int, ratePerSec float64, window time.Duration, policy exec.TierPolicy) (ServingMeasurement, error) {
 	cluster, err := k8s.NewCluster(k8s.DefaultClusterConfig())
 	if err != nil {
 		return ServingMeasurement{}, err
@@ -58,6 +73,7 @@ func MeasureServing(p engine.Profile, poolSize int, ratePerSec float64, window t
 	}
 
 	eng := engine.New(p)
+	eng.SetTierPolicy(policy)
 	eng.SetObserver(tele)
 	att.SetObserver(tele)
 	bin, err := workloads.Binary(ServingWorkload)
@@ -102,6 +118,9 @@ func MeasureServing(p engine.Profile, poolSize int, ratePerSec float64, window t
 		RatePerSec:     ratePerSec,
 		Report:         rep,
 		PoolKubeletMiB: kubeletMiB,
+		TierUps:        cm.Code.TierUps(),
+		Tier1Bytes:     cm.Tier1Bytes(),
+		CacheStats:     eng.CacheStats(),
 	}, nil
 }
 

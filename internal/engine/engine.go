@@ -85,6 +85,11 @@ type Profile struct {
 	// NsPerInstruction converts really-executed guest instructions into
 	// simulated CPU time (interpreters are slower per instruction than JIT).
 	NsPerInstruction float64
+	// Tier1Speedup divides NsPerInstruction for invokes served by the tier-1
+	// direct-threaded backend after hotness tier-up. Interpreters gain the
+	// full dispatch win; JIT/AOT engines already execute lowered code, so
+	// their tier-up models only the residual fast-dispatch improvements.
+	Tier1Speedup float64
 
 	// Serving model (warm instance pools inside a live gateway process).
 
@@ -113,6 +118,7 @@ var (
 		ShimCPUWork:        600 * time.Millisecond,
 		ShimTaskLockHold:   200 * time.Millisecond,
 		NsPerInstruction:   160,
+		Tier1Speedup:       2.5,
 		WarmInstanceBytes:  160 * kib,
 		WarmInvokeOverhead: 12 * time.Microsecond,
 	}
@@ -134,6 +140,7 @@ var (
 		ShimCPUWork:        500 * time.Millisecond,
 		ShimTaskLockHold:   222 * time.Millisecond,
 		NsPerInstruction:   6,
+		Tier1Speedup:       1.15,
 		WarmInstanceBytes:  1792 * kib,
 		WarmInvokeOverhead: 3 * time.Microsecond,
 	}
@@ -155,6 +162,7 @@ var (
 		ShimCPUWork:        795 * time.Millisecond,
 		ShimTaskLockHold:   270 * time.Millisecond,
 		NsPerInstruction:   6,
+		Tier1Speedup:       1.15,
 		WarmInstanceBytes:  2048 * kib,
 		WarmInvokeOverhead: 4 * time.Microsecond,
 	}
@@ -176,6 +184,7 @@ var (
 		ShimCPUWork:        616 * time.Millisecond,
 		ShimTaskLockHold:   195 * time.Millisecond,
 		NsPerInstruction:   9,
+		Tier1Speedup:       1.6,
 		WarmInstanceBytes:  1024 * kib,
 		WarmInvokeOverhead: 6 * time.Microsecond,
 	}
@@ -211,6 +220,11 @@ type Engine struct {
 	// means no injection and costs one nil check per boundary.
 	faults *faults.Injector
 
+	// tierPolicy is installed on every compiled module. The default is
+	// exec.DefaultTierPolicy (hotness-triggered tier-up); ablations switch it
+	// to off or eager via SetTierPolicy before compiling.
+	tierPolicy exec.TierPolicy
+
 	// Telemetry handles, pre-resolved by SetObserver and nil when disabled:
 	// the invoke hot path then pays one nil check per handle and zero
 	// allocations (BenchmarkInvokeTelemetryDisabled enforces this).
@@ -220,6 +234,9 @@ type Engine struct {
 	obsInvokes      *obs.Counter
 	obsInvokeInstr  *obs.Histogram
 	obsTraps        *obs.Counter
+	obsTierUps      *obs.Counter
+	obsInvokeNsT0   *obs.Histogram
+	obsInvokeNsT1   *obs.Histogram
 	obsTracer       *obs.Tracer
 }
 
@@ -231,6 +248,7 @@ func (e *Engine) SetObserver(t *obs.Telemetry) {
 	if t == nil {
 		e.obsInstantiates, e.obsInvokes, e.obsTraps = nil, nil, nil
 		e.obsInstWallNs, e.obsInvokeInstr, e.obsTracer = nil, nil, nil
+		e.obsTierUps, e.obsInvokeNsT0, e.obsInvokeNsT1 = nil, nil, nil
 		e.modCache.SetObserver(nil)
 		return
 	}
@@ -240,6 +258,9 @@ func (e *Engine) SetObserver(t *obs.Telemetry) {
 	e.obsInvokes = t.Counter(label("engine_invokes_total"))
 	e.obsInvokeInstr = t.Histogram(label("engine_invoke_instructions"))
 	e.obsTraps = t.Counter(label("engine_traps_total"))
+	e.obsTierUps = t.Counter(label("tierup_total"))
+	e.obsInvokeNsT0 = t.Histogram(obs.Labeled(label("engine_invoke_sim_ns"), "tier", "0"))
+	e.obsInvokeNsT1 = t.Histogram(obs.Labeled(label("engine_invoke_sim_ns"), "tier", "1"))
 	e.obsTracer = t.Tracer()
 	e.modCache.SetObserver(t)
 }
@@ -265,8 +286,16 @@ func NewWithCache(p Profile, c *cache.Cache) *Engine {
 	if c == nil {
 		c = cache.New(DefaultModuleCacheBytes)
 	}
-	return &Engine{Profile: p, modCache: c}
+	return &Engine{Profile: p, modCache: c, tierPolicy: exec.DefaultTierPolicy()}
 }
+
+// SetTierPolicy changes the tier-up policy installed on modules compiled from
+// now on (already-compiled modules keep the policy they got). The tiers
+// ablation uses it to compare tier-0-only, hotness, and eager lowering.
+func (e *Engine) SetTierPolicy(p exec.TierPolicy) { e.tierPolicy = p }
+
+// TierPolicy returns the policy installed on newly compiled modules.
+func (e *Engine) TierPolicy() exec.TierPolicy { return e.tierPolicy }
 
 // CacheStats reports the module cache's counters.
 func (e *Engine) CacheStats() cache.Stats { return e.modCache.Stats() }
@@ -292,6 +321,17 @@ func (cm *CompiledModule) CodeBytes() int64 {
 	return cm.Code.CodeBytes()
 }
 
+// Tier1Bytes is the size of the tier-1 direct-threaded artifact currently
+// published for this module (0 before tier-up and after an eviction-driven
+// drop). Like CodeBytes it is charged once per node regardless of instance
+// count.
+func (cm *CompiledModule) Tier1Bytes() int64 {
+	if cm.Code == nil {
+		return 0
+	}
+	return cm.Code.Tier1Bytes()
+}
+
 // BaselineBytes is the size of the module's shared baseline memory image
 // (post-instantiation linear memory, captured from the first instance): like
 // CodeBytes, charged once per node no matter how many instances diverge from
@@ -306,17 +346,48 @@ func (cm *CompiledModule) BaselineBytes() int64 {
 // Compile decodes, validates, and lowers a binary module through the
 // engine's content-addressed cache: recompiling a binary the engine (or a
 // cache-sharing peer) has seen before is a cache hit and costs no work.
+// The engine's tier policy is installed on the compiled code, with a tier-up
+// listener that records the tier-1 artifact in the module cache (charged once
+// per node, LRU-evictable beside the module). Under the eager policy the
+// tier-1 body is lowered right here rather than on hotness.
 func (e *Engine) Compile(bin []byte) (*CompiledModule, error) {
 	ent, err := e.modCache.Load(bin)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.Profile.Name, err)
 	}
+	e.installTierHooks(ent)
 	return &CompiledModule{
 		Module:  ent.Module,
 		BinSize: int(ent.BinSize),
 		Digest:  ent.Digest,
 		Code:    ent.Code,
 	}, nil
+}
+
+// installTierHooks applies the engine's tier policy to a freshly loaded cache
+// entry and hooks tier-up into cache accounting and telemetry.
+func (e *Engine) installTierHooks(ent *cache.Entry) {
+	mc := ent.Code
+	if mc == nil {
+		return
+	}
+	mc.SetTierPolicy(e.tierPolicy)
+	c := e.modCache
+	mc.SetTierUpListener(func(tc *exec.Tier1Code, lowered time.Duration) {
+		c.NoteTier1(ent)
+		e.obsTierUps.Inc()
+		if e.obsTracer != nil {
+			now := e.obsTracer.Now()
+			e.obsTracer.Span("tier-up", "engine", 0, now, now,
+				obs.Str("engine", e.Profile.Name),
+				obs.I64("lowered_funcs", int64(tc.Lowered())),
+				obs.I64("tier1_bytes", tc.Bytes()),
+				obs.I64("lower_wall_ns", lowered.Nanoseconds()))
+		}
+	}, nil)
+	if e.tierPolicy.Mode == exec.TierModeEager {
+		mc.EnsureTier1()
+	}
 }
 
 // RunResult extends the WASI result with engine-derived figures.
@@ -474,8 +545,11 @@ func (e *Engine) Instantiate(cm *CompiledModule) (*Instance, error) {
 
 // InvokeResult carries one invocation's outcome and derived cost figures.
 type InvokeResult struct {
-	Values            []exec.Value
-	Instructions      uint64
+	Values       []exec.Value
+	Instructions uint64
+	// Tier is the execution tier that served this invoke (0 = switch
+	// interpreter, 1 = direct-threaded code after tier-up).
+	Tier              int
 	SimulatedExecTime time.Duration
 	GuestMemoryBytes  int64
 }
@@ -490,32 +564,55 @@ func (i *Instance) Invoke(export string, args ...exec.Value) (InvokeResult, erro
 	vals, err := i.inst.Call(export, args...)
 	i.e.obsInvokes.Inc()
 	n := i.store.InstructionCount() - before
+	tier := i.store.LastInvokeTier()
 	if err != nil {
 		i.e.obsTraps.Inc()
-		return i.partialResult(n), fmt.Errorf("%s: %w", i.e.Profile.Name, err)
+		return i.partialResult(n, tier), fmt.Errorf("%s: %w", i.e.Profile.Name, err)
 	}
 	if frac, trap := i.e.faults.TrapFraction(); trap {
 		// Injected mid-invoke trap: the guest "executed" frac of its work
 		// before trapping. The real run completed (and was reset-safe), but
 		// the caller sees a trap that consumed partial simulated time.
 		i.e.obsTraps.Inc()
-		return i.partialResult(uint64(float64(n) * frac)),
+		return i.partialResult(uint64(float64(n)*frac), tier),
 			fmt.Errorf("%s: %w", i.e.Profile.Name, faults.ErrTrap)
 	}
 	i.e.obsInvokeInstr.Record(int64(n))
+	simT := i.simTime(n, tier)
+	if tier == 1 {
+		i.e.obsInvokeNsT1.Record(simT.Nanoseconds())
+	} else {
+		i.e.obsInvokeNsT0.Record(simT.Nanoseconds())
+	}
 	return InvokeResult{
 		Values:            vals,
 		Instructions:      n,
-		SimulatedExecTime: time.Duration(float64(n) * i.e.Profile.NsPerInstruction),
+		Tier:              tier,
+		SimulatedExecTime: simT,
 		GuestMemoryBytes:  i.GuestMemoryBytes(),
 	}, nil
 }
 
+// simTime prices n executed instructions for the tier that executed them:
+// instruction counts are tier-invariant by construction (the differential
+// tests enforce it), so tier-1's real speedup shows up purely as a cheaper
+// per-instruction rate.
+func (i *Instance) simTime(n uint64, tier int) time.Duration {
+	ns := i.e.Profile.NsPerInstruction
+	if tier == 1 {
+		if sp := i.e.Profile.Tier1Speedup; sp > 1 {
+			ns /= sp
+		}
+	}
+	return time.Duration(float64(n) * ns)
+}
+
 // partialResult bills n instructions of a trapped invoke (no return values).
-func (i *Instance) partialResult(n uint64) InvokeResult {
+func (i *Instance) partialResult(n uint64, tier int) InvokeResult {
 	return InvokeResult{
 		Instructions:      n,
-		SimulatedExecTime: time.Duration(float64(n) * i.e.Profile.NsPerInstruction),
+		Tier:              tier,
+		SimulatedExecTime: i.simTime(n, tier),
 		GuestMemoryBytes:  i.GuestMemoryBytes(),
 	}
 }

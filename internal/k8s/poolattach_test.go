@@ -1,11 +1,13 @@
 package k8s
 
 import (
+	"strings"
 	"testing"
 
 	"wasmcontainers/internal/engine"
 	"wasmcontainers/internal/serve"
 	"wasmcontainers/internal/simos"
+	"wasmcontainers/internal/wasm/exec"
 	"wasmcontainers/internal/workloads"
 )
 
@@ -135,6 +137,71 @@ func TestWarmPoolSharedArtifactsCountedOncePerNode(t *testing.T) {
 	if att2.ChargedBytes() >= att1.ChargedBytes()+sharedBytes {
 		t.Fatal("second pool's private charge swallowed the shared artifacts")
 	}
+}
+
+// TestTier1ArtifactSharedOncePerNode: a module lowered to tier-1 code (eager
+// policy, as after hotness tier-up) exposes a third digest-keyed artifact,
+// wasm-t1:<digest>, and two pools of the module map it via SyncShared like
+// compiled code and the baseline image — charged once per node.
+func TestTier1ArtifactSharedOncePerNode(t *testing.T) {
+	c := newTestCluster(t)
+	node := c.Nodes[0]
+	eng := engine.New(engine.Wasmtime)
+	eng.SetTierPolicy(exec.TierPolicy{Mode: exec.TierModeEager})
+	bin, err := workloads.Binary("request-handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := eng.Compile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Tier1Bytes() <= 0 {
+		t.Fatal("eager policy did not publish a tier-1 artifact")
+	}
+
+	attach := func(name string) *WarmPoolAttachment {
+		att, err := node.AttachWarmPool(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := serve.NewPool(eng, cm, serve.Config{Size: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts := pool.SharedArtifacts()
+		if len(arts) != 3 {
+			t.Fatalf("shared artifacts = %v, want code + baseline + tier-1", arts)
+		}
+		sawT1 := false
+		var shared int64
+		for _, art := range arts {
+			if strings.HasPrefix(art.Name, "wasm-t1:") {
+				sawT1 = true
+				if art.Bytes != cm.Tier1Bytes() {
+					t.Fatalf("tier-1 artifact %d bytes, want %d", art.Bytes, cm.Tier1Bytes())
+				}
+			}
+			att.SyncShared(art.Name, art.Bytes)
+			shared += art.Bytes
+		}
+		if !sawT1 {
+			t.Fatalf("no wasm-t1 artifact in %v", arts)
+		}
+		att.Sync(pool.MemoryBytes() - shared)
+		return att
+	}
+
+	att1 := attach("gw1")
+	used1 := node.OS.UsedBeyondIdle()
+	// Second pool of the same module: the tier-1 mapping (like code and
+	// baseline) dedupes on its digest-keyed name; only private bytes add up.
+	att2 := attach("gw2")
+	if delta := node.OS.UsedBeyondIdle() - used1; delta != att2.ChargedBytes() {
+		t.Fatalf("second pool cost %d, want private-only %d (tier-1 recharged?)",
+			delta, att2.ChargedBytes())
+	}
+	_ = att1
 }
 
 // TestMemoryPressureDrainsWarmPools: a node-level memory-pressure episode

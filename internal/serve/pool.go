@@ -93,6 +93,11 @@ type Pool struct {
 	// image, charged when the first instance captures it (0 until then — a
 	// cold-only pool that never instantiates charges no guest memory at all).
 	baselineBytes int64
+	// tier1Bytes is the one accounted copy of the tier-1 direct-threaded
+	// artifact, synced against the module's currently published artifact at
+	// instance creation and release: it appears after hotness tier-up and
+	// disappears again if cache pressure evicts the artifact.
+	tier1Bytes int64
 
 	stats Stats
 
@@ -187,9 +192,21 @@ func (p *Pool) newInstance(cold bool) (*WarmInstance, error) {
 		p.addMemLocked(b - p.baselineBytes)
 		p.baselineBytes = b
 	}
+	p.syncTier1Locked()
 	p.addMemLocked(wi.footprint)
 	p.mu.Unlock()
 	return wi, nil
+}
+
+// syncTier1Locked reconciles the pool's one-per-node tier-1 artifact charge
+// with what the module currently publishes: a tier-up charges the artifact
+// once (no matter how many instances pick it up), a cache-pressure drop
+// releases it.
+func (p *Pool) syncTier1Locked() {
+	if b := p.cm.Tier1Bytes(); b != p.tier1Bytes {
+		p.addMemLocked(b - p.tier1Bytes)
+		p.tier1Bytes = b
+	}
 }
 
 // addMemLocked adjusts accounted memory, tracks the high-water mark, and
@@ -268,6 +285,7 @@ func (p *Pool) Release(wi *WarmInstance, now des.Time) {
 	resetPages := wi.inst.ResetToBaseline()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.syncTier1Locked()
 	p.stats.ResetPages += int64(resetPages)
 	p.obsResetPages.Record(int64(resetPages))
 	if p.obsTracer != nil {
@@ -380,9 +398,20 @@ func (p *Pool) SharedBaselineBytes() int64 {
 	return p.baselineBytes
 }
 
+// SharedTier1Bytes is the one accounted copy of the tier-1 artifact all pool
+// instances share; 0 until hotness tier-up (and again after a cache-pressure
+// drop).
+func (p *Pool) SharedTier1Bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.syncTier1Locked()
+	return p.tier1Bytes
+}
+
 // SharedArtifact names one node-shareable read-only artifact of the pool's
 // module, keyed by content digest like a shared library: compiled code as
-// wasm-code:<digest>, the baseline memory image as wasm-data:<digest>.
+// wasm-code:<digest>, the baseline memory image as wasm-data:<digest>, and
+// the tier-1 direct-threaded code as wasm-t1:<digest>.
 // internal/k8s maps these as shared mappings so several pools (or container
 // runtimes) of one module on a node account each artifact once.
 type SharedArtifact struct {
@@ -400,6 +429,12 @@ func (p *Pool) SharedArtifacts() []SharedArtifact {
 	if b := p.cm.BaselineBytes(); b > 0 {
 		arts = append(arts, SharedArtifact{
 			Name:  fmt.Sprintf("wasm-data:%x", p.cm.Digest[:8]),
+			Bytes: b,
+		})
+	}
+	if b := p.cm.Tier1Bytes(); b > 0 {
+		arts = append(arts, SharedArtifact{
+			Name:  fmt.Sprintf("wasm-t1:%x", p.cm.Digest[:8]),
 			Bytes: b,
 		})
 	}

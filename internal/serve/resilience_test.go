@@ -12,6 +12,7 @@ import (
 	"wasmcontainers/internal/engine"
 	"wasmcontainers/internal/faults"
 	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/wasm/exec"
 )
 
 // TestQueuedRequestsSurviveColdStartFailure is the regression test for the
@@ -309,7 +310,11 @@ func TestBreakerHoldsQueueUntilHalfOpenProbe(t *testing.T) {
 func chaosRun(t *testing.T) (Report, DispatcherStats, faults.Stats) {
 	t.Helper()
 	eng := des.NewEngine()
-	pool := newTestPool(t, engine.Wasmtime, Config{Size: 2, IdleTTL: 2 * time.Second})
+	pool := newTestPoolPolicy(t, engine.Wasmtime, Config{Size: 2, IdleTTL: 2 * time.Second},
+		exec.TierPolicy{Mode: exec.TierModeOff})
+	// Tiering off: this scenario pins a fixed-seed tier-0 timeline (tier-up
+	// would shorten warm invokes, starving the slow-cold-start draws the
+	// assertions below require). Tiered serving is covered by the tier tests.
 	// Arm after NewPool: pre-warming must succeed, request-path work sees the
 	// faults.
 	in := faults.New(faults.Config{

@@ -14,7 +14,15 @@ import (
 // newTestPool builds a pool over the request-handler workload.
 func newTestPool(t *testing.T, p engine.Profile, cfg Config) *Pool {
 	t.Helper()
+	return newTestPoolPolicy(t, p, cfg, exec.DefaultTierPolicy())
+}
+
+// newTestPoolPolicy is newTestPool with an explicit tier policy installed
+// before compiling.
+func newTestPoolPolicy(t *testing.T, p engine.Profile, cfg Config, tp exec.TierPolicy) *Pool {
+	t.Helper()
 	eng := engine.New(p)
+	eng.SetTierPolicy(tp)
 	bin, err := workloads.Binary("request-handler")
 	if err != nil {
 		t.Fatal(err)

@@ -40,16 +40,53 @@ type Entry struct {
 // decoded structures reference).
 func (e *Entry) Cost() int64 { return e.Code.CodeBytes() + e.BinSize }
 
-// Stats is a snapshot of cache counters.
-type Stats struct {
-	// Hits counts loads served from a resident entry or by waiting on an
-	// in-flight compile; Misses counts loads that compiled.
+// Kind distinguishes the artifact kinds the cache accounts: the compiled
+// (tier-0) module, and the optional tier-1 direct-threaded code lowered from
+// it after tier-up.
+type Kind int
+
+// Artifact kinds.
+const (
+	KindModule Kind = iota
+	KindTier1
+	numKinds
+)
+
+// KindStats is one artifact kind's slice of the counters. For modules a hit
+// is a Load served without compiling and a miss is a compile; for tier-1
+// artifacts a miss is a tier-up recorded (the artifact was lowered) and a hit
+// is a re-record of an already-resident artifact.
+type KindStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	Entries   int
-	Bytes     int64
-	MaxBytes  int64
+}
+
+// Stats is a snapshot of cache counters. The flat Hits/Misses/Evictions are
+// totals across artifact kinds; Module and Tier1 carry the per-kind split.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+
+	Module KindStats
+	Tier1  KindStats
+
+	// Entries counts resident artifacts of both kinds; Bytes is their total
+	// charged cost, of which Tier1Bytes is the tier-1 share.
+	Entries    int
+	Bytes      int64
+	Tier1Bytes int64
+	MaxBytes   int64
+}
+
+// node is one LRU-resident artifact: a compiled module entry or the tier-1
+// code lowered from one. cost is frozen at insert time so the charge and the
+// discharge always match.
+type node struct {
+	e    *Entry
+	kind Kind
+	cost int64
 }
 
 // slot is an in-flight compile other loaders can wait on.
@@ -64,13 +101,15 @@ type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	bytes    int64
-	entries  map[Digest]*list.Element // value: *Entry
-	lru      *list.List               // front = most recently used
+	t1bytes  int64
+	entries  map[Digest]*list.Element // module nodes; value: *node
+	t1       map[Digest]*list.Element // tier-1 nodes; value: *node
+	lru      *list.List               // both kinds; front = most recently used
 	slots    map[Digest]*slot
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	hits      [numKinds]uint64
+	misses    [numKinds]uint64
+	evictions [numKinds]uint64
 
 	// Telemetry handles, nil when observation is disabled (the handle
 	// methods then no-op without allocating). The tracer needs an explicit
@@ -79,6 +118,7 @@ type Cache struct {
 	obsMisses    *obs.Counter
 	obsEvictions *obs.Counter
 	obsBytes     *obs.Gauge
+	obsT1Bytes   *obs.Gauge
 	obsCompileNs *obs.Histogram
 	obsTracer    *obs.Tracer
 }
@@ -89,6 +129,7 @@ func New(maxBytes int64) *Cache {
 	return &Cache{
 		maxBytes: maxBytes,
 		entries:  make(map[Digest]*list.Element),
+		t1:       make(map[Digest]*list.Element),
 		lru:      list.New(),
 		slots:    make(map[Digest]*slot),
 	}
@@ -103,7 +144,8 @@ func (c *Cache) SetObserver(t *obs.Telemetry) {
 	defer c.mu.Unlock()
 	if t == nil {
 		c.obsHits, c.obsMisses, c.obsEvictions = nil, nil, nil
-		c.obsBytes, c.obsCompileNs, c.obsTracer = nil, nil, nil
+		c.obsBytes, c.obsT1Bytes = nil, nil
+		c.obsCompileNs, c.obsTracer = nil, nil
 		return
 	}
 	c.obsHits = t.Counter("modcache_hits_total")
@@ -122,8 +164,8 @@ func (c *Cache) Load(bin []byte) (*Entry, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[digest]; ok {
 		c.lru.MoveToFront(el)
-		c.hits++
-		e := el.Value.(*Entry)
+		c.hits[KindModule]++
+		e := el.Value.(*node).e
 		hitTracer := c.obsTracer
 		c.mu.Unlock()
 		c.obsHits.Inc()
@@ -135,7 +177,7 @@ func (c *Cache) Load(bin []byte) (*Entry, error) {
 	}
 	if sl, ok := c.slots[digest]; ok {
 		// Someone is compiling this binary right now: wait for their result.
-		c.hits++
+		c.hits[KindModule]++
 		c.mu.Unlock()
 		c.obsHits.Inc()
 		<-sl.done
@@ -143,7 +185,7 @@ func (c *Cache) Load(bin []byte) (*Entry, error) {
 	}
 	sl := &slot{done: make(chan struct{})}
 	c.slots[digest] = sl
-	c.misses++
+	c.misses[KindModule]++
 	tracer := c.obsTracer
 	c.mu.Unlock()
 	c.obsMisses.Inc()
@@ -153,13 +195,59 @@ func (c *Cache) Load(bin []byte) (*Entry, error) {
 	c.mu.Lock()
 	delete(c.slots, digest)
 	sl.entry, sl.err = e, err
+	var drops []*Entry
 	if err == nil {
-		c.insertLocked(e)
+		drops = c.insertLocked(e)
 		c.obsBytes.Set(c.bytes)
+		c.obsT1Bytes.Set(c.t1bytes)
 	}
 	c.mu.Unlock()
 	close(sl.done)
+	dropTier1(drops)
 	return e, err
+}
+
+// NoteTier1 records e's tier-1 artifact as a resident cache artifact. Like
+// compiled code and the baseline image, tier-1 code is charged once per node
+// against the same byte bound no matter how many instances run it, and is
+// LRU-evictable beside the module entries. Evicting a tier-1 node unpublishes
+// the artifact (exec.ModuleCode.DropTier1): instances fall back to tier 0 on
+// their next invoke, without error, and the module must re-earn tier-up.
+// Call it from a tier-up listener or after an eager EnsureTier1.
+func (c *Cache) NoteTier1(e *Entry) {
+	cost := e.Code.Tier1Bytes()
+	if cost <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.t1[e.Digest]; ok {
+		n := el.Value.(*node)
+		c.bytes += cost - n.cost
+		c.t1bytes += cost - n.cost
+		n.cost = cost
+		c.lru.MoveToFront(el)
+		c.hits[KindTier1]++
+	} else {
+		el := c.lru.PushFront(&node{e: e, kind: KindTier1, cost: cost})
+		c.t1[e.Digest] = el
+		c.bytes += cost
+		c.t1bytes += cost
+		c.misses[KindTier1]++
+	}
+	drops := c.evictLocked()
+	c.obsBytes.Set(c.bytes)
+	c.obsT1Bytes.Set(c.t1bytes)
+	c.mu.Unlock()
+	dropTier1(drops)
+}
+
+// dropTier1 unpublishes evicted tier-1 artifacts. It runs strictly outside
+// the cache lock: DropTier1 takes the module's tier mutex, under which
+// tier-up listeners may call back into the cache.
+func dropTier1(drops []*Entry) {
+	for _, e := range drops {
+		e.Code.DropTier1()
+	}
 }
 
 // compileObserved runs the full pipeline outside the cache lock, timing each
@@ -219,24 +307,54 @@ func compile(bin []byte, digest Digest) (*Entry, error) {
 	return &Entry{Digest: digest, BinSize: int64(len(bin)), Module: m, Code: mc}, nil
 }
 
-// insertLocked adds e and evicts least-recently-used entries while over the
-// bound — but never the entry just inserted, so oversized modules still cache.
-func (c *Cache) insertLocked(e *Entry) {
-	el := c.lru.PushFront(e)
+// insertLocked adds e and evicts least-recently-used artifacts while over the
+// bound — but never the entry just inserted, so oversized modules still
+// cache. It returns entries whose tier-1 artifact must be dropped; the caller
+// does so after releasing the lock.
+func (c *Cache) insertLocked(e *Entry) []*Entry {
+	el := c.lru.PushFront(&node{e: e, kind: KindModule, cost: e.Cost()})
 	c.entries[e.Digest] = el
 	c.bytes += e.Cost()
+	return c.evictLocked()
+}
+
+// evictLocked walks the LRU tail while over the byte bound. Evicting a module
+// also evicts its tier-1 sibling (tier-1 code is useless without the module
+// it was lowered from); evicting a tier-1 node alone leaves the module
+// resident and execution falls back to tier 0. Returns the entries whose
+// tier-1 artifact the caller must unpublish outside the lock.
+func (c *Cache) evictLocked() []*Entry {
 	if c.maxBytes <= 0 {
-		return
+		return nil
 	}
+	var drops []*Entry
 	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
 		back := c.lru.Back()
-		victim := back.Value.(*Entry)
+		n := back.Value.(*node)
 		c.lru.Remove(back)
-		delete(c.entries, victim.Digest)
-		c.bytes -= victim.Cost()
-		c.evictions++
+		c.bytes -= n.cost
+		c.evictions[n.kind]++
 		c.obsEvictions.Inc()
+		switch n.kind {
+		case KindModule:
+			delete(c.entries, n.e.Digest)
+			if t1el, ok := c.t1[n.e.Digest]; ok {
+				t1n := t1el.Value.(*node)
+				c.lru.Remove(t1el)
+				delete(c.t1, n.e.Digest)
+				c.bytes -= t1n.cost
+				c.t1bytes -= t1n.cost
+				c.evictions[KindTier1]++
+				c.obsEvictions.Inc()
+				drops = append(drops, n.e)
+			}
+		case KindTier1:
+			delete(c.t1, n.e.Digest)
+			c.t1bytes -= n.cost
+			drops = append(drops, n.e)
+		}
 	}
+	return drops
 }
 
 // Stats returns a consistent snapshot of the counters.
@@ -244,11 +362,22 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.lru.Len(),
-		Bytes:     c.bytes,
-		MaxBytes:  c.maxBytes,
+		Hits:      c.hits[KindModule] + c.hits[KindTier1],
+		Misses:    c.misses[KindModule] + c.misses[KindTier1],
+		Evictions: c.evictions[KindModule] + c.evictions[KindTier1],
+		Module: KindStats{
+			Hits:      c.hits[KindModule],
+			Misses:    c.misses[KindModule],
+			Evictions: c.evictions[KindModule],
+		},
+		Tier1: KindStats{
+			Hits:      c.hits[KindTier1],
+			Misses:    c.misses[KindTier1],
+			Evictions: c.evictions[KindTier1],
+		},
+		Entries:    c.lru.Len(),
+		Bytes:      c.bytes,
+		Tier1Bytes: c.t1bytes,
+		MaxBytes:   c.maxBytes,
 	}
 }

@@ -225,3 +225,63 @@ func BenchmarkMemoryGrowIncremental(b *testing.B) {
 		}
 	}
 }
+
+// --- tier micro-benchmarks --------------------------------------------------
+//
+// BenchmarkInvokeTier0/Tier1 pairs measure the same workload with the module
+// pinned to one tier, so the ratio is the direct-threading speedup the
+// tier-up policy buys once a function is hot.
+
+func benchTierInstance(b *testing.B, src string, tier1 bool) *Instance {
+	b.Helper()
+	inst := benchInstance(b, src)
+	if tier1 {
+		tc, _ := inst.Code().EnsureTier1()
+		if tc.Lowered() != tc.NumFuncs() {
+			b.Fatalf("lowered %d of %d functions", tc.Lowered(), tc.NumFuncs())
+		}
+	}
+	return inst
+}
+
+func benchTierCall(b *testing.B, src, name string, arg Value, tier1 bool) {
+	inst := benchTierInstance(b, src, tier1)
+	s := inst.Store()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Call(name, arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	want := 0
+	if tier1 {
+		want = 1
+	}
+	if s.LastInvokeTier() != want {
+		b.Fatalf("served at tier %d, want %d", s.LastInvokeTier(), want)
+	}
+}
+
+func BenchmarkInvokeTier0Fib(b *testing.B) { benchTierCall(b, benchFibWAT, "fib", I32(20), false) }
+func BenchmarkInvokeTier1Fib(b *testing.B) { benchTierCall(b, benchFibWAT, "fib", I32(20), true) }
+func BenchmarkInvokeTier0Loop(b *testing.B) {
+	benchTierCall(b, benchLoopWAT, "spin", I32(100000), false)
+}
+func BenchmarkInvokeTier1Loop(b *testing.B) {
+	benchTierCall(b, benchLoopWAT, "spin", I32(100000), true)
+}
+func BenchmarkInvokeTier0Churn(b *testing.B) {
+	benchTierCall(b, benchMemWAT, "churn", I32(100000), false)
+}
+func BenchmarkInvokeTier1Churn(b *testing.B) {
+	benchTierCall(b, benchMemWAT, "churn", I32(100000), true)
+}
+
+func BenchmarkInvokeTier0Indirect(b *testing.B) {
+	benchTierCall(b, benchIndirectWAT, "dispatch", I32(100000), false)
+}
+func BenchmarkInvokeTier1Indirect(b *testing.B) {
+	benchTierCall(b, benchIndirectWAT, "dispatch", I32(100000), true)
+}

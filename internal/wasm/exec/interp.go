@@ -8,8 +8,12 @@ import (
 	"wasmcontainers/internal/wasm"
 )
 
-// invoke runs f with the given arguments, dispatching to host functions or
-// the interpreter loop.
+// invoke runs f with the given arguments, dispatching to host functions, the
+// tier-1 direct-threaded body when one has been published, or the tier-0
+// interpreter loop. This is the top-level entry (Instance.Call and start
+// functions); it is also where hotness is recorded and the tier-up policy
+// evaluated, so nested calls — which can number tens of thousands per
+// invoke — never touch the counters.
 func (inst *Instance) invoke(f *function, args []Value) ([]Value, error) {
 	s := inst.store
 	if f.host != nil {
@@ -25,7 +29,29 @@ func (inst *Instance) invoke(f *function, args []Value) ([]Value, error) {
 		return nil, newTrap(TrapCallStackExhausted)
 	}
 	res := make([]Value, len(f.typ.Results))
-	err := f.inst.run(f, args, res)
+	var err error
+	ran1 := false
+	var tc *Tier1Code
+	if mc := f.mc; mc != nil {
+		if tc = mc.tier1.Load(); tc != nil {
+			if t1 := tc.funcs[f.mcIdx]; t1 != nil {
+				ran1, err = s.t1Call(f, t1, args, res)
+			}
+		}
+	}
+	if !ran1 {
+		before := s.instrCount
+		err = f.inst.run(f, args, res)
+		if f.mc != nil && tc == nil {
+			if f.mc.noteInvoke(f.mcIdx, s.instrCount-before) {
+				f.mc.EnsureTier1()
+			}
+		}
+	}
+	s.lastInvokeTier = 0
+	if ran1 {
+		s.lastInvokeTier = 1
+	}
 	s.depth--
 	if err != nil {
 		return nil, pushFrame(err, f)

@@ -3,6 +3,8 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"wasmcontainers/internal/wasm"
 )
@@ -24,6 +26,60 @@ type ModuleCode struct {
 
 	baseMu   sync.Mutex
 	baseline *BaselineImage
+
+	// Tier-1 state. The published artifact is an atomic pointer so the
+	// single-threaded stores sharing this ModuleCode pick it up without
+	// locking on the invoke path; lowering itself is singleflighted under
+	// tierMu. Hotness counters are per module-defined function and are
+	// only touched by top-level invokes running at tier 0.
+	policy   atomic.Pointer[TierPolicy]
+	tier1    atomic.Pointer[Tier1Code]
+	tierMu   sync.Mutex
+	tierUps  atomic.Uint64
+	onTierUp func(tc *Tier1Code, lowered time.Duration) // guarded by tierMu
+	onDrop   func(tc *Tier1Code)                        // guarded by tierMu
+	hot      []hotCount
+}
+
+// hotCount tracks one function's top-level invoke count and the instructions
+// those invokes executed (including callees), the two signals the tier-up
+// policy thresholds.
+type hotCount struct {
+	invokes atomic.Uint64
+	instrs  atomic.Uint64
+}
+
+// TierMode selects how the second execution tier is engaged.
+type TierMode int32
+
+const (
+	// TierModeOff never lowers to tier 1.
+	TierModeOff TierMode = iota
+	// TierModeHotness lowers the module once any function's hotness
+	// counters cross the policy thresholds.
+	TierModeHotness
+	// TierModeEager expects the embedder to call EnsureTier1 up front
+	// (at compile/instantiate time); the counters are never consulted.
+	TierModeEager
+)
+
+// TierPolicy configures hotness-triggered tier-up. A zero threshold disables
+// that criterion; with both zero, the first tier-0 invoke triggers tier-up.
+type TierPolicy struct {
+	Mode TierMode
+	// InvokeThreshold tiers up once a function has served this many
+	// top-level invokes.
+	InvokeThreshold uint64
+	// InstrThreshold tiers up once a function's top-level invokes have
+	// executed this many instructions in total.
+	InstrThreshold uint64
+}
+
+// DefaultTierPolicy is the hotness policy engines use unless overridden:
+// tier up after 8 warm invokes or 256k executed instructions, whichever
+// comes first.
+func DefaultTierPolicy() TierPolicy {
+	return TierPolicy{Mode: TierModeHotness, InvokeThreshold: 8, InstrThreshold: 1 << 18}
 }
 
 // Precompile lowers every function body of a validated module. The module
@@ -35,7 +91,11 @@ func Precompile(m *wasm.Module) (*ModuleCode, error) {
 			nImported++
 		}
 	}
-	mc := &ModuleCode{m: m, codes: make([]*compiledCode, len(m.Functions))}
+	mc := &ModuleCode{
+		m:     m,
+		codes: make([]*compiledCode, len(m.Functions)),
+		hot:   make([]hotCount, len(m.Functions)),
+	}
 	for i, ti := range m.Functions {
 		ft := m.Types[ti]
 		cc, err := compileBody(m, ft, &m.Codes[i])
@@ -93,4 +153,119 @@ func (mc *ModuleCode) BaselineBytes() int64 {
 		return 0
 	}
 	return mc.baseline.Bytes()
+}
+
+// SetTierPolicy installs the tier-up policy consulted by top-level invokes.
+func (mc *ModuleCode) SetTierPolicy(p TierPolicy) { mc.policy.Store(&p) }
+
+// TierPolicyValue returns the installed policy (zero value: TierModeOff).
+func (mc *ModuleCode) TierPolicyValue() TierPolicy {
+	if p := mc.policy.Load(); p != nil {
+		return *p
+	}
+	return TierPolicy{}
+}
+
+// noteInvoke records one top-level tier-0 invoke of function i that executed
+// instrs instructions (callees included), and reports whether the hotness
+// policy says the module should tier up now.
+func (mc *ModuleCode) noteInvoke(i int32, instrs uint64) bool {
+	p := mc.policy.Load()
+	if p == nil || p.Mode != TierModeHotness {
+		return false
+	}
+	h := &mc.hot[i]
+	inv := h.invokes.Add(1)
+	tot := h.instrs.Add(instrs)
+	if p.InvokeThreshold == 0 && p.InstrThreshold == 0 {
+		return true
+	}
+	return (p.InvokeThreshold > 0 && inv >= p.InvokeThreshold) ||
+		(p.InstrThreshold > 0 && tot >= p.InstrThreshold)
+}
+
+// EnsureTier1 publishes the tier-1 artifact for this module, lowering it on
+// first call (singleflight: concurrent callers block on one lowering and all
+// observe the same artifact). Reports whether this call performed the
+// lowering.
+func (mc *ModuleCode) EnsureTier1() (*Tier1Code, bool) {
+	if tc := mc.tier1.Load(); tc != nil {
+		return tc, false
+	}
+	mc.tierMu.Lock()
+	if tc := mc.tier1.Load(); tc != nil {
+		mc.tierMu.Unlock()
+		return tc, false
+	}
+	start := time.Now()
+	tc := lowerTier1(mc)
+	mc.tier1.Store(tc)
+	mc.tierUps.Add(1)
+	cb := mc.onTierUp
+	mc.tierMu.Unlock()
+	// The listener runs outside tierMu: it typically records the artifact in
+	// the module cache, whose eviction pass may take another module's tierMu.
+	if cb != nil {
+		cb(tc, time.Since(start))
+	}
+	return tc, true
+}
+
+// DropTier1 unpublishes the tier-1 artifact (cache eviction path): instances
+// transparently fall back to tier 0 on their next invoke. The hotness
+// counters are reset so the module must re-earn tier-up, preventing an
+// evict/re-lower thrash loop under memory pressure.
+func (mc *ModuleCode) DropTier1() {
+	mc.tierMu.Lock()
+	tc := mc.tier1.Load()
+	if tc == nil {
+		mc.tierMu.Unlock()
+		return
+	}
+	mc.tier1.Store(nil)
+	for i := range mc.hot {
+		mc.hot[i].invokes.Store(0)
+		mc.hot[i].instrs.Store(0)
+	}
+	cb := mc.onDrop
+	mc.tierMu.Unlock()
+	if cb != nil {
+		cb(tc)
+	}
+}
+
+// Tier1 returns the currently published tier-1 artifact, or nil.
+func (mc *ModuleCode) Tier1() *Tier1Code { return mc.tier1.Load() }
+
+// Tier1Bytes is the accounted size of the published tier-1 artifact (0 when
+// not lowered). Like CodeBytes it is charged once per node.
+func (mc *ModuleCode) Tier1Bytes() int64 {
+	if tc := mc.tier1.Load(); tc != nil {
+		return tc.bytes
+	}
+	return 0
+}
+
+// TierUps counts how many times this module has been lowered to tier 1
+// (more than once only after DropTier1).
+func (mc *ModuleCode) TierUps() uint64 { return mc.tierUps.Load() }
+
+// SetTierUpListener registers callbacks fired when an artifact is published
+// (onUp, with the lowering wall time) and unpublished (onDrop). Either may
+// be nil. Callbacks run under the tier mutex; they must not call back into
+// EnsureTier1/DropTier1 on this ModuleCode.
+func (mc *ModuleCode) SetTierUpListener(onUp func(tc *Tier1Code, lowered time.Duration), onDrop func(tc *Tier1Code)) {
+	mc.tierMu.Lock()
+	defer mc.tierMu.Unlock()
+	mc.onTierUp = onUp
+	mc.onDrop = onDrop
+}
+
+// HotStats returns function i's hotness counters (top-level invokes and the
+// instructions they executed).
+func (mc *ModuleCode) HotStats(i int) (invokes, instrs uint64) {
+	if i < 0 || i >= len(mc.hot) {
+		return 0, 0
+	}
+	return mc.hot[i].invokes.Load(), mc.hot[i].instrs.Load()
 }

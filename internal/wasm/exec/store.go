@@ -37,6 +37,19 @@ type Store struct {
 	// frameFree is a LIFO freelist of frame buffers (locals + operand stack)
 	// recycled across calls so the interpreter does not allocate per call.
 	frameFree [][]Value
+
+	// Tier-1 execution state: one contiguous register window per call,
+	// carved from t1stack. The stack is reallocated only while empty
+	// (t1sp == 0), so live frames — which hold slices into it — are never
+	// invalidated; a mid-stack shortfall records the wanted size in t1want
+	// and falls back to tier 0 for that call.
+	t1stack []Value
+	t1sp    int
+	t1want  int
+	t1free  []*t1frame
+	// lastInvokeTier records which tier served the most recent top-level
+	// invoke (0 or 1), for engine-side per-tier telemetry.
+	lastInvokeTier int
 }
 
 // minFrameSlots sizes freshly allocated frame buffers so small functions
@@ -95,6 +108,10 @@ func NewStore(cfg Config) *Store {
 
 // InstructionCount returns the number of wasm instructions executed so far.
 func (s *Store) InstructionCount() uint64 { return s.instrCount }
+
+// LastInvokeTier reports which execution tier (0 or 1) served the most
+// recent top-level invoke on this store.
+func (s *Store) LastInvokeTier() int { return s.lastInvokeTier }
 
 // AddFuel adds fuel to a fueled store.
 func (s *Store) AddFuel(n uint64) {
@@ -174,6 +191,12 @@ type function struct {
 	numLocals int // locals beyond parameters
 	idx       uint32
 	debugName string
+	// mc/mcIdx tie a module-defined function back to its shared ModuleCode
+	// so call sites can pick up the tier-1 body published there. Both stay
+	// zero/nil for host functions; imported wasm functions reference the
+	// *function of their defining instance and so carry its ModuleCode.
+	mc    *ModuleCode
+	mcIdx int32
 }
 
 // Instance is an instantiated module.
@@ -181,6 +204,7 @@ type Instance struct {
 	Module  *wasm.Module
 	Name    string
 	store   *Store
+	code    *ModuleCode
 	funcs   []*function
 	mem     *Memory
 	table   *Table
@@ -203,6 +227,10 @@ func (inst *Instance) Memory() *Memory { return inst.mem }
 
 // Store returns the owning store.
 func (inst *Instance) Store() *Store { return inst.store }
+
+// Code returns the shared ModuleCode this instance executes from — the
+// handle for tier policy and tier-up control.
+func (inst *Instance) Code() *ModuleCode { return inst.code }
 
 // errors for linking.
 var (
@@ -229,7 +257,7 @@ func (s *Store) Instantiate(m *wasm.Module, name string) (*Instance, error) {
 // are referenced, not copied, so N instances share one artifact.
 func (s *Store) InstantiateCompiled(mc *ModuleCode, name string) (*Instance, error) {
 	m := mc.m
-	inst := &Instance{Module: m, Name: name, store: s, names: wasm.DecodeNameSection(m)}
+	inst := &Instance{Module: m, Name: name, store: s, code: mc, names: wasm.DecodeNameSection(m)}
 
 	// Resolve imports in declaration order.
 	for _, imp := range m.Imports {
@@ -272,6 +300,8 @@ func (s *Store) InstantiateCompiled(mc *ModuleCode, name string) (*Instance, err
 			numParams: len(ft.Params),
 			numLocals: len(m.Codes[i].Locals),
 			idx:       uint32(nImported + i),
+			mc:        mc,
+			mcIdx:     int32(i),
 		})
 	}
 

@@ -1,0 +1,272 @@
+package exec
+
+// Tier-1 execution: a direct-threaded, register-form lowering of the fused
+// tier-0 instruction stream.
+//
+// Each instruction becomes one Go closure with its immediates, operand slots,
+// and successor indices captured at lowering time, so the hot loop is just
+// `pc = ops[pc](fr)`: no central switch, no per-step operand decoding, and no
+// operand-stack pointer — the dataflow pass in tier1_lower.go assigns every
+// stack position a fixed register slot. Structure markers (block/loop/end)
+// and drops vanish from the instruction stream entirely, with their
+// instruction counts folded into the surviving neighbors so
+// Store.InstructionCount and the block-granularity fuel schedule are
+// bit-identical to tier 0.
+//
+// Frames live in one contiguous per-store register stack: a call carves the
+// callee's window so its parameter slots alias the caller's argument slots,
+// making wasm->wasm calls zero-copy in both directions (the return closure
+// parks results in slots [0,nr), which are the caller's argument slots). The
+// stack is only reallocated while empty, so live frames never dangle; a
+// mid-stack shortfall records the wanted size and falls back to tier 0 for
+// that one call.
+
+// Sentinel pc values returned by closures to leave the dispatch loop.
+const (
+	t1Return  = -1
+	t1Trapped = -2 // trap or host error parked in fr.err
+)
+
+// t1op executes one lowered instruction and returns the next instruction
+// index (or a sentinel). Closures capture only static per-instruction data,
+// never per-instance state, so one artifact serves every instance.
+type t1op func(fr *t1frame) int
+
+// t1func is one function body lowered to tier 1.
+type t1func struct {
+	ops   []t1op
+	np    int    // parameters
+	nl    int    // parameters + declared locals
+	nr    int    // results
+	slots int    // nl + operand-stack bound: the frame's register window
+	lead  uint64 // structure markers preceding the first real instruction
+}
+
+// Tier1Code is the per-module tier-1 artifact published on ModuleCode.
+// A nil entry means that function could not be lowered (e.g. its heights
+// were not statically inferable) and permanently stays at tier 0.
+type Tier1Code struct {
+	funcs   []*t1func
+	bytes   int64
+	lowered int
+}
+
+// Bytes is the accounted resident size of the artifact, what the module
+// cache's LRU bound and the per-node shared-artifact accounting charge.
+func (tc *Tier1Code) Bytes() int64 { return tc.bytes }
+
+// Lowered reports how many functions were actually lowered.
+func (tc *Tier1Code) Lowered() int { return tc.lowered }
+
+// NumFuncs reports the number of module-defined functions covered.
+func (tc *Tier1Code) NumFuncs() int { return len(tc.funcs) }
+
+// t1frame is the mutable state threaded through every closure: the frame's
+// register window plus the same per-frame instruction/fuel accounting the
+// tier-0 loop keeps in locals. Frames are pooled on the store.
+type t1frame struct {
+	regs []Value // [0,nl): locals; [nl,slots): operand-stack registers
+	base int     // offset of regs within store.t1stack
+	inst *Instance
+	mem  *Memory
+	s    *Store
+	// executed/charged mirror tier 0's per-frame counters exactly:
+	// executed counts retired original instructions (markers included via
+	// folded credits), charged tracks the portion already drawn as fuel.
+	executed uint64
+	charged  uint64
+	err      error
+}
+
+// chargeFuel draws the current basic block's instruction count from the fuel
+// tank at a control transfer, exactly like the tier-0 charge points. Reports
+// false on exhaustion (the caller raises TrapOutOfFuel). Kept tiny so it
+// inlines into the branch closures.
+func (fr *t1frame) chargeFuel() bool {
+	s := fr.s
+	if !s.fueled {
+		return true
+	}
+	d := fr.executed - fr.charged
+	fr.charged = fr.executed
+	if d > s.fuelLeft {
+		s.fuelLeft = 0
+		return false
+	}
+	s.fuelLeft -= d
+	return true
+}
+
+// t1MinStack is the initial register-stack size in slots (here 128 KiB):
+// large enough that typical call trees never trigger a mid-stack fallback.
+const t1MinStack = 1 << 14
+
+func (s *Store) getT1Frame() *t1frame {
+	if n := len(s.t1free); n > 0 {
+		fr := s.t1free[n-1]
+		s.t1free = s.t1free[:n-1]
+		return fr
+	}
+	return &t1frame{}
+}
+
+func (s *Store) putT1Frame(fr *t1frame) {
+	fr.regs = nil
+	fr.inst = nil
+	fr.mem = nil
+	fr.err = nil
+	s.t1free = append(s.t1free, fr)
+}
+
+// t1body resolves f's tier-1 body, or nil when f is a host function, its
+// module has not tiered up, or this particular function was not lowerable.
+func (f *function) t1body() *t1func {
+	mc := f.mc
+	if mc == nil {
+		return nil
+	}
+	tc := mc.tier1.Load()
+	if tc == nil {
+		return nil
+	}
+	return tc.funcs[f.mcIdx]
+}
+
+// t1Call runs f's tier-1 body as a top-level call (from Instance.invoke,
+// which has already done the depth accounting). Returns ran=false — with the
+// wanted stack size recorded for the next empty-stack grow — when the
+// register stack cannot host the frame, in which case the caller runs tier 0.
+func (s *Store) t1Call(f *function, t1 *t1func, args, res []Value) (ran bool, err error) {
+	base := s.t1sp
+	need := base + t1.slots
+	if base == 0 {
+		if w := len(s.t1stack); need > w || s.t1want > w {
+			n := 2 * w
+			if n < t1MinStack {
+				n = t1MinStack
+			}
+			if n < need {
+				n = need
+			}
+			if n < s.t1want {
+				n = s.t1want
+			}
+			s.t1stack = make([]Value, n)
+			s.t1want = 0
+		}
+	} else if need > len(s.t1stack) {
+		if need > s.t1want {
+			s.t1want = need
+		}
+		return false, nil
+	}
+	fr := s.getT1Frame()
+	fr.s = s
+	fr.inst = f.inst
+	fr.mem = f.inst.mem
+	fr.base = base
+	regs := s.t1stack[base:need]
+	fr.regs = regs
+	n := copy(regs[:t1.nl], args)
+	for i := n; i < t1.nl; i++ {
+		regs[i] = 0
+	}
+	s.t1sp = need
+	err = s.execT1(fr, t1)
+	s.t1sp = base
+	s.putT1Frame(fr)
+	if err == nil {
+		copy(res, regs[:t1.nr])
+	}
+	return true, err
+}
+
+// execT1 drives one frame through the dispatch loop, with the same entry
+// fuel check and exit accounting flush as the tier-0 run.
+func (s *Store) execT1(fr *t1frame, t1 *t1func) error {
+	if s.fueled && s.fuelLeft == 0 {
+		return newTrap(TrapOutOfFuel)
+	}
+	fr.executed = t1.lead
+	fr.charged = 0
+	ops := t1.ops
+	pc := 0
+	for pc >= 0 {
+		pc = ops[pc](fr)
+	}
+	s.instrCount += fr.executed
+	if s.fueled {
+		if d := fr.executed - fr.charged; d > s.fuelLeft {
+			s.fuelLeft = 0
+		} else {
+			s.fuelLeft -= d
+		}
+	}
+	if pc == t1Trapped {
+		err := fr.err
+		fr.err = nil
+		return err
+	}
+	return nil
+}
+
+// callFunc dispatches a nested call from inside a tier-1 frame. The callee's
+// arguments sit at fr.regs[aslot:aslot+np] and its results land in
+// fr.regs[aslot:aslot+nr], exactly the overlap contract of the tier-0 call
+// sites. Tier-1 callees take the zero-copy fast path; host functions,
+// un-lowered callees, and register-stack shortfalls all route through the
+// shared invokeNested, which preserves tier-0 semantics bit for bit.
+func (fr *t1frame) callFunc(callee *function, aslot int) error {
+	if callee.host == nil {
+		if t1 := callee.t1body(); t1 != nil {
+			if done, err := fr.s.t1FastCall(fr, callee, t1, aslot); done {
+				return err
+			}
+		}
+	}
+	np := callee.numParams
+	nr := len(callee.typ.Results)
+	return fr.inst.invokeNested(callee, fr.regs[aslot:aslot+np], fr.regs[aslot:aslot+nr])
+}
+
+// t1FastCall runs a tier-1 callee in place: its register window starts at
+// the caller's first argument slot, so parameters and results are never
+// copied. The store's stack pointer is raised over the callee's window for
+// the duration so a host callback re-entering t1Call cannot overlap it.
+// done=false means the stack could not host the callee here (the caller
+// falls back to invokeNested).
+func (s *Store) t1FastCall(fr *t1frame, callee *function, t1 *t1func, aslot int) (done bool, err error) {
+	cbase := fr.base + aslot
+	need := cbase + t1.slots
+	if need > len(s.t1stack) {
+		if need > s.t1want {
+			s.t1want = need
+		}
+		return false, nil
+	}
+	s.depth++
+	if s.depth > s.cfg.MaxCallDepth {
+		s.depth--
+		return true, newTrap(TrapCallStackExhausted)
+	}
+	savedSp := s.t1sp
+	s.t1sp = need
+	cfr := s.getT1Frame()
+	cfr.s = s
+	cfr.inst = callee.inst
+	cfr.mem = callee.inst.mem
+	cfr.base = cbase
+	regs := s.t1stack[cbase:need]
+	cfr.regs = regs
+	for i := t1.np; i < t1.nl; i++ {
+		regs[i] = 0
+	}
+	err = s.execT1(cfr, t1)
+	s.putT1Frame(cfr)
+	s.t1sp = savedSp
+	s.depth--
+	if err != nil {
+		return true, pushFrame(err, callee)
+	}
+	return true, nil
+}

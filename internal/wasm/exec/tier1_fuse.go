@@ -1,0 +1,524 @@
+package exec
+
+import (
+	"wasmcontainers/internal/wasm"
+)
+
+// Tier-1 peephole fusion. The register form makes adjacency fusion far more
+// profitable than it is at tier 0: operands have fixed slots, so a pattern
+// like "local.get; i32.const+add; local.set; br" collapses into ONE closure
+// that reads a local, writes a local, charges fuel, and jumps — four dispatch
+// steps become one indirect call. The consumed instructions keep their own
+// standalone closures (branches may target them); the fused closure simply
+// jumps past them with their instruction counts folded in, so the retired
+// count and the block-granularity fuel schedule stay bit-identical to tier 0.
+
+// adj returns the pc of the next surviving instruction after pc when every
+// erased instruction in between is a pure structure marker. A Drop between
+// the two changes the operand stack, so it breaks adjacency (-1).
+func (b *t1builder) adj(pc int) int {
+	instrs := b.cc.instrs
+	for q := pc + 1; q < len(instrs); q++ {
+		op := instrs[q].op
+		if !t1Erased(op) {
+			return q
+		}
+		if op == wasm.OpDrop {
+			return -1
+		}
+	}
+	return -1
+}
+
+// tryFuse attempts to lower a multi-instruction pattern starting at pc into
+// one closure. Returns nil when no pattern applies (the caller falls through
+// to single-instruction lowering).
+func (b *t1builder) tryFuse(pc int) t1op {
+	instrs := b.cc.instrs
+	in := &instrs[pc]
+	ht := b.heights[pc]
+	switch in.op {
+	case opLocalGetPair:
+		// [local.get i; local.get j][<cmp>; br_if] — the universal hot-loop
+		// header, compared straight out of the locals.
+		q := b.adj(pc)
+		if q >= 0 && instrs[q].op == opCmpBrIf {
+			i := int(in.a >> 32)
+			j := int(uint32(in.a))
+			own := 2 + b.skipCnt[pc+1] + 2
+			return b.buildCmpBrIf(q, &instrs[q], b.heights[q], i, j, own)
+		}
+	case opLocalBinop:
+		// [local.get i; local.get j; <binop>][local.set k] — three-address
+		// form: k = i op j with no stack traffic. When the set is followed by
+		// the induction-variable step and the backedge, the whole loop
+		// epilogue ("acc op= x; i += k; br loop") collapses into one closure.
+		q := b.adj(pc)
+		if q >= 0 && instrs[q].op == wasm.OpBrIf && isCmpBinop(wasm.Opcode(in.misc)) {
+			// [local.get i; local.get j; <cmp>][br_if] — the other spelling of
+			// the hot-loop header (the upstream fuser ate the gets into a
+			// localBinop before cmp+br_if could pair up). Reuse the cmp-br-if
+			// builder with a synthetic fused instr carrying br_if's target.
+			i := int(in.a >> 32)
+			j := int(uint32(in.a))
+			syn := instr{op: opCmpBrIf, misc: in.misc, a: instrs[q].a, b: instrs[q].b}
+			return b.buildCmpBrIf(q, &syn, b.heights[pc]+2, i, j, 3+b.skipCnt[pc+1]+1)
+		}
+		if q >= 0 && instrs[q].op == wasm.OpLocalSet {
+			op := wasm.Opcode(in.misc)
+			if fn := binFast(op); fn != nil {
+				if g := b.adj(q); g >= 0 && instrs[g].op == wasm.OpLocalGet {
+					if a := b.adj(g); a >= 0 && (instrs[a].op == opI32AddConst || instrs[a].op == opI64AddConst) {
+						if s2 := b.adj(a); s2 >= 0 && instrs[s2].op == wasm.OpLocalSet {
+							if br := b.adj(s2); br >= 0 && instrs[br].op == wasm.OpBr {
+								if _, keep := unpackDropKeep(instrs[br].b); keep == 0 {
+									return b.buildLoopStep(fn, pc, q, g, a, s2, br)
+								}
+							}
+						}
+					}
+				}
+			}
+			next, crF := b.fall(q)
+			return b.buildBinopSlots(op,
+				int(in.a>>32), int(uint32(in.a)), int(instrs[q].a),
+				3, b.skipCnt[pc+1]+1+crF, next)
+		}
+	case wasm.OpLocalGet:
+		i := int(in.a)
+		q := b.adj(pc)
+		if q < 0 {
+			return nil
+		}
+		qin := &instrs[q]
+		c1 := b.skipCnt[pc+1]
+		switch {
+		case qin.op == opI32AddConst, qin.op == opI64AddConst:
+			// [local.get i][const+add] and optionally [local.set d][br]:
+			// the canonical induction-variable step.
+			return b.buildLocalAddK(pc, q, i, c1)
+		case qin.op == wasm.OpI32Const || qin.op == wasm.OpI64Const:
+			// [local.get i][const k][binop] and optionally [local.set d]:
+			// local op constant, no stack traffic. (const+add was already
+			// folded upstream; this catches sub/mul/shift/cmp/div chains.)
+			r := b.adj(q)
+			if r < 0 || !isFusableBinop(instrs[r].op) {
+				return nil
+			}
+			z := b.nl + ht
+			fallPc := r
+			extra := uint64(0)
+			if r2 := b.adj(r); r2 >= 0 && instrs[r2].op == wasm.OpLocalSet {
+				z = int(instrs[r2].a)
+				extra = b.skipCnt[r+1] + 1
+				fallPc = r2
+			}
+			next, crF := b.fall(fallPc)
+			return b.buildBinopK(instrs[r].op, i, qin.a, z,
+				3+c1+b.skipCnt[q+1], extra+crF, next)
+		case qin.op == wasm.OpReturn:
+			// [local.get i][return]: park the local in the result slot and
+			// leave the frame directly.
+			if _, keep := unpackDropKeep(qin.b); keep == 1 {
+				cnt := 2 + c1
+				return func(fr *t1frame) int {
+					fr.regs[0] = fr.regs[i]
+					fr.executed += cnt
+					return t1Return
+				}
+			}
+		case isFusableBinop(qin.op) && ht >= 1:
+			// [local.get i][binop]: top-of-stack op local, in place.
+			x := b.slot(ht, 1)
+			z := x
+			fallPc := q
+			extra := uint64(0)
+			if r := b.adj(q); r >= 0 && instrs[r].op == wasm.OpLocalSet {
+				z = int(instrs[r].a)
+				extra = b.skipCnt[q+1] + 1
+				fallPc = r
+			}
+			next, crF := b.fall(fallPc)
+			return b.buildBinopSlots(qin.op, x, i, z, 2+c1, extra+crF, next)
+		case qin.op == wasm.OpLocalSet:
+			// [local.get i][local.set j]: a register move.
+			j := int(instrs[q].a)
+			next, crF := b.fall(q)
+			cnt := 2 + c1 + crF
+			return func(fr *t1frame) int {
+				fr.regs[j] = fr.regs[i]
+				fr.executed += cnt
+				return next
+			}
+		default:
+			// [local.get i][store]: store a local without pushing it.
+			if ht >= 1 {
+				if nin, _, width, isMem := fixedShape(qin.op); isMem && nin == 2 && width > 0 {
+					return b.buildStore(qin, i, b.slot(ht, 1), 2+c1, q)
+				}
+			}
+		}
+	case wasm.OpI32Const, wasm.OpI64Const:
+		// [const k][binop] and optionally [local.set d]: fold the immediate
+		// into the operator. (const+add pairs were already fused to
+		// opI32/I64AddConst upstream, so this catches mul/and/shift/cmp/div.)
+		if ht < 1 {
+			return nil
+		}
+		q := b.adj(pc)
+		if q < 0 || !isFusableBinop(instrs[q].op) {
+			return nil
+		}
+		x := b.slot(ht, 1)
+		z := x
+		fallPc := q
+		extra := uint64(0)
+		if r := b.adj(q); r >= 0 && instrs[r].op == wasm.OpLocalSet {
+			z = int(instrs[r].a)
+			extra = b.skipCnt[q+1] + 1
+			fallPc = r
+		}
+		next, crF := b.fall(fallPc)
+		return b.buildBinopK(instrs[q].op, x, in.a, z,
+			2+b.skipCnt[pc+1], extra+crF, next)
+	}
+	return nil
+}
+
+// buildLocalAddK lowers [local.get src][opI32/I64AddConst k] plus an optional
+// [local.set dst] and, after a set, an optional value-free [br]: the loop
+// counter update and backedge in one closure. pc is the local.get, q the
+// fused add-const.
+func (b *t1builder) buildLocalAddK(pc, q, src int, c1 uint64) t1op {
+	instrs := b.cc.instrs
+	qin := &instrs[q]
+	is64 := qin.op == opI64AddConst
+	k32 := int32(uint32(qin.a))
+	k64 := qin.a
+	ht := b.heights[pc]
+	dst := b.nl + ht // pushed, unless a set redirects it
+	cnt := 1 + c1 + 2
+	fallPc := q
+	if r := b.adj(q); r >= 0 && instrs[r].op == wasm.OpLocalSet {
+		dst = int(instrs[r].a)
+		cnt += b.skipCnt[q+1] + 1
+		fallPc = r
+		if r2 := b.adj(r); r2 >= 0 && instrs[r2].op == wasm.OpBr {
+			if _, keep := unpackDropKeep(instrs[r2].b); keep == 0 {
+				// Fold the backedge in: count through the br, charge fuel at
+				// it (the tier-0 charge point), then jump.
+				own := cnt + b.skipCnt[r+1] + 1
+				cred := b.skipCnt[instrs[r2].a]
+				t := b.tgt(int(instrs[r2].a))
+				if is64 {
+					return func(fr *t1frame) int {
+						fr.regs[dst] = fr.regs[src] + k64
+						fr.executed += own
+						if !fr.chargeFuel() {
+							fr.err = newTrap(TrapOutOfFuel)
+							return t1Trapped
+						}
+						fr.executed += cred
+						return t
+					}
+				}
+				return func(fr *t1frame) int {
+					fr.regs[dst] = I32(AsI32(fr.regs[src]) + k32)
+					fr.executed += own
+					if !fr.chargeFuel() {
+						fr.err = newTrap(TrapOutOfFuel)
+						return t1Trapped
+					}
+					fr.executed += cred
+					return t
+				}
+			}
+		}
+	}
+	next, crF := b.fall(fallPc)
+	cnt += crF
+	if is64 {
+		return func(fr *t1frame) int {
+			fr.regs[dst] = fr.regs[src] + k64
+			fr.executed += cnt
+			return next
+		}
+	}
+	return func(fr *t1frame) int {
+		fr.regs[dst] = I32(AsI32(fr.regs[src]) + k32)
+		fr.executed += cnt
+		return next
+	}
+}
+
+// buildBinopK lowers a binop whose right operand is the constant k: reads
+// regs[x], writes regs[z]. own counts the originals retired before the
+// operator runs (so a trapping div-by-constant is accounted like tier 0);
+// the specialized non-trapping forms collapse own+fall into one add.
+func (b *t1builder) buildBinopK(op wasm.Opcode, x int, k Value, z int, own, fall uint64, next int) t1op {
+	cnt := own + fall
+	switch op {
+	case wasm.OpI32Add:
+		k32 := AsI32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = I32(AsI32(fr.regs[x]) + k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32Sub:
+		k32 := AsI32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = I32(AsI32(fr.regs[x]) - k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32Mul:
+		k32 := AsI32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = I32(AsI32(fr.regs[x]) * k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32And:
+		return func(fr *t1frame) int {
+			fr.regs[z] = fr.regs[x] & k
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32Or:
+		return func(fr *t1frame) int {
+			fr.regs[z] = (fr.regs[x] | k) & 0xffffffff
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32Xor:
+		return func(fr *t1frame) int {
+			fr.regs[z] = (fr.regs[x] ^ k) & 0xffffffff
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32Shl:
+		sh := AsU32(k) & 31
+		return func(fr *t1frame) int {
+			fr.regs[z] = I32(AsI32(fr.regs[x]) << sh)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32ShrS:
+		sh := AsU32(k) & 31
+		return func(fr *t1frame) int {
+			fr.regs[z] = I32(AsI32(fr.regs[x]) >> sh)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32ShrU:
+		sh := AsU32(k) & 31
+		return func(fr *t1frame) int {
+			fr.regs[z] = uint64(AsU32(fr.regs[x]) >> sh)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32Eq:
+		k32 := AsU32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = boolVal(AsU32(fr.regs[x]) == k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32Ne:
+		k32 := AsU32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = boolVal(AsU32(fr.regs[x]) != k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32LtS:
+		k32 := AsI32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = boolVal(AsI32(fr.regs[x]) < k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32LtU:
+		k32 := AsU32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = boolVal(AsU32(fr.regs[x]) < k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32GtS:
+		k32 := AsI32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = boolVal(AsI32(fr.regs[x]) > k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32GtU:
+		k32 := AsU32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = boolVal(AsU32(fr.regs[x]) > k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32LeS:
+		k32 := AsI32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = boolVal(AsI32(fr.regs[x]) <= k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32GeS:
+		k32 := AsI32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = boolVal(AsI32(fr.regs[x]) >= k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI32GeU:
+		k32 := AsU32(k)
+		return func(fr *t1frame) int {
+			fr.regs[z] = boolVal(AsU32(fr.regs[x]) >= k32)
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI64Add:
+		return func(fr *t1frame) int {
+			fr.regs[z] = fr.regs[x] + k
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI64Sub:
+		return func(fr *t1frame) int {
+			fr.regs[z] = fr.regs[x] - k
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI64Mul:
+		return func(fr *t1frame) int {
+			fr.regs[z] = fr.regs[x] * k
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI64And:
+		return func(fr *t1frame) int {
+			fr.regs[z] = fr.regs[x] & k
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI64Or:
+		return func(fr *t1frame) int {
+			fr.regs[z] = fr.regs[x] | k
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI64Xor:
+		return func(fr *t1frame) int {
+			fr.regs[z] = fr.regs[x] ^ k
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI64Shl:
+		sh := k & 63
+		return func(fr *t1frame) int {
+			fr.regs[z] = fr.regs[x] << sh
+			fr.executed += cnt
+			return next
+		}
+	case wasm.OpI64ShrU:
+		sh := k & 63
+		return func(fr *t1frame) int {
+			fr.regs[z] = fr.regs[x] >> sh
+			fr.executed += cnt
+			return next
+		}
+	}
+	// Generic fold, including the trapping div/rem-by-constant.
+	return func(fr *t1frame) int {
+		fr.executed += own
+		v, err := binaryOp(op, fr.regs[x], k)
+		if err != nil {
+			fr.err = err
+			return t1Trapped
+		}
+		fr.regs[z] = v
+		fr.executed += fall
+		return next
+	}
+}
+
+// binFast returns a non-trapping evaluator for the handful of binops worth
+// folding into multi-op superinstructions, nil for anything that can trap or
+// is too rare to matter.
+func binFast(op wasm.Opcode) func(Value, Value) Value {
+	switch op {
+	case wasm.OpI32Add:
+		return func(a, b Value) Value { return I32(AsI32(a) + AsI32(b)) }
+	case wasm.OpI32Sub:
+		return func(a, b Value) Value { return I32(AsI32(a) - AsI32(b)) }
+	case wasm.OpI32Mul:
+		return func(a, b Value) Value { return I32(AsI32(a) * AsI32(b)) }
+	case wasm.OpI32And:
+		return func(a, b Value) Value { return (a & b) & 0xffffffff }
+	case wasm.OpI32Or:
+		return func(a, b Value) Value { return (a | b) & 0xffffffff }
+	case wasm.OpI32Xor:
+		return func(a, b Value) Value { return (a ^ b) & 0xffffffff }
+	case wasm.OpI64Add:
+		return func(a, b Value) Value { return a + b }
+	case wasm.OpI64Sub:
+		return func(a, b Value) Value { return a - b }
+	case wasm.OpI64Mul:
+		return func(a, b Value) Value { return a * b }
+	case wasm.OpI64And:
+		return func(a, b Value) Value { return a & b }
+	case wasm.OpI64Or:
+		return func(a, b Value) Value { return a | b }
+	case wasm.OpI64Xor:
+		return func(a, b Value) Value { return a ^ b }
+	}
+	return nil
+}
+
+// buildLoopStep lowers the full counted-loop epilogue
+// [localBinop i j -> set k][get src; addconst][set dst][br] into one closure:
+// update the accumulator, step the induction variable, charge fuel at the
+// backedge (tier 0's charge point), jump. pc..br are the chain's pcs.
+func (b *t1builder) buildLoopStep(fn func(Value, Value) Value, pc, q, g, a, s2, br int) t1op {
+	instrs := b.cc.instrs
+	i := int(instrs[pc].a >> 32)
+	j := int(uint32(instrs[pc].a))
+	k := int(instrs[q].a)
+	src := int(instrs[g].a)
+	dst := int(instrs[s2].a)
+	is64 := instrs[a].op == opI64AddConst
+	k64 := instrs[a].a
+	k32 := int32(uint32(instrs[a].a))
+	own := 3 + b.skipCnt[pc+1] + 1 + b.skipCnt[q+1] + 1 + b.skipCnt[g+1] +
+		2 + b.skipCnt[a+1] + 1 + b.skipCnt[s2+1] + 1
+	cred := b.skipCnt[int(instrs[br].a)]
+	t := b.tgt(int(instrs[br].a))
+	if is64 {
+		return func(fr *t1frame) int {
+			fr.regs[k] = fn(fr.regs[i], fr.regs[j])
+			fr.regs[dst] = fr.regs[src] + k64
+			fr.executed += own
+			if !fr.chargeFuel() {
+				fr.err = newTrap(TrapOutOfFuel)
+				return t1Trapped
+			}
+			fr.executed += cred
+			return t
+		}
+	}
+	return func(fr *t1frame) int {
+		fr.regs[k] = fn(fr.regs[i], fr.regs[j])
+		fr.regs[dst] = I32(AsI32(fr.regs[src]) + k32)
+		fr.executed += own
+		if !fr.chargeFuel() {
+			fr.err = newTrap(TrapOutOfFuel)
+			return t1Trapped
+		}
+		fr.executed += cred
+		return t
+	}
+}

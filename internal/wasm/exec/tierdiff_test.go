@@ -1,0 +1,581 @@
+package exec
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"wasmcontainers/internal/wasm"
+)
+
+// tierPair runs the same module in two independent stores — one at tier 0,
+// one forced to tier 1 — and asserts after every call that results, traps,
+// instruction counts, fuel, and memory state are bit-identical. This is the
+// enforcement mechanism for the tiering contract: tier 1 is an observable
+// no-op apart from wall time.
+type tierPair struct {
+	t      *testing.T
+	s0, s1 *Store
+	i0, i1 *Instance
+}
+
+func newTierPair(t *testing.T, m *wasm.Module, cfg Config, setup func(s *Store)) *tierPair {
+	t.Helper()
+	mk := func() (*Store, *Instance) {
+		s := NewStore(cfg)
+		if setup != nil {
+			setup(s)
+		}
+		inst, err := s.Instantiate(m, "mod")
+		if err != nil {
+			t.Fatalf("Instantiate: %v", err)
+		}
+		return s, inst
+	}
+	s0, i0 := mk()
+	s1, i1 := mk()
+	tc, did := i1.Code().EnsureTier1()
+	if !did || tc == nil {
+		t.Fatalf("EnsureTier1 did not lower")
+	}
+	if tc.Lowered() != tc.NumFuncs() {
+		t.Fatalf("lowered %d of %d functions", tc.Lowered(), tc.NumFuncs())
+	}
+	if tc.Bytes() <= 0 {
+		t.Fatalf("tier-1 artifact bytes = %d, want > 0", tc.Bytes())
+	}
+	return &tierPair{t: t, s0: s0, s1: s1, i0: i0, i1: i1}
+}
+
+// call invokes the export on both tiers and cross-checks every observable.
+func (p *tierPair) call(name string, args ...Value) ([]Value, error) {
+	p.t.Helper()
+	r0, e0 := p.i0.Call(name, args...)
+	r1, e1 := p.i1.Call(name, args...)
+	if (e0 == nil) != (e1 == nil) {
+		p.t.Fatalf("%s%v: tier0 err=%v, tier1 err=%v", name, args, e0, e1)
+	}
+	if e0 != nil && e0.Error() != e1.Error() {
+		p.t.Fatalf("%s%v: trap mismatch\n tier0: %v\n tier1: %v", name, args, e0, e1)
+	}
+	if len(r0) != len(r1) {
+		p.t.Fatalf("%s%v: result arity %d vs %d", name, args, len(r0), len(r1))
+	}
+	for i := range r0 {
+		if r0[i] != r1[i] {
+			p.t.Fatalf("%s%v: result[%d] = %#x (tier0) vs %#x (tier1)", name, args, i, r0[i], r1[i])
+		}
+	}
+	if tier := p.s1.LastInvokeTier(); tier != 1 {
+		p.t.Fatalf("%s%v: tier-1 store served at tier %d", name, args, tier)
+	}
+	if c0, c1 := p.s0.InstructionCount(), p.s1.InstructionCount(); c0 != c1 {
+		p.t.Fatalf("%s%v: instruction count %d (tier0) vs %d (tier1)", name, args, c0, c1)
+	}
+	if f0, f1 := p.s0.FuelLeft(), p.s1.FuelLeft(); f0 != f1 {
+		p.t.Fatalf("%s%v: fuel left %d (tier0) vs %d (tier1)", name, args, f0, f1)
+	}
+	p.checkMemory()
+	return r0, e0
+}
+
+func (p *tierPair) checkMemory() {
+	p.t.Helper()
+	m0, m1 := p.i0.Memory(), p.i1.Memory()
+	if (m0 == nil) != (m1 == nil) {
+		p.t.Fatalf("memory presence mismatch")
+	}
+	if m0 == nil {
+		return
+	}
+	if !bytes.Equal(m0.Bytes(), m1.Bytes()) {
+		p.t.Fatalf("final memory contents differ between tiers")
+	}
+	if d0, d1 := m0.DirtyPages(), m1.DirtyPages(); d0 != d1 {
+		p.t.Fatalf("dirty pages %d (tier0) vs %d (tier1)", d0, d1)
+	}
+}
+
+// --- corpus builders -------------------------------------------------------
+
+func factorialModule(t *testing.T) *wasm.Module {
+	b := new(wasm.BodyBuilder)
+	b.I32Const(1).OpU32(wasm.OpLocalSet, 1)
+	b.Block(wasm.OpBlock, wasm.BlockTypeEmpty)
+	b.Block(wasm.OpLoop, wasm.BlockTypeEmpty)
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(1).Op(wasm.OpI32LeS).OpU32(wasm.OpBrIf, 1)
+	b.OpU32(wasm.OpLocalGet, 1).OpU32(wasm.OpLocalGet, 0).Op(wasm.OpI32Mul).OpU32(wasm.OpLocalSet, 1)
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(1).Op(wasm.OpI32Sub).OpU32(wasm.OpLocalSet, 0)
+	b.OpU32(wasm.OpBr, 0)
+	b.End().End()
+	b.OpU32(wasm.OpLocalGet, 1)
+	b.End()
+	return buildModule(t, singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, []wasm.ValueType{i32}, b))
+}
+
+func fibModule(t *testing.T) *wasm.Module {
+	b := new(wasm.BodyBuilder)
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(2).Op(wasm.OpI32LtS)
+	b.Block(wasm.OpIf, wasm.BlockTypeEmpty)
+	b.OpU32(wasm.OpLocalGet, 0).Op(wasm.OpReturn)
+	b.End()
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(1).Op(wasm.OpI32Sub).OpU32(wasm.OpCall, 0)
+	b.OpU32(wasm.OpLocalGet, 0).I32Const(2).Op(wasm.OpI32Sub).OpU32(wasm.OpCall, 0)
+	b.Op(wasm.OpI32Add)
+	b.End()
+	return buildModule(t, singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b))
+}
+
+// churnModule writes n u64 slots then sums them back: store/load, i64 math,
+// loop branches, dirty-page marking.
+func churnModule(t *testing.T) *wasm.Module {
+	b := new(wasm.BodyBuilder)
+	// local0 = n (param), local1 = i, local2 = sum (i64)
+	b.Block(wasm.OpBlock, wasm.BlockTypeEmpty)
+	b.Block(wasm.OpLoop, wasm.BlockTypeEmpty)
+	b.OpU32(wasm.OpLocalGet, 1).OpU32(wasm.OpLocalGet, 0).Op(wasm.OpI32GeU).OpU32(wasm.OpBrIf, 1)
+	b.OpU32(wasm.OpLocalGet, 1).I32Const(8).Op(wasm.OpI32Mul)
+	b.OpU32(wasm.OpLocalGet, 1).Op(wasm.OpI64ExtendI32U).I64Const(0x9e3779b9).Op(wasm.OpI64Mul)
+	b.MemArg(wasm.OpI64Store, 3, 0)
+	b.OpU32(wasm.OpLocalGet, 2)
+	b.OpU32(wasm.OpLocalGet, 1).I32Const(8).Op(wasm.OpI32Mul).MemArg(wasm.OpI64Load, 3, 0)
+	b.Op(wasm.OpI64Add).OpU32(wasm.OpLocalSet, 2)
+	b.OpU32(wasm.OpLocalGet, 1).I32Const(1).Op(wasm.OpI32Add).OpU32(wasm.OpLocalSet, 1)
+	b.OpU32(wasm.OpBr, 0)
+	b.End().End()
+	b.OpU32(wasm.OpLocalGet, 2)
+	b.End()
+	m := singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i64t}, []wasm.ValueType{i32, i64t}, b)
+	m.Memories = []wasm.MemoryType{{Limits: wasm.Limits{Min: 4}}}
+	return buildModule(t, m)
+}
+
+func TestTierDiffFactorial(t *testing.T) {
+	p := newTierPair(t, factorialModule(t), Config{}, nil)
+	for _, n := range []int32{0, 1, 5, 10, 12} {
+		p.call("f", I32(n))
+	}
+}
+
+func TestTierDiffRecursiveFib(t *testing.T) {
+	p := newTierPair(t, fibModule(t), Config{}, nil)
+	for _, n := range []int32{0, 1, 7, 15} {
+		p.call("f", I32(n))
+	}
+}
+
+func TestTierDiffMemoryChurn(t *testing.T) {
+	p := newTierPair(t, churnModule(t), Config{}, nil)
+	for _, n := range []int32{0, 1, 17, 4000} {
+		p.call("f", I32(n))
+	}
+}
+
+func TestTierDiffMemoryTraps(t *testing.T) {
+	b := new(wasm.BodyBuilder)
+	b.OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).MemArg(wasm.OpI32Store, 2, 0)
+	b.OpU32(wasm.OpLocalGet, 0).MemArg(wasm.OpI32Load, 2, 0)
+	b.End()
+	m := singleFunc([]wasm.ValueType{i32, i32}, []wasm.ValueType{i32}, nil, b)
+	m.Memories = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}}}
+	p := newTierPair(t, buildModule(t, m), Config{}, nil)
+	p.call("f", I32(128), I32(0x1234abcd))
+	p.call("f", I32(65532), I32(7))      // last valid word
+	p.call("f", I32(65533), I32(1))      // straddles the end: trap
+	p.call("f", I32(-4), I32(9))         // huge unsigned address: trap
+	p.call("f", I32(65536-4), I32(0x5a)) // boundary store
+}
+
+func TestTierDiffDivTraps(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).Op(wasm.OpI32DivS).End()
+	p := newTierPair(t, buildModule(t, singleFunc([]wasm.ValueType{i32, i32}, []wasm.ValueType{i32}, nil, b)), Config{}, nil)
+	p.call("f", I32(-7), I32(2))
+	p.call("f", I32(1), I32(0))
+	p.call("f", I32(math.MinInt32), I32(-1))
+}
+
+func TestTierDiffBrTable(t *testing.T) {
+	b := new(wasm.BodyBuilder)
+	b.Block(wasm.OpBlock, wasm.BlockTypeEmpty)
+	b.Block(wasm.OpBlock, wasm.BlockTypeEmpty)
+	b.Block(wasm.OpBlock, wasm.BlockTypeEmpty)
+	b.OpU32(wasm.OpLocalGet, 0)
+	b.BrTable([]uint32{0, 1}, 2)
+	b.End()
+	b.I32Const(100).Op(wasm.OpReturn)
+	b.End()
+	b.I32Const(200).Op(wasm.OpReturn)
+	b.End()
+	b.I32Const(999)
+	b.End()
+	p := newTierPair(t, buildModule(t, singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b)), Config{}, nil)
+	for _, n := range []int32{0, 1, 2, 50, -1} {
+		p.call("f", I32(n))
+	}
+}
+
+func TestTierDiffCallIndirect(t *testing.T) {
+	add := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).Op(wasm.OpI32Add).End()
+	mul := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).Op(wasm.OpI32Mul).End()
+	entry := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 1).OpU32(wasm.OpLocalGet, 2).
+		OpU32(wasm.OpLocalGet, 0).
+		CallIndirect(0).End()
+	m := &wasm.Module{
+		Types: []wasm.FuncType{
+			{Params: []wasm.ValueType{i32, i32}, Results: []wasm.ValueType{i32}},
+			{Params: []wasm.ValueType{i32, i32, i32}, Results: []wasm.ValueType{i32}},
+		},
+		Functions: []uint32{0, 0, 1},
+		Tables:    []wasm.TableType{{ElemType: wasm.ValueTypeFuncref, Limits: wasm.Limits{Min: 3}}},
+		Elements:  []wasm.ElementSegment{{Offset: wasm.I32Const(0), Indices: []uint32{0, 1}}},
+		Codes:     []wasm.Code{{Body: add.Bytes()}, {Body: mul.Bytes()}, {Body: entry.Bytes()}},
+		Exports:   []wasm.Export{{Name: "f", Kind: wasm.ExternalFunc, Index: 2}},
+	}
+	p := newTierPair(t, buildModule(t, m), Config{}, nil)
+	p.call("f", I32(0), I32(6), I32(7))
+	p.call("f", I32(1), I32(6), I32(7))
+	p.call("f", I32(2), I32(1), I32(1)) // uninitialized element: trap
+	p.call("f", I32(9), I32(1), I32(1)) // out of table bounds: trap
+}
+
+func TestTierDiffGlobalsAndSelect(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpGlobalGet, 0).I32Const(1).Op(wasm.OpI32Add).
+		OpU32(wasm.OpGlobalSet, 0).
+		OpU32(wasm.OpGlobalGet, 0).I32Const(-1).
+		OpU32(wasm.OpLocalGet, 0).Op(wasm.OpSelect).
+		End()
+	m := singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b)
+	m.Globals = []wasm.Global{{
+		Type: wasm.GlobalType{ValType: i32, Mutable: true},
+		Init: wasm.I32Const(10),
+	}}
+	p := newTierPair(t, buildModule(t, m), Config{}, nil)
+	p.call("f", I32(1))
+	p.call("f", I32(0))
+	p.call("f", I32(5))
+}
+
+func TestTierDiffMemoryGrow(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).MemoryOp(wasm.OpMemoryGrow).Op(wasm.OpDrop).
+		MemoryOp(wasm.OpMemorySize).
+		End()
+	m := singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b)
+	m.Memories = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1, Max: 4, HasMax: true}}}
+	p := newTierPair(t, buildModule(t, m), Config{}, nil)
+	p.call("f", I32(2))
+	p.call("f", I32(100))
+	p.call("f", I32(0))
+}
+
+func TestTierDiffMemoryCopyFill(t *testing.T) {
+	b := new(wasm.BodyBuilder)
+	// fill [16, 16+n) with v, copy it to [4096+d, ...), load a probe byte.
+	b.I32Const(16).OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).Misc(wasm.MiscMemoryFill)
+	b.I32Const(4096).I32Const(16).OpU32(wasm.OpLocalGet, 1).Misc(wasm.MiscMemoryCopy)
+	b.I32Const(4096).MemArg(wasm.OpI32Load8U, 0, 0)
+	b.End()
+	m := singleFunc([]wasm.ValueType{i32, i32}, []wasm.ValueType{i32}, nil, b)
+	m.Memories = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}}}
+	p := newTierPair(t, buildModule(t, m), Config{}, nil)
+	p.call("f", I32(0x5a), I32(64))
+	p.call("f", I32(0x00), I32(0))
+	p.call("f", I32(0x7f), I32(1<<20)) // OOB fill: trap
+}
+
+func TestTierDiffUnreachableAndStack(t *testing.T) {
+	b := new(wasm.BodyBuilder).Op(wasm.OpUnreachable).End()
+	p := newTierPair(t, buildModule(t, singleFunc(nil, nil, nil, b)), Config{}, nil)
+	p.call("f")
+
+	rec := new(wasm.BodyBuilder).OpU32(wasm.OpCall, 0).End()
+	p = newTierPair(t, buildModule(t, singleFunc(nil, nil, nil, rec)), Config{MaxCallDepth: 100}, nil)
+	p.call("f")
+}
+
+func TestTierDiffTruncTraps(t *testing.T) {
+	b := new(wasm.BodyBuilder).OpU32(wasm.OpLocalGet, 0).Op(wasm.OpI32TruncF64S).End()
+	p := newTierPair(t, buildModule(t, singleFunc([]wasm.ValueType{f64t}, []wasm.ValueType{i32}, nil, b)), Config{}, nil)
+	p.call("f", F64(12.9))
+	p.call("f", F64(math.NaN()))
+	p.call("f", F64(1e30))
+	p.call("f", F64(-1e30))
+}
+
+// Fuel sweep over a loop: the block-granularity fuel schedule, the exact trap
+// point, and the remaining fuel must be identical at every budget.
+func TestTierDiffFuelSweep(t *testing.T) {
+	for _, fuel := range []uint64{1, 5, 13, 37, 100, 1000, 100000} {
+		p := newTierPair(t, factorialModule(t), Config{Fuel: fuel}, nil)
+		p.call("f", I32(12))
+		p.call("f", I32(12))
+	}
+	for _, fuel := range []uint64{1, 37, 1000, 50000} {
+		p := newTierPair(t, fibModule(t), Config{Fuel: fuel}, nil)
+		p.call("f", I32(12))
+	}
+	for _, fuel := range []uint64{1, 100, 12345} {
+		p := newTierPair(t, churnModule(t), Config{Fuel: fuel}, nil)
+		p.call("f", I32(1000))
+	}
+}
+
+// Host imports are always invoked through the shared nested-call path; the
+// surrounding tier-1 frames must still account identically.
+func TestTierDiffHostImport(t *testing.T) {
+	b := new(wasm.BodyBuilder).
+		OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpCall, 0).
+		OpU32(wasm.OpLocalGet, 0).Op(wasm.OpI32Add).
+		End()
+	m := &wasm.Module{
+		Types: []wasm.FuncType{{Params: []wasm.ValueType{i32}, Results: []wasm.ValueType{i32}}},
+		Imports: []wasm.Import{
+			{Module: "env", Name: "double", Kind: wasm.ExternalFunc, Func: 0},
+		},
+		Functions: []uint32{0},
+		Memories:  []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}}},
+		Codes:     []wasm.Code{{Body: b.Bytes()}},
+		Exports:   []wasm.Export{{Name: "f", Kind: wasm.ExternalFunc, Index: 1}},
+	}
+	if err := wasm.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	setup := func(s *Store) {
+		s.NewHostModule("env").AddFunc("double", HostFunc{
+			Type: wasm.FuncType{Params: []wasm.ValueType{i32}, Results: []wasm.ValueType{i32}},
+			Fn: func(ctx *HostContext, args []Value) ([]Value, error) {
+				ctx.Memory.WriteUint32(8, AsU32(args[0]))
+				return []Value{I32(AsI32(args[0]) * 2)}, nil
+			},
+		})
+	}
+	p := newTierPair(t, m, Config{}, setup)
+	p.call("f", I32(21))
+	p.call("f", I32(-3))
+}
+
+// The full property corpus shapes, dual-tier: every binFunc/unaryFunc module
+// from property_test.go is run through both tiers over a value sweep.
+func TestTierDiffOperatorSweep(t *testing.T) {
+	binOps := []struct {
+		vt wasm.ValueType
+		op wasm.Opcode
+	}{
+		{i32, wasm.OpI32Add}, {i32, wasm.OpI32Sub}, {i32, wasm.OpI32Mul},
+		{i32, wasm.OpI32DivS}, {i32, wasm.OpI32DivU}, {i32, wasm.OpI32RemS}, {i32, wasm.OpI32RemU},
+		{i32, wasm.OpI32And}, {i32, wasm.OpI32Or}, {i32, wasm.OpI32Xor},
+		{i32, wasm.OpI32Shl}, {i32, wasm.OpI32ShrS}, {i32, wasm.OpI32ShrU},
+		{i32, wasm.OpI32Rotl}, {i32, wasm.OpI32Rotr},
+		{i32, wasm.OpI32Eq}, {i32, wasm.OpI32Ne}, {i32, wasm.OpI32LtS}, {i32, wasm.OpI32LtU},
+		{i32, wasm.OpI32GtS}, {i32, wasm.OpI32GtU}, {i32, wasm.OpI32LeS}, {i32, wasm.OpI32LeU},
+		{i32, wasm.OpI32GeS}, {i32, wasm.OpI32GeU},
+		{i64t, wasm.OpI64Add}, {i64t, wasm.OpI64Sub}, {i64t, wasm.OpI64Mul},
+		{i64t, wasm.OpI64DivS}, {i64t, wasm.OpI64RemU},
+		{i64t, wasm.OpI64And}, {i64t, wasm.OpI64Or}, {i64t, wasm.OpI64Xor},
+		{i64t, wasm.OpI64Shl}, {i64t, wasm.OpI64ShrS}, {i64t, wasm.OpI64ShrU},
+		{i64t, wasm.OpI64Eq}, {i64t, wasm.OpI64LtS}, {i64t, wasm.OpI64GeU},
+		{f32t, wasm.OpF32Add}, {f32t, wasm.OpF32Div}, {f32t, wasm.OpF32Min},
+		{f64t, wasm.OpF64Add}, {f64t, wasm.OpF64Sub}, {f64t, wasm.OpF64Mul},
+		{f64t, wasm.OpF64Div}, {f64t, wasm.OpF64Max}, {f64t, wasm.OpF64Copysign},
+		{f64t, wasm.OpF64Eq}, {f64t, wasm.OpF64Lt},
+	}
+	vals := []Value{0, 1, 2, I32(-1), I32(math.MinInt32), uint64(math.MaxUint32),
+		F64(1.5), F64(-0.0), F64(math.NaN()), F64(math.Inf(1)), I64(math.MinInt64), 63, 64}
+	for _, tc := range binOps {
+		b := new(wasm.BodyBuilder).
+			OpU32(wasm.OpLocalGet, 0).OpU32(wasm.OpLocalGet, 1).Op(tc.op).End()
+		out := tc.vt
+		if isComparisonOp(tc.op) {
+			out = i32
+		}
+		m := buildModule(t, singleFunc([]wasm.ValueType{tc.vt, tc.vt}, []wasm.ValueType{out}, nil, b))
+		p := newTierPair(t, m, Config{}, nil)
+		for _, a := range vals {
+			for _, bb := range vals {
+				p.call("f", a, bb)
+			}
+		}
+	}
+	unaryOps := []struct {
+		vt wasm.ValueType
+		op wasm.Opcode
+	}{
+		{i32, wasm.OpI32Eqz}, {i32, wasm.OpI32Clz}, {i32, wasm.OpI32Ctz}, {i32, wasm.OpI32Popcnt},
+		{i32, wasm.OpI32Extend8S}, {i32, wasm.OpI32Extend16S},
+		{i64t, wasm.OpI64Eqz}, {i64t, wasm.OpI64Clz}, {i64t, wasm.OpI64Extend32S},
+		{f64t, wasm.OpF64Abs}, {f64t, wasm.OpF64Neg}, {f64t, wasm.OpF64Sqrt},
+		{f64t, wasm.OpF64Floor}, {f64t, wasm.OpF64Nearest},
+	}
+	for _, tc := range unaryOps {
+		b := new(wasm.BodyBuilder).OpU32(wasm.OpLocalGet, 0).Op(tc.op).End()
+		out := tc.vt
+		if isComparisonOp(tc.op) {
+			out = i32
+		}
+		m := buildModule(t, singleFunc([]wasm.ValueType{tc.vt}, []wasm.ValueType{out}, nil, b))
+		p := newTierPair(t, m, Config{}, nil)
+		for _, v := range vals {
+			p.call("f", v)
+		}
+	}
+}
+
+func TestTierDiffTruncSat(t *testing.T) {
+	for _, misc := range []uint32{
+		wasm.MiscI32TruncSatF64S, wasm.MiscI32TruncSatF64U,
+		wasm.MiscI64TruncSatF64S, wasm.MiscI64TruncSatF64U,
+	} {
+		out := i32
+		if misc >= wasm.MiscI64TruncSatF32S {
+			out = i64t
+		}
+		b := new(wasm.BodyBuilder).OpU32(wasm.OpLocalGet, 0).Misc(misc).End()
+		m := buildModule(t, singleFunc([]wasm.ValueType{f64t}, []wasm.ValueType{out}, nil, b))
+		p := newTierPair(t, m, Config{}, nil)
+		for _, v := range []float64{0, 1.7, -1.7, 1e30, -1e30, math.NaN(), math.Inf(-1)} {
+			p.call("f", F64(v))
+		}
+	}
+}
+
+// Branches that carry values across erased block boundaries.
+func TestTierDiffBranchWithValues(t *testing.T) {
+	b := new(wasm.BodyBuilder)
+	b.Block(wasm.OpBlock, wasm.BlockTypeOf(i32))
+	b.I32Const(7)
+	b.OpU32(wasm.OpLocalGet, 0)
+	b.OpU32(wasm.OpBrIf, 0)
+	b.Op(wasm.OpDrop)
+	b.I32Const(13)
+	b.End()
+	b.End()
+	m := buildModule(t, singleFunc([]wasm.ValueType{i32}, []wasm.ValueType{i32}, nil, b))
+	p := newTierPair(t, m, Config{}, nil)
+	p.call("f", I32(1))
+	p.call("f", I32(0))
+}
+
+// --- tier-up mechanics ------------------------------------------------------
+
+// The hotness policy must flip an instance to tier 1 mid-stream with no
+// observable change other than LastInvokeTier.
+func TestTierUpHotnessPolicy(t *testing.T) {
+	m := factorialModule(t)
+	s := NewStore(Config{})
+	inst, err := s.Instantiate(m, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Code().SetTierPolicy(TierPolicy{Mode: TierModeHotness, InvokeThreshold: 3})
+	want := AsI32(mustCall(t, inst, "f", I32(10))[0])
+	for i := 0; i < 10; i++ {
+		got := AsI32(mustCall(t, inst, "f", I32(10))[0])
+		if got != want {
+			t.Fatalf("invoke %d: %d, want %d", i, got, want)
+		}
+	}
+	if inst.Code().Tier1() == nil {
+		t.Fatal("hotness policy never tiered up")
+	}
+	if inst.Code().TierUps() != 1 {
+		t.Fatalf("TierUps = %d, want 1", inst.Code().TierUps())
+	}
+	if s.LastInvokeTier() != 1 {
+		t.Fatal("warm instance still serving at tier 0 after tier-up")
+	}
+}
+
+func mustCall(t *testing.T, inst *Instance, name string, args ...Value) []Value {
+	t.Helper()
+	res, err := inst.Call(name, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+// Dropping the artifact (the cache-eviction path) must fall back to tier 0
+// transparently and reset hotness so the module re-earns tier-up.
+func TestDropTier1FallsBackToTier0(t *testing.T) {
+	m := factorialModule(t)
+	s := NewStore(Config{})
+	inst, err := s.Instantiate(m, "drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := inst.Code()
+	mc.SetTierPolicy(TierPolicy{Mode: TierModeHotness, InvokeThreshold: 100})
+	mc.EnsureTier1()
+	want := AsI32(mustCall(t, inst, "f", I32(10))[0])
+	if s.LastInvokeTier() != 1 {
+		t.Fatal("not serving at tier 1 after EnsureTier1")
+	}
+	mc.DropTier1()
+	if mc.Tier1() != nil {
+		t.Fatal("artifact still published after DropTier1")
+	}
+	got := AsI32(mustCall(t, inst, "f", I32(10))[0])
+	if got != want {
+		t.Fatalf("after drop: %d, want %d", got, want)
+	}
+	if s.LastInvokeTier() != 0 {
+		t.Fatal("still claiming tier 1 after drop")
+	}
+	if inv, _ := mc.HotStats(0); inv == 0 {
+		t.Fatal("hotness not re-accumulating after drop")
+	}
+}
+
+// Concurrent tier-up on a shared ModuleCode: the lowering is singleflighted
+// (exactly one tierUp) and every store then serves tier 1. Run with -race.
+func TestConcurrentTierUpSingleflight(t *testing.T) {
+	m := factorialModule(t)
+	mc, err := Precompile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.SetTierPolicy(TierPolicy{Mode: TierModeHotness, InvokeThreshold: 2})
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewStore(Config{})
+			inst, err := s.InstantiateCompiled(mc, "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 50; i++ {
+				res, err := inst.Call("f", I32(10))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if AsI32(res[0]) != 3628800 {
+					errs <- err
+					return
+				}
+			}
+			if s.LastInvokeTier() != 1 {
+				t.Error("worker finished without reaching tier 1")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := mc.TierUps(); got != 1 {
+		t.Fatalf("TierUps = %d, want exactly 1 (singleflight)", got)
+	}
+}
