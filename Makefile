@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke bench figures results examples clean
+.PHONY: all build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke bench figures results examples clean
 
-all: build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke
+all: build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,13 @@ tiers-smoke:
 # binary.
 gateway-smoke:
 	$(GO) run ./cmd/continuumd -smoke
+
+# Shard smoke: boot continuumd with lazy function creation, invoke three
+# distinct modules over HTTP (two created on first request), assert the
+# per-module labeled router metrics appeared on /metrics, SIGTERM, and
+# assert the drain completed with every shard's admission identity intact.
+shard-smoke:
+	$(GO) run ./cmd/continuumd -shard-smoke
 
 # Run every benchmark once (tables, figures, ablations, microbenches,
 # interpreter hot-loop and engine instantiate benches).

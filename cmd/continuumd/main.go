@@ -9,7 +9,9 @@
 //	continuumd                              # serve on 127.0.0.1:8080, real time
 //	continuumd -addr :9000 -dilation 0      # as-fast-as-possible virtual time
 //	continuumd -modules request-handler,cpu-bound -pool 8
+//	continuumd -lazy                        # create functions on first request
 //	continuumd -smoke                       # self-test: invoke, scrape, SIGTERM, drain
+//	continuumd -shard-smoke                 # self-test: 3 modules, per-module metrics, drain
 //
 // Endpoints:
 //
@@ -65,7 +67,9 @@ func main() {
 		accessLog    = flag.Bool("access-log", true, "log one line per request to stderr")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		finalMetrics = flag.String("final-metrics", "", "write the final Prometheus snapshot to this path on shutdown")
-		smoke        = flag.Bool("smoke", false, "self-test: serve on a random port, invoke, scrape /metrics, SIGTERM, assert clean drain")
+		smoke        = flag.Bool("smoke", false, "self-test: invoke, scrape /metrics, SIGTERM, assert clean drain")
+		lazy         = flag.Bool("lazy", false, "create functions on first request for any resolvable module (router shards added live)")
+		shardSmoke   = flag.Bool("shard-smoke", false, "self-test: invoke 3 distinct modules, assert per-module router metrics, SIGTERM, assert clean drain")
 	)
 	flag.Parse()
 
@@ -95,9 +99,23 @@ func main() {
 		cfg.Functions = append(cfg.Functions, fc)
 	}
 
+	if *lazy || *shardSmoke {
+		// Unregistered modules spin up on demand with the same shape as the
+		// flag-configured functions; the router picks up one shard each.
+		tmpl := gateway.DefaultFunction()
+		if len(cfg.Functions) > 0 {
+			tmpl = cfg.Functions[0]
+		}
+		cfg.LazyTemplate = &tmpl
+	}
+
 	if *smoke {
 		cfg.AccessLog = nil // keep smoke output parseable
 		os.Exit(runSmoke(cfg, *drainTimeout))
+	}
+	if *shardSmoke {
+		cfg.AccessLog = nil
+		os.Exit(runShardSmoke(cfg, *drainTimeout))
 	}
 
 	code, err := serveUntilSignal(cfg, *addr, *drainTimeout, *finalMetrics, nil)
@@ -243,6 +261,93 @@ func runSmoke(cfg gateway.Config, drainTimeout time.Duration) int {
 	}
 	fmt.Fprintln(os.Stderr, "gateway-smoke: ok")
 	return 0
+}
+
+// runShardSmoke is the self-test behind `make shard-smoke`: boot with lazy
+// creation on, invoke three distinct modules (two of them created on first
+// request), assert the per-module labeled router metrics appeared for all
+// three, SIGTERM ourselves, and assert the drain completed with every
+// shard's admission identity intact.
+func runShardSmoke(cfg gateway.Config, drainTimeout time.Duration) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "shard-smoke: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		code, err := serveUntilSignal(cfg, "127.0.0.1:0", drainTimeout, "", ready)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		exit <- code
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		return fail("server did not come up")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	modules := []string{cfg.Functions[0].Module, "request-handler-v1", "request-handler-v2"}
+	for _, m := range modules {
+		for i := 0; i < 3; i++ {
+			resp, err := client.Post(base+"/v1/functions/"+m, "application/octet-stream",
+				strings.NewReader("ping"))
+			if err != nil {
+				return fail("invoke %s: %v", m, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fail("invoke %s status = %d", m, resp.StatusCode)
+			}
+		}
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fail("scrape /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fail("read /metrics: %v", err)
+	}
+	text := string(body)
+	for _, m := range modules {
+		sample := fmt.Sprintf("router_completed_total{module=%q}", m)
+		if !samplePositive(text, sample) {
+			return fail("/metrics missing a positive %s", sample)
+		}
+	}
+	if !samplePositive(text, "router_batches_total") {
+		return fail("/metrics missing a positive router_batches_total")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return fail("self-SIGTERM: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			return fail("drain exited %d", code)
+		}
+	case <-time.After(drainTimeout + 10*time.Second):
+		return fail("drain did not complete")
+	}
+	fmt.Fprintln(os.Stderr, "shard-smoke: ok")
+	return 0
+}
+
+// samplePositive reports whether the exposition text has a sample named
+// exactly `sample` (including any label set) with a positive value.
+func samplePositive(text, sample string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == sample && fields[1] != "0" {
+			return true
+		}
+	}
+	return false
 }
 
 // histogramNonEmpty reports whether the exposition text contains a

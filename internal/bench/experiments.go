@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{ID: "faults", Description: "Ablation: fault injection x resilience policy (retries, breaker, pressure)", Run: AblationFaults},
 		{ID: "tiers", Description: "Ablation: execution tiers (tier0-only vs hotness tier-up vs eager tier-1)", Run: AblationTiers},
 		{ID: "gateway", Description: "Live HTTP gateway (continuumd) over loopback: concurrent clients vs the DES bridge", Run: Gateway},
+		{ID: "shard", Description: "Ablation: sharded dispatch + request batching vs single-queue baseline (64 modules, zipf)", Run: AblationShard},
 	}
 }
 

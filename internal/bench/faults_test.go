@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -33,7 +34,7 @@ func TestFaultServingDeterministicAndAccounted(t *testing.T) {
 	if st := a.Report.Dispatcher; st.Retries == 0 || st.Completed == 0 {
 		t.Fatalf("resilience layer inert: %+v", st)
 	}
-	if b := run(); a != b {
+	if b := run(); !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed, different chaos measurement:\n%+v\n%+v", a, b)
 	}
 }
@@ -50,7 +51,7 @@ func TestFaultFreeResilientMatchesBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if base.Report != res.Report {
+	if !reflect.DeepEqual(base.Report, res.Report) {
 		t.Fatalf("resilience machinery perturbed a fault-free run:\n%+v\n%+v",
 			base.Report, res.Report)
 	}

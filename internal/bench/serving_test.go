@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -54,7 +55,7 @@ func TestServingMeasurementDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("serving measurement not reproducible:\n%+v\n%+v", a, b)
 	}
 }

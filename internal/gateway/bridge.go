@@ -52,10 +52,11 @@ type BridgeConfig struct {
 }
 
 // submission is one handler-goroutine request waiting to enter the DES,
-// or (when run is set) a closure to execute on the loop goroutine.
+// or (when run is set) a closure to execute on the loop goroutine. submit
+// runs inside a DES event at the request's virtual arrival time and hands
+// the request — dispatcher-direct or router-batched — its done callback.
 type submission struct {
-	d      *serve.Dispatcher
-	tid    int64
+	submit func(done func(serve.RequestResult))
 	result chan serve.RequestResult // buffered(1): the loop never blocks
 	run    func()                   // non-nil: a Do closure, not a request
 }
@@ -139,6 +140,27 @@ func (b *Bridge) InFlight() int {
 // ctx's error — dispatcher-level outcomes, including rejections, arrive
 // inside the RequestResult.
 func (b *Bridge) Submit(ctx context.Context, d *serve.Dispatcher, tid int64) (serve.RequestResult, error) {
+	return b.submit(ctx, func(done func(serve.RequestResult)) {
+		d.SubmitTID(tid, done)
+	})
+}
+
+// SubmitRouted is Submit through a serve.Router shard: the request joins
+// the shard's pending batch, so submissions injected within one DES event —
+// the greedy channel drain below makes concurrent arrivals land that way —
+// are admitted together by one batched pass. A key that matches no shard
+// comes back as a refused RequestResult carrying serve.ErrUnknownModule.
+func (b *Bridge) SubmitRouted(ctx context.Context, rt *serve.Router, key string, tid int64) (serve.RequestResult, error) {
+	return b.submit(ctx, func(done func(serve.RequestResult)) {
+		if err := rt.Submit(key, tid, done); err != nil {
+			done(serve.RequestResult{Err: err})
+		}
+	})
+}
+
+// submit carries one request closure into the DES world and blocks until
+// its RequestResult comes back.
+func (b *Bridge) submit(ctx context.Context, fn func(done func(serve.RequestResult))) (serve.RequestResult, error) {
 	b.mu.Lock()
 	if b.draining {
 		b.mu.Unlock()
@@ -147,7 +169,7 @@ func (b *Bridge) Submit(ctx context.Context, d *serve.Dispatcher, tid int64) (se
 	b.pending++
 	b.mu.Unlock()
 
-	sub := submission{d: d, tid: tid, result: make(chan serve.RequestResult, 1)}
+	sub := submission{submit: fn, result: make(chan serve.RequestResult, 1)}
 	select {
 	case b.subCh <- sub:
 	default:
@@ -290,6 +312,20 @@ func (b *Bridge) loop() {
 		select {
 		case sub := <-b.subCh:
 			b.inject(sub, wallStart)
+			// Greedy drain: submissions already waiting behind the first are
+			// injected before any of them is stepped, so a concurrent burst
+			// enters the DES at the same virtual instant (exactly so at
+			// dilation 0) and the router coalesces it into per-shard batches.
+			// Bounded so a hot submitter cannot starve pacing and stop.
+		more:
+			for i := 0; i < maxInjectBurst; i++ {
+				select {
+				case sub := <-b.subCh:
+					b.inject(sub, wallStart)
+				default:
+					break more
+				}
+			}
 		case <-timerC:
 			timerC = nil
 		case <-b.stopCh:
@@ -305,6 +341,9 @@ func (b *Bridge) loop() {
 		}
 	}
 }
+
+// maxInjectBurst bounds the loop's greedy channel drain per select cycle.
+const maxInjectBurst = 512
 
 // inject schedules one submission into the DES at the virtual instant
 // mapped from the wall clock (clamped forward to the engine's current time —
@@ -326,7 +365,7 @@ func (b *Bridge) inject(sub submission, wallStart time.Time) {
 		}
 	}
 	b.eng.At(at, func() {
-		sub.d.SubmitTID(sub.tid, func(r serve.RequestResult) {
+		sub.submit(func(r serve.RequestResult) {
 			sub.result <- r
 			b.settle()
 		})

@@ -68,6 +68,8 @@ func MapError(err error, hints retryHints) ErrorMapping {
 		queueRetry = defaultBusyRetry
 	}
 	switch {
+	case errors.Is(err, serve.ErrUnknownModule):
+		return ErrorMapping{http.StatusNotFound, "unknown_function", 0}
 	case errors.Is(err, serve.ErrQueueFull):
 		return ErrorMapping{http.StatusTooManyRequests, "queue_full", queueRetry}
 	case errors.Is(err, serve.ErrConcurrencyLimit):

@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newLazyGateway boots a dilation-0 gateway with one fixed function and
+// lazy creation enabled for everything else.
+func newLazyGateway(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	tmpl := DefaultFunction()
+	tmpl.PoolSize = 1
+	tmpl.MaxConcurrency = 2
+	gw, err := New(Config{
+		Functions:    []FunctionConfig{DefaultFunction()},
+		LazyTemplate: &tmpl,
+		Bridge:       BridgeConfig{Dilation: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	ts := httptest.NewServer(gw)
+	t.Cleanup(func() {
+		ts.Close()
+		gw.Bridge().Stop()
+	})
+	return gw, ts
+}
+
+// TestLazyFunctionCreation: the first request for an unregistered handler
+// variant creates its function (engine, pool, shard) on the fly; later
+// requests reuse it; a genuinely unknown workload stays a 404.
+func TestLazyFunctionCreation(t *testing.T) {
+	gw, ts := newLazyGateway(t)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	for i := 0; i < 3; i++ {
+		resp, body := invoke(t, client, ts.URL+"/v1/functions/request-handler-v7", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("lazy invoke %d: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	if _, ok := gw.Function("request-handler-v7"); !ok {
+		t.Fatal("lazy function not registered after invoke")
+	}
+	if len(gw.Functions()) != 2 {
+		t.Fatalf("functions = %d, want 2 (fixed + lazy)", len(gw.Functions()))
+	}
+	if got := len(gw.Router().Modules()); got != 2 {
+		t.Fatalf("router shards = %d, want 2", got)
+	}
+
+	// Unknown workloads still 404 with the stable error code.
+	resp, body := invoke(t, client, ts.URL+"/v1/functions/no-such-module", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown module: status %d body %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != "unknown_function" {
+		t.Fatalf("unknown module error body = %s (err %v)", body, err)
+	}
+
+	// The per-module labeled router counters are live on /metrics.
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(mbody)
+	if !strings.Contains(text, `router_completed_total{module="request-handler-v7"} 3`) {
+		t.Fatalf("per-module router counter missing from /metrics:\n%s", grepLines(text, "router_"))
+	}
+	if !strings.Contains(text, `router_shards 2`) {
+		t.Fatalf("router_shards gauge missing:\n%s", grepLines(text, "router_"))
+	}
+
+	// The cluster introspection reports both shards and the batch counters.
+	cresp, err := client.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ClusterStatus
+	if err := json.NewDecoder(cresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if st.Router.Shards != 2 {
+		t.Fatalf("cluster router shards = %d, want 2", st.Router.Shards)
+	}
+	if st.Router.Mode != "sharded" {
+		t.Fatalf("cluster router mode = %q", st.Router.Mode)
+	}
+	if st.Router.Batches == 0 || st.Router.BatchedRequests < 3 {
+		t.Fatalf("batch accounting empty: %+v", st.Router)
+	}
+}
+
+// TestLazyDisabledStill404s: without a template, unregistered modules are
+// refused — the pre-router behaviour.
+func TestLazyDisabledStill404s(t *testing.T) {
+	_, ts := newTestGateway(t, DefaultFunction())
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, _ := invoke(t, client, ts.URL+"/v1/functions/request-handler-v7", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// grepLines filters text to lines containing sub, for failure messages.
+func grepLines(text, sub string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, sub) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -51,6 +52,12 @@ type FunctionConfig struct {
 type Config struct {
 	// Functions to register; empty registers DefaultFunction.
 	Functions []FunctionConfig
+	// LazyTemplate, when non-nil, turns POST /v1/functions/{module} into a
+	// resolver for any workload module: the first request for an
+	// unregistered module creates its engine, warm pool, node attachment,
+	// and dispatcher shard from this template (Module is overwritten per
+	// request). nil keeps the fixed-function behaviour: unknown modules 404.
+	LazyTemplate *FunctionConfig
 	// Bridge is the real-time run layer (dilation, submission buffer).
 	Bridge BridgeConfig
 	// ClusterNodes sizes the simulated cluster; 0 means 1.
@@ -81,6 +88,7 @@ func DefaultFunction() FunctionConfig {
 // node attachment charging pool memory to the simulated cluster.
 type Function struct {
 	cfg  FunctionConfig
+	key  string // router shard key: the compiled module's content digest
 	eng  *engine.Engine
 	pool *serve.Pool
 	disp *serve.Dispatcher
@@ -106,9 +114,16 @@ type Server struct {
 	sim     *des.Engine
 	bridge  *Bridge
 	cluster *k8s.Cluster
-	fns     map[string]*Function
+	router  *serve.Router
 	mux     *http.ServeMux
 	logger  *log.Logger
+
+	// fns is a copy-on-write snapshot map (module name → function): the
+	// invoke hot path reads it with one atomic load; lazy registration
+	// copies under regMu and publishes a new map.
+	fns      atomic.Pointer[map[string]*Function]
+	regMu    sync.Mutex
+	nextNode int // round-robin node index for pool attachments (under regMu)
 
 	// clusterMu serializes control-surface calls: each one mutates API
 	// objects and then drives the cluster's engine to quiescence.
@@ -158,7 +173,7 @@ func New(cfg Config) (*Server, error) {
 		sim:        sim,
 		bridge:     NewBridge(sim, cfg.Bridge),
 		cluster:    cluster,
-		fns:        map[string]*Function{},
+		router:     serve.NewRouter(sim, serve.RouterConfig{}),
 		containers: map[string]*k8s.Pod{},
 		started:    time.Now(),
 
@@ -167,22 +182,64 @@ func New(cfg Config) (*Server, error) {
 		obsWallNs:     tele.Histogram("gateway_wall_latency_ns"),
 		obsBridgeBusy: tele.Counter("gateway_bridge_busy_total"),
 	}
+	s.router.SetObserver(tele)
+	empty := map[string]*Function{}
+	s.fns.Store(&empty)
 	if cfg.AccessLog != nil {
 		s.logger = log.New(cfg.AccessLog, "", 0)
 	}
 
-	for i, fc := range cfg.Functions {
-		fn, err := s.newFunction(fc, cluster.Nodes[i%len(cluster.Nodes)])
-		if err != nil {
-			return nil, err
-		}
-		if _, dup := s.fns[fc.Module]; dup {
+	for _, fc := range cfg.Functions {
+		if _, dup := (*s.fns.Load())[fc.Module]; dup {
 			return nil, fmt.Errorf("gateway: duplicate function module %q", fc.Module)
 		}
-		s.fns[fc.Module] = fn
+		if _, err := s.addFunction(context.Background(), fc, false); err != nil {
+			return nil, err
+		}
 	}
 	s.routes()
 	return s, nil
+}
+
+// addFunction builds one function on the next round-robin node, registers
+// its dispatcher as a router shard keyed by module digest, and publishes it
+// in the snapshot map. Serialized under regMu. With live set (lazy creation
+// on a running server), the engine/pool/attachment construction runs on the
+// bridge loop goroutine via Do, because pool pre-instantiation syncs node
+// memory accounting that in-flight requests of co-located pools are
+// mutating on that goroutine.
+func (s *Server) addFunction(ctx context.Context, fc FunctionConfig, live bool) (*Function, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	old := *s.fns.Load()
+	if fn, ok := old[fc.Module]; ok {
+		return fn, nil
+	}
+	node := s.cluster.Nodes[s.nextNode%len(s.cluster.Nodes)]
+	var fn *Function
+	var err error
+	build := func() { fn, err = s.newFunction(fc, node) }
+	if live {
+		if doErr := s.bridge.Do(ctx, build); doErr != nil {
+			return nil, doErr
+		}
+	} else {
+		build()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.router.Register(fn.key, fc.Module, fn.disp); err != nil {
+		return nil, err
+	}
+	s.nextNode++
+	next := make(map[string]*Function, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[fc.Module] = fn
+	s.fns.Store(&next)
+	return fn, nil
 }
 
 // newFunction wires one module end to end: compile, warm pool, cluster
@@ -232,7 +289,14 @@ func (s *Server) newFunction(fc FunctionConfig, node *k8s.WorkerNode) (*Function
 		BreakerCooldown:  fc.BreakerCooldown,
 	})
 	disp.SetObserver(s.tele)
-	return &Function{cfg: fc, eng: eng, pool: pool, disp: disp, att: att}, nil
+	return &Function{
+		cfg:  fc,
+		key:  fmt.Sprintf("%x", cm.Digest),
+		eng:  eng,
+		pool: pool,
+		disp: disp,
+		att:  att,
+	}, nil
 }
 
 // Start launches the bridge event loop; the server is ready to serve once
@@ -242,16 +306,18 @@ func (s *Server) Start() { s.bridge.Start() }
 // Telemetry returns the live telemetry the /metrics endpoint scrapes.
 func (s *Server) Telemetry() *obs.Telemetry { return s.tele }
 
-// Function returns a registered function by module name.
+// Function returns a registered function by module name. One atomic
+// snapshot load, safe from any goroutine.
 func (s *Server) Function(module string) (*Function, bool) {
-	f, ok := s.fns[module]
+	f, ok := (*s.fns.Load())[module]
 	return f, ok
 }
 
 // Functions lists the registered functions sorted by module name.
 func (s *Server) Functions() []*Function {
-	out := make([]*Function, 0, len(s.fns))
-	for _, f := range s.fns {
+	fns := *s.fns.Load()
+	out := make([]*Function, 0, len(fns))
+	for _, f := range fns {
 		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Module < out[j].cfg.Module })
@@ -261,6 +327,9 @@ func (s *Server) Functions() []*Function {
 // Bridge exposes the real-time run layer (for introspection and tests).
 func (s *Server) Bridge() *Bridge { return s.bridge }
 
+// Router exposes the sharded dispatch layer (for introspection and tests).
+func (s *Server) Router() *serve.Router { return s.router }
+
 // Shutdown drains the gateway: the health check flips to draining, every
 // dispatcher refuses new work with ErrDraining, the bridge flushes accepted
 // submissions to their final results, and the loop stops. In-flight
@@ -268,9 +337,7 @@ func (s *Server) Bridge() *Bridge { return s.bridge }
 // Rejected + Expired + Failed balances once Shutdown returns nil.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	for _, fn := range s.fns {
-		fn.disp.SetDraining(true)
-	}
+	s.router.SetDraining(true)
 	return s.bridge.Drain(ctx)
 }
 
@@ -314,8 +381,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.logger != nil {
 		reqID := sw.Header().Get("X-Request-Id")
 		tid := sw.Header().Get("X-Trace-Tid")
-		s.logger.Printf("%s %s %d req_id=%s tid=%s wall=%s",
+		line := fmt.Sprintf("%s %s %d req_id=%s tid=%s wall=%s",
 			r.Method, r.URL.Path, sw.status, reqID, tid, wall)
+		// Shard pressure as sampled at admission (lock-free accessors).
+		if q := sw.Header().Get("X-Queue-Len"); q != "" {
+			line += " q=" + q + " in_flight=" + sw.Header().Get("X-In-Flight")
+		}
+		s.logger.Print(line)
 	}
 }
 
@@ -334,14 +406,32 @@ type InvokeResponse struct {
 // maxPayloadBytes bounds an invoke request body.
 const maxPayloadBytes = 1 << 20
 
-// handleInvoke is the data path: payload in, bridge submission, simulated
-// execution, result + timing out. The X-Request-Id header (client-supplied
-// or generated) is threaded into the span tracer as the request TID via its
-// numeric companion X-Trace-Tid, so a live server's Chrome trace correlates
-// with its access log.
+// handleInvoke is the data path: payload in, routed bridge submission,
+// simulated execution, result + timing out. The module resolves through the
+// fns snapshot (one atomic load) and then routes by the compiled module's
+// digest through the sharded router; with Config.LazyTemplate set, the
+// first request for an unregistered workload creates its function on the
+// fly. The X-Request-Id header (client-supplied or generated) is threaded
+// into the span tracer as the request TID via its numeric companion
+// X-Trace-Tid, so a live server's Chrome trace correlates with its access
+// log.
 func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	module := r.PathValue("module")
-	fn, ok := s.fns[module]
+	fn, ok := s.Function(module)
+	if !ok && s.cfg.LazyTemplate != nil {
+		lazy, err := s.lazyFunction(r.Context(), module)
+		if err != nil {
+			var unknown *workloads.UnknownWorkloadError
+			if errors.As(err, &unknown) {
+				writeError(w, ErrorMapping{http.StatusNotFound, "unknown_function", 0},
+					fmt.Errorf("gateway: unknown function %q", module))
+				return
+			}
+			writeError(w, MapError(err, retryHints{}), err)
+			return
+		}
+		fn, ok = lazy, true
+	}
 	if !ok {
 		writeError(w, ErrorMapping{http.StatusNotFound, "unknown_function", 0},
 			fmt.Errorf("gateway: unknown function %q", module))
@@ -359,8 +449,12 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Request-Id", reqID)
 	w.Header().Set("X-Trace-Tid", fmt.Sprintf("%d", tid))
+	// Shard introspection for the access log: lock-free atomic reads, so
+	// sampling them per request cannot stall a dispatch burst.
+	w.Header().Set("X-Queue-Len", fmt.Sprintf("%d", fn.disp.QueueLen()))
+	w.Header().Set("X-In-Flight", fmt.Sprintf("%d", fn.disp.InFlight()))
 
-	res, err := s.bridge.Submit(r.Context(), fn.disp, tid)
+	res, err := s.bridge.SubmitRouted(r.Context(), s.router, fn.key, tid)
 	if err != nil {
 		if err == ErrBridgeBusy {
 			s.obsBridgeBusy.Inc()
@@ -384,6 +478,23 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		RetryWaitMs:  float64(res.RetryWait) / 1e6,
 		PayloadBytes: int64(len(payload)),
 	})
+}
+
+// lazyFunction resolves module against the lazy template, creating its
+// function on first use. Unknown workload names surface as
+// *workloads.UnknownWorkloadError so the caller can 404 them.
+func (s *Server) lazyFunction(ctx context.Context, module string) (*Function, error) {
+	if s.draining.Load() {
+		return nil, ErrBridgeDraining
+	}
+	// Validate the workload before building anything: unknown names are the
+	// common case (a typo in the URL) and must stay a cheap 404.
+	if _, err := workloads.Binary(module); err != nil {
+		return nil, err
+	}
+	fc := *s.cfg.LazyTemplate
+	fc.Module = module
+	return s.addFunction(ctx, fc, true)
 }
 
 // hints derives Retry-After advice from the function's dispatcher shape.
@@ -450,12 +561,22 @@ type FunctionStatus struct {
 	Stats           serve.DispatcherStats `json:"stats"`
 }
 
+// RouterStatus summarizes the sharded dispatch layer in GET /v1/cluster.
+type RouterStatus struct {
+	Mode            string `json:"mode"`
+	Shards          int    `json:"shards"`
+	Batches         int64  `json:"batches"`
+	BatchedRequests int64  `json:"batched_requests"`
+	MaxBatch        int64  `json:"max_batch"`
+}
+
 // ClusterStatus is the body of GET /v1/cluster.
 type ClusterStatus struct {
 	SimTimeMs  float64          `json:"sim_time_ms"`
 	Dilation   float64          `json:"dilation"`
 	Nodes      []NodeStatus     `json:"nodes"`
 	Functions  []FunctionStatus `json:"functions"`
+	Router     RouterStatus     `json:"router"`
 	Containers int              `json:"containers"`
 }
 
@@ -486,7 +607,15 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 				BeyondIdleBytes: n.OS.UsedBeyondIdle(),
 			})
 		}
-		for _, fn := range s.fns {
+		rs := s.router.Stats()
+		st.Router = RouterStatus{
+			Mode:            rs.Mode.String(),
+			Shards:          len(rs.Shards),
+			Batches:         rs.Batches,
+			BatchedRequests: rs.BatchedRequests,
+			MaxBatch:        rs.MaxBatch,
+		}
+		for _, fn := range *s.fns.Load() {
 			st.Functions = append(st.Functions, FunctionStatus{
 				Module:          fn.cfg.Module,
 				Profile:         fn.cfg.Profile,

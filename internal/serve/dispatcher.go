@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wasmcontainers/internal/des"
@@ -213,29 +214,42 @@ type inflight struct {
 // per-pool circuit breaker. Its semantics are single-threaded: Submit and
 // the DES callbacks that complete requests must all run on the one goroutine
 // driving the DES engine (des.Engine itself is not safe for concurrent use,
-// so this contract is inherited, not new). The mutex below exists only so
-// that *observers* on other goroutines — a progress printer, a metrics
-// scraper, a -race test — can call Stats, QueueLen, InFlight, and
-// BreakerState while a simulation runs and read a consistent snapshot.
+// so this contract is inherited, not new). The mutex below guards the
+// mutable dispatch state; *observers* on other goroutines — a progress
+// printer, a metrics scraper, the gateway's per-request access log — read
+// the atomic mirrors (stats counters, queue length, in-flight count,
+// breaker position) and never contend with the dispatch path at all.
 type Dispatcher struct {
 	eng  *des.Engine
 	pool *Pool
 	cfg  DispatcherConfig
 
-	// mu guards busy, queue, stats, reqSeq, and the breaker fields for
-	// cross-goroutine readers; see the type comment. done callbacks and pool
-	// calls run outside it.
+	// mu guards busy, queue, reqSeq, and the breaker fields on the dispatch
+	// path. done callbacks and pool calls run outside it. Observers do not
+	// take it: every value they read has an atomic mirror below.
 	mu     sync.Mutex
 	busy   int
 	queue  []queuedRequest
-	stats  DispatcherStats
 	reqSeq int64
+
+	// stats counters are written with atomic adds (always under mu, so the
+	// single-writer DES ordering is preserved) and read lock-free by Stats.
+	stats DispatcherStats
+
+	// Lock-free observer mirrors: queue length, in-flight count, and breaker
+	// position are mirrored here at every mutation so QueueLen, InFlight,
+	// BreakerState, and Quiesced are cheap atomic reads — the gateway calls
+	// them per request, and taking mu there would serialize introspection
+	// against a burst mid-dispatch.
+	qlenA atomic.Int64
+	busyA atomic.Int64
+	brkA  atomic.Int64
 
 	// draining rejects new submissions with ErrDraining while in-flight and
 	// queued work flushes; quiesceHook (if set) runs on the DES goroutine
 	// each time a settled request leaves the dispatcher quiescent. Both are
 	// the gateway's graceful-shutdown hooks.
-	draining    bool
+	draining    atomic.Bool
 	quiesceHook func()
 
 	// Circuit breaker state (single-writer under the DES contract). brkGen
@@ -329,10 +343,10 @@ func (d *Dispatcher) SubmitTID(tid int64, done func(RequestResult)) {
 	}
 	now := d.eng.Now()
 	d.mu.Lock()
-	d.stats.Submitted++
+	atomic.AddInt64(&d.stats.Submitted, 1)
 	d.obsSubmitted.Inc()
-	if d.draining {
-		d.stats.Rejected++
+	if d.draining.Load() {
+		atomic.AddInt64(&d.stats.Rejected, 1)
 		d.obsRejected.Inc()
 		d.mu.Unlock()
 		done(RequestResult{Err: ErrDraining})
@@ -347,12 +361,12 @@ func (d *Dispatcher) SubmitTID(tid int64, done func(RequestResult)) {
 	if d.busy >= d.cfg.MaxConcurrency || !d.breakerReadyLocked() || len(d.queue) > 0 {
 		if d.cfg.Policy == PolicyQueue && len(d.queue) < d.cfg.QueueDepth {
 			d.queue = append(d.queue, queuedRequest{enqueued: now, tid: tid, done: done})
-			d.obsQueueDepth.Set(int64(len(d.queue)))
+			d.syncQueueLocked()
 			d.mu.Unlock()
 			finishAll(dead)
 			return
 		}
-		d.stats.Rejected++
+		atomic.AddInt64(&d.stats.Rejected, 1)
 		d.obsRejected.Inc()
 		reason := ErrConcurrencyLimit
 		if d.cfg.Policy == PolicyQueue {
@@ -360,7 +374,7 @@ func (d *Dispatcher) SubmitTID(tid int64, done func(RequestResult)) {
 		}
 		if !d.breakerReadyLocked() {
 			reason = ErrBreakerOpen
-			d.stats.BreakerShortCircuits++
+			atomic.AddInt64(&d.stats.BreakerShortCircuits, 1)
 			d.obsShortCircuit.Inc()
 		}
 		d.mu.Unlock()
@@ -375,6 +389,108 @@ func (d *Dispatcher) SubmitTID(tid int64, done func(RequestResult)) {
 	d.start(done, 0, tid)
 }
 
+// BatchItem is one request of a coalesced batch submission.
+type BatchItem struct {
+	// TID is the request's trace track; 0 keeps the internal sequence.
+	TID int64
+	// Done runs exactly once with the request's final outcome; may be nil.
+	Done func(RequestResult)
+}
+
+// SubmitBatch offers a batch of requests at the current simulated time, in
+// order, with the per-batch work amortized: the dispatcher lock is taken
+// once, the queue-deadline sweep runs once, and the submitted/queue-depth/
+// in-flight telemetry is recorded once for the whole batch instead of once
+// per request. Outcomes are the same as submitting the items one at a time
+// at the same instant, with one defined difference: admission decisions for
+// the whole batch are made before any attempt runs, so a synchronous
+// attempt failure (a cold-start fault opening the breaker) affects the next
+// batch, not later items of the same one. The router uses this to admit all
+// submissions that arrived within one DES event in a single pass.
+func (d *Dispatcher) SubmitBatch(items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	now := d.eng.Now()
+	type admit struct {
+		done func(RequestResult)
+		tid  int64
+	}
+	type refusal struct {
+		done   func(RequestResult)
+		reason error
+	}
+	var starts []admit
+	var refused []refusal
+	d.mu.Lock()
+	atomic.AddInt64(&d.stats.Submitted, int64(len(items)))
+	d.obsSubmitted.Add(int64(len(items)))
+	if d.draining.Load() {
+		atomic.AddInt64(&d.stats.Rejected, int64(len(items)))
+		d.obsRejected.Add(int64(len(items)))
+		d.mu.Unlock()
+		for _, it := range items {
+			if it.Done != nil {
+				it.Done(RequestResult{Err: ErrDraining})
+			}
+		}
+		return
+	}
+	// One expiry sweep covers the whole batch: every item shares now, and
+	// expiry compares strictly against it, so per-item sweeps would be
+	// no-ops after the first anyway.
+	dead := d.expireHeadsLocked(now)
+	for _, it := range items {
+		done := it.Done
+		if done == nil {
+			done = func(RequestResult) {}
+		}
+		if d.busy >= d.cfg.MaxConcurrency || !d.breakerReadyLocked() || len(d.queue) > 0 {
+			if d.cfg.Policy == PolicyQueue && len(d.queue) < d.cfg.QueueDepth {
+				d.queue = append(d.queue, queuedRequest{enqueued: now, tid: it.TID, done: done})
+				continue
+			}
+			reason := ErrConcurrencyLimit
+			if d.cfg.Policy == PolicyQueue {
+				reason = ErrQueueFull
+			}
+			if !d.breakerReadyLocked() {
+				reason = ErrBreakerOpen
+				atomic.AddInt64(&d.stats.BreakerShortCircuits, 1)
+				d.obsShortCircuit.Inc()
+			}
+			atomic.AddInt64(&d.stats.Rejected, 1)
+			d.obsRejected.Inc()
+			refused = append(refused, refusal{done: done, reason: reason})
+			continue
+		}
+		d.markProbeLocked()
+		// Pre-claim the slot so in-batch admission decisions see it exactly
+		// as sequential submissions at the same instant would.
+		d.busy++
+		d.reqSeq++
+		tid := it.TID
+		if tid == 0 {
+			tid = d.reqSeq
+		}
+		starts = append(starts, admit{done: done, tid: tid})
+	}
+	d.syncQueueLocked()
+	d.busyA.Store(int64(d.busy))
+	d.obsInFlight.Set(int64(d.busy))
+	d.mu.Unlock()
+	finishAll(dead)
+	for _, rf := range refused {
+		rf.done(RequestResult{Err: rf.reason})
+	}
+	for _, a := range starts {
+		d.run(a.done, 0, a.tid)
+	}
+	if len(refused) > 0 && len(starts) == 0 {
+		d.notifyQuiesced()
+	}
+}
+
 // expireHeadsLocked pops queued requests that outlived QueueDeadline by now
 // and returns their callbacks for the caller to run outside the lock.
 func (d *Dispatcher) expireHeadsLocked(now des.Time) []func(RequestResult) {
@@ -385,13 +501,21 @@ func (d *Dispatcher) expireHeadsLocked(now des.Time) []func(RequestResult) {
 	for len(d.queue) > 0 && time.Duration(now-d.queue[0].enqueued) > d.cfg.QueueDeadline {
 		dead = append(dead, d.queue[0].done)
 		d.queue = d.queue[1:]
-		d.stats.Expired++
+		atomic.AddInt64(&d.stats.Expired, 1)
 		d.obsExpired.Inc()
 	}
 	if len(dead) > 0 {
-		d.obsQueueDepth.Set(int64(len(d.queue)))
+		d.syncQueueLocked()
 	}
 	return dead
+}
+
+// syncQueueLocked mirrors the queue length into the lock-free observer
+// mirror and the queue-depth gauge after a queue mutation.
+func (d *Dispatcher) syncQueueLocked() {
+	n := int64(len(d.queue))
+	d.qlenA.Store(n)
+	d.obsQueueDepth.Set(n)
 }
 
 // finishAll invokes expired-request callbacks (outside the dispatcher lock).
@@ -412,7 +536,17 @@ func (d *Dispatcher) start(done func(RequestResult), queueWait time.Duration, ti
 	if tid == 0 {
 		tid = d.reqSeq
 	}
+	d.busyA.Store(int64(d.busy))
 	d.obsInFlight.Set(int64(d.busy))
+	d.mu.Unlock()
+	d.run(done, queueWait, tid)
+}
+
+// run launches the first attempt of an already-admitted request (slot
+// claimed, TID assigned). SubmitBatch pre-claims slots for a whole batch
+// under one lock and then calls run per item.
+func (d *Dispatcher) run(done func(RequestResult), queueWait time.Duration, tid int64) {
+	d.mu.Lock()
 	tracer := d.obsTracer
 	d.mu.Unlock()
 	now := d.eng.Now()
@@ -524,7 +658,7 @@ func (d *Dispatcher) scheduleRetry(r *inflight, cause error) bool {
 		return false
 	}
 	d.mu.Lock()
-	d.stats.Retries++
+	atomic.AddInt64(&d.stats.Retries, 1)
 	d.obsRetries.Inc()
 	tracer := d.obsTracer
 	d.mu.Unlock()
@@ -549,16 +683,17 @@ func (d *Dispatcher) finish(r *inflight, err error) {
 	d.mu.Lock()
 	d.busy--
 	if err != nil {
-		d.stats.Failed++
+		atomic.AddInt64(&d.stats.Failed, 1)
 		d.obsFailed.Inc()
 		if r.timedOut {
-			d.stats.TimedOut++
+			atomic.AddInt64(&d.stats.TimedOut, 1)
 			d.obsTimedOut.Inc()
 		}
 	} else {
-		d.stats.Completed++
+		atomic.AddInt64(&d.stats.Completed, 1)
 		d.obsCompleted.Inc()
 	}
+	d.busyA.Store(int64(d.busy))
 	d.obsInFlight.Set(int64(d.busy))
 	d.mu.Unlock()
 	d.obsLatencyNs.Record(int64(latency))
@@ -595,7 +730,7 @@ func (d *Dispatcher) drainQueue() {
 		}
 		q := d.queue[0]
 		d.queue = d.queue[1:]
-		d.obsQueueDepth.Set(int64(len(d.queue)))
+		d.syncQueueLocked()
 		d.markProbeLocked()
 		wait := time.Duration(now - q.enqueued)
 		d.mu.Unlock()
@@ -660,7 +795,7 @@ func (d *Dispatcher) noteFailure() {
 // since (the newer open armed its own timer).
 func (d *Dispatcher) openBreakerLocked() {
 	d.setBreakerLocked(BreakerOpen)
-	d.stats.BreakerOpens++
+	atomic.AddInt64(&d.stats.BreakerOpens, 1)
 	d.brkGen++
 	gen := d.brkGen
 	cooldown := d.cfg.BreakerCooldown
@@ -685,6 +820,7 @@ func (d *Dispatcher) setBreakerLocked(s BreakerState) {
 	}
 	d.brk = s
 	d.brkProbe = false
+	d.brkA.Store(int64(s))
 	d.obsBreakerState.Set(int64(s))
 	d.obsBreakerTrans.Inc()
 	if d.obsTracer != nil {
@@ -699,27 +835,17 @@ func (d *Dispatcher) setBreakerLocked(s BreakerState) {
 // still balances once the flush completes. Safe to call from any goroutine
 // (the flag is observed at the next admission on the DES goroutine); the
 // gateway sets it on SIGTERM before waiting for quiescence.
-func (d *Dispatcher) SetDraining(v bool) {
-	d.mu.Lock()
-	d.draining = v
-	d.mu.Unlock()
-}
+func (d *Dispatcher) SetDraining(v bool) { d.draining.Store(v) }
 
-// Draining reports whether SetDraining(true) is in effect. Safe to call from
-// observer goroutines.
-func (d *Dispatcher) Draining() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.draining
-}
+// Draining reports whether SetDraining(true) is in effect. A lock-free
+// atomic read, safe from any goroutine.
+func (d *Dispatcher) Draining() bool { return d.draining.Load() }
 
 // Quiesced reports whether the dispatcher holds no work: nothing in flight
-// and nothing queued. Safe to call from observer goroutines; under the DES
-// contract it is authoritative only between events.
+// and nothing queued. A lock-free atomic read, safe from any goroutine;
+// under the DES contract it is authoritative only between events.
 func (d *Dispatcher) Quiesced() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.busy == 0 && len(d.queue) == 0
+	return d.busyA.Load() == 0 && d.qlenA.Load() == 0
 }
 
 // SetQuiesceHook registers fn to run — on the goroutine driving the DES —
@@ -734,11 +860,13 @@ func (d *Dispatcher) SetQuiesceHook(fn func()) {
 
 // notifyQuiesced runs the quiesce hook if the dispatcher just went idle.
 func (d *Dispatcher) notifyQuiesced() {
+	if !d.Quiesced() {
+		return
+	}
 	d.mu.Lock()
 	fn := d.quiesceHook
-	idle := d.busy == 0 && len(d.queue) == 0
 	d.mu.Unlock()
-	if idle && fn != nil {
+	if fn != nil {
 		fn()
 	}
 }
@@ -755,36 +883,38 @@ func (d *Dispatcher) Telemetry() *obs.Telemetry {
 	return d.tele
 }
 
-// QueueLen returns the number of requests currently parked. Safe to call
-// from observer goroutines while a simulation runs.
-func (d *Dispatcher) QueueLen() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.queue)
-}
+// QueueLen returns the number of requests currently parked. A lock-free
+// atomic read: safe — and cheap enough for per-request use — from any
+// goroutine while a simulation runs.
+func (d *Dispatcher) QueueLen() int { return int(d.qlenA.Load()) }
 
 // InFlight returns the number of requests currently executing (or backing
-// off between retries). Safe to call from observer goroutines while a
-// simulation runs.
-func (d *Dispatcher) InFlight() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.busy
-}
+// off between retries). A lock-free atomic read, safe from any goroutine
+// while a simulation runs.
+func (d *Dispatcher) InFlight() int { return int(d.busyA.Load()) }
 
-// BreakerState returns the circuit breaker's current position. Safe to call
-// from observer goroutines while a simulation runs.
+// BreakerState returns the circuit breaker's current position. A lock-free
+// atomic read, safe from any goroutine while a simulation runs.
 func (d *Dispatcher) BreakerState() BreakerState {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.brk
+	return BreakerState(d.brkA.Load())
 }
 
-// Stats returns a snapshot of the outcome counters. Safe to call from
-// observer goroutines while a simulation runs; the DES contract (see the
-// type comment) keeps the counters themselves single-writer.
+// Stats returns a snapshot of the outcome counters without taking the
+// dispatcher lock: each counter is an independent atomic read, so a scrape
+// never contends with the dispatch path. Counters written by the same event
+// are not read as one transaction, but the conservation identity still
+// holds exactly whenever the dispatcher is between events (and always after
+// a drain), which is when callers assert it.
 func (d *Dispatcher) Stats() DispatcherStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return DispatcherStats{
+		Submitted:            atomic.LoadInt64(&d.stats.Submitted),
+		Completed:            atomic.LoadInt64(&d.stats.Completed),
+		Rejected:             atomic.LoadInt64(&d.stats.Rejected),
+		Expired:              atomic.LoadInt64(&d.stats.Expired),
+		Failed:               atomic.LoadInt64(&d.stats.Failed),
+		Retries:              atomic.LoadInt64(&d.stats.Retries),
+		TimedOut:             atomic.LoadInt64(&d.stats.TimedOut),
+		BreakerOpens:         atomic.LoadInt64(&d.stats.BreakerOpens),
+		BreakerShortCircuits: atomic.LoadInt64(&d.stats.BreakerShortCircuits),
+	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"wasmcontainers/internal/des"
@@ -19,6 +20,21 @@ type LoadConfig struct {
 	Seed int64
 }
 
+// ModuleReport is one module's slice of a multi-module load run.
+type ModuleReport struct {
+	// Module is the module (shard) name.
+	Module string
+	// Offered is the number of requests generated for this module.
+	Offered int64
+	// Completed is the number that ran to completion.
+	Completed int64
+	// Latency summarizes end-to-end seconds over this module's completed
+	// requests (P50/P99 are the debuggability knobs for shard imbalance).
+	Latency metrics.Summary
+	// Dispatcher is the shard's final outcome snapshot.
+	Dispatcher DispatcherStats
+}
+
 // Report aggregates one load run.
 type Report struct {
 	// Offered is the number of generated requests.
@@ -29,14 +45,20 @@ type Report struct {
 	// paid a cold-start fallback.
 	WarmLatency metrics.Summary
 	ColdLatency metrics.Summary
-	// Dispatcher is the final outcome snapshot.
+	// Dispatcher is the final outcome snapshot; for multi-module runs it is
+	// the aggregate over every shard.
 	Dispatcher DispatcherStats
-	// Pool is the final pool traffic snapshot.
+	// Pool is the final pool traffic snapshot. Multi-module runs have one
+	// pool per shard and leave this zero; see Modules instead.
 	Pool Stats
 	// PoolHighWaterBytes is the peak accounted pool memory over the run.
 	PoolHighWaterBytes int64
 	// Makespan is the simulated time at which the last event settled.
 	Makespan time.Duration
+	// Modules is the per-module breakdown of a multi-module run, sorted by
+	// offered count descending (hottest shard first), then by name. Empty
+	// for single-module runs.
+	Modules []ModuleReport
 }
 
 // Run generates an open-loop Poisson arrival stream against the dispatcher
@@ -82,5 +104,95 @@ func Run(eng *des.Engine, d *Dispatcher, cfg LoadConfig) Report {
 	rep.Pool = d.Pool().Stats()
 	rep.PoolHighWaterBytes = d.Pool().HighWater()
 	rep.Makespan = time.Duration(end)
+	return rep
+}
+
+// MultiConfig shapes one open-loop multi-module load run against a Router.
+type MultiConfig struct {
+	// RatePerSec is the mean aggregate arrival rate of the Poisson process.
+	RatePerSec float64
+	// Duration is the simulated arrival window.
+	Duration time.Duration
+	// Seed makes the arrival and module-pick sequences reproducible.
+	Seed int64
+	// Modules are the routing keys traffic is spread over, in popularity
+	// order: with Zipf popularity, Modules[0] is the hottest.
+	Modules []string
+	// ZipfS > 1 draws each arrival's module from a Zipf distribution with
+	// exponent s over Modules (rank 1 = Modules[0]); anything else spreads
+	// arrivals uniformly.
+	ZipfS float64
+}
+
+// RunMulti generates one open-loop Poisson arrival stream whose requests
+// are spread over the router's modules — Zipf-skewed when cfg.ZipfS > 1 —
+// and drives the DES engine to completion. The same seed and configuration
+// always reproduce the same report, including the per-module breakdown.
+func RunMulti(eng *des.Engine, rt *Router, cfg MultiConfig) Report {
+	rep := Report{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 1 && len(cfg.Modules) > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Modules)-1))
+	}
+	pick := func() string {
+		if zipf != nil {
+			return cfg.Modules[zipf.Uint64()]
+		}
+		return cfg.Modules[rng.Intn(len(cfg.Modules))]
+	}
+	var all, warmLat, coldLat []float64
+	offered := map[string]int64{}
+	latByMod := map[string][]float64{}
+	record := func(module string) func(RequestResult) {
+		return func(r RequestResult) {
+			if !r.Admitted || r.Err != nil {
+				return
+			}
+			s := r.Latency.Seconds()
+			all = append(all, s)
+			latByMod[module] = append(latByMod[module], s)
+			if r.Cold {
+				coldLat = append(coldLat, s)
+			} else {
+				warmLat = append(warmLat, s)
+			}
+		}
+	}
+	at := des.Time(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
+	for at <= des.Time(cfg.Duration) {
+		m := pick()
+		rep.Offered++
+		offered[m]++
+		done := record(m)
+		eng.At(at, func() { _ = rt.Submit(m, 0, done) })
+		at += des.Time(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
+	}
+	end := eng.Run()
+
+	rep.Latency = metrics.Summarize(all)
+	rep.WarmLatency = metrics.Summarize(warmLat)
+	rep.ColdLatency = metrics.Summarize(coldLat)
+	rep.Makespan = time.Duration(end)
+	rs := rt.Stats()
+	rep.Dispatcher = rs.Aggregate
+	for _, sh := range rs.Shards {
+		if offered[sh.Key] == 0 && sh.Stats.Submitted == 0 {
+			continue
+		}
+		rep.Modules = append(rep.Modules, ModuleReport{
+			Module:     sh.Module,
+			Offered:    offered[sh.Key],
+			Completed:  sh.Stats.Completed,
+			Latency:    metrics.Summarize(latByMod[sh.Key]),
+			Dispatcher: sh.Stats,
+		})
+	}
+	sort.Slice(rep.Modules, func(i, j int) bool {
+		if rep.Modules[i].Offered != rep.Modules[j].Offered {
+			return rep.Modules[i].Offered > rep.Modules[j].Offered
+		}
+		return rep.Modules[i].Module < rep.Modules[j].Module
+	})
 	return rep
 }

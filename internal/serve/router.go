@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/obs"
+)
+
+// ErrUnknownModule refuses a submission whose key matches no registered
+// shard. Detect it with errors.Is.
+var ErrUnknownModule = errors.New("serve: unknown module")
+
+// RouterMode selects the router's dispatch architecture.
+type RouterMode int
+
+const (
+	// RouterSharded is the production mode: per-module dispatchers behind a
+	// lock-free snapshot-map lookup, with submissions arriving within one
+	// DES event coalesced into per-shard batches (Dispatcher.SubmitBatch).
+	RouterSharded RouterMode = iota
+	// RouterSingleQueue is the pre-sharding baseline the shard ablation
+	// measures against: one global mutex serializes every submission and
+	// every Stats scrape, and each request pays full per-request admission —
+	// the "one mutex-guarded FIFO plus mutex introspection" architecture
+	// this router replaces.
+	RouterSingleQueue
+)
+
+// String names the mode for experiment tables.
+func (m RouterMode) String() string {
+	if m == RouterSingleQueue {
+		return "single-queue"
+	}
+	return "sharded"
+}
+
+// RouterConfig shapes one router.
+type RouterConfig struct {
+	// Mode selects sharded (default) or the single-queue baseline.
+	Mode RouterMode
+}
+
+// shard is one registered module: its dispatcher plus the pending batch
+// being coalesced for the current DES event. pending and armed are touched
+// only on the DES goroutine; the obs handles are written at registration.
+type shard struct {
+	key    string
+	module string
+	d      *Dispatcher
+
+	pending []BatchItem
+	armed   bool
+
+	obsSubmitted *obs.Counter
+	obsCompleted *obs.Counter
+	obsRejected  *obs.Counter
+	obsExpired   *obs.Counter
+	obsFailed    *obs.Counter
+}
+
+// classify lands one request outcome on the shard's per-module counters.
+// Registered only when telemetry is enabled, so the disabled path never
+// pays the wrapper closure.
+func (sh *shard) classify(r RequestResult) {
+	switch {
+	case !r.Admitted && errors.Is(r.Err, ErrQueueExpired):
+		sh.obsExpired.Inc()
+	case !r.Admitted:
+		sh.obsRejected.Inc()
+	case r.Err != nil:
+		sh.obsFailed.Inc()
+	default:
+		sh.obsCompleted.Inc()
+	}
+}
+
+// Router is the sharded multi-function dispatch layer: it owns one
+// dispatcher per registered module (each keeping the dispatcher's full
+// queue/retry/breaker semantics, independently per shard), routes
+// submissions by key through a lock-free snapshot-map lookup, and coalesces
+// submissions arriving within one DES event into per-shard batches so queue
+// push, deadline-expiry sweep, slot pre-claim, and obs recording run once
+// per batch instead of once per request.
+//
+// Threading follows the dispatcher's contract: Submit and SubmitBatch run
+// on the one goroutine driving the DES engine. Registration and the Stats/
+// Quiesced/SetDraining observers are safe from any goroutine — lookups read
+// an atomic snapshot of the shard map, and per-shard introspection rides
+// the dispatcher's lock-free accessors, so neither ever blocks the submit
+// path.
+type Router struct {
+	eng *des.Engine
+	cfg RouterConfig
+
+	// shards is a copy-on-write snapshot map: lookups are one atomic load,
+	// registration (rare) copies under regMu and publishes a new map.
+	shards atomic.Pointer[map[string]*shard]
+	regMu  sync.Mutex
+
+	// globalMu is the RouterSingleQueue baseline's whole-router lock: held
+	// across every submission and every Stats scrape, it reproduces the
+	// contention profile of the pre-sharding single-FIFO dispatcher.
+	globalMu sync.Mutex
+
+	// Batch accounting (atomic: scraped by observers mid-run).
+	batches  atomic.Int64
+	batched  atomic.Int64
+	maxBatch atomic.Int64
+
+	tele       *obs.Telemetry
+	obsBatches *obs.Counter
+	obsBatched *obs.Counter
+	obsShards  *obs.Gauge
+}
+
+// NewRouter builds an empty router on eng.
+func NewRouter(eng *des.Engine, cfg RouterConfig) *Router {
+	r := &Router{eng: eng, cfg: cfg}
+	empty := map[string]*shard{}
+	r.shards.Store(&empty)
+	return r
+}
+
+// Mode returns the router's dispatch architecture.
+func (r *Router) Mode() RouterMode { return r.cfg.Mode }
+
+// SetObserver wires telemetry: aggregate batch counters plus, for every
+// shard registered from now on, per-module labeled outcome counters
+// (router_submitted_total{module="..."} and friends) alongside the
+// dispatchers' shared unlabeled metrics. Call it before Register; shards
+// registered earlier keep their previous handles.
+func (r *Router) SetObserver(t *obs.Telemetry) {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	r.tele = t
+	if t == nil {
+		r.obsBatches, r.obsBatched, r.obsShards = nil, nil, nil
+		return
+	}
+	r.obsBatches = t.Counter("router_batches_total")
+	r.obsBatched = t.Counter("router_batched_requests_total")
+	r.obsShards = t.Gauge("router_shards")
+	r.obsShards.Set(int64(len(*r.shards.Load())))
+}
+
+// Register adds one shard: key is the routing key (the gateway uses the
+// compiled module's content digest), module the human-readable name used
+// for labeled metrics and stats. Safe from any goroutine; existing keys are
+// rejected.
+func (r *Router) Register(key, module string, d *Dispatcher) error {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	old := *r.shards.Load()
+	if _, dup := old[key]; dup {
+		return errors.New("serve: duplicate router key " + key)
+	}
+	sh := &shard{key: key, module: module, d: d}
+	if r.tele != nil {
+		sh.obsSubmitted = r.tele.Counter(obs.Labeled("router_submitted_total", "module", module))
+		sh.obsCompleted = r.tele.Counter(obs.Labeled("router_completed_total", "module", module))
+		sh.obsRejected = r.tele.Counter(obs.Labeled("router_rejected_total", "module", module))
+		sh.obsExpired = r.tele.Counter(obs.Labeled("router_expired_total", "module", module))
+		sh.obsFailed = r.tele.Counter(obs.Labeled("router_failed_total", "module", module))
+	}
+	next := make(map[string]*shard, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = sh
+	r.shards.Store(&next)
+	r.obsShards.Set(int64(len(next)))
+	return nil
+}
+
+// Lookup resolves a routing key to its dispatcher. One atomic load — no
+// lock on the submit path.
+func (r *Router) Lookup(key string) (*Dispatcher, bool) {
+	sh, ok := (*r.shards.Load())[key]
+	if !ok {
+		return nil, false
+	}
+	return sh.d, true
+}
+
+// Submit routes one request to its shard at the current simulated time.
+// Must run on the DES goroutine (typically from inside a DES event — the
+// gateway bridge injects submissions that way). In sharded mode the request
+// joins the shard's pending batch and a flush event armed at the current
+// instant admits the whole batch once every same-instant arrival has been
+// appended; in single-queue mode it pays full per-request admission under
+// the global lock. done may be nil; it runs exactly once with the final
+// outcome. The only error is ErrUnknownModule, reported synchronously
+// before done could run.
+func (r *Router) Submit(key string, tid int64, done func(RequestResult)) error {
+	return r.SubmitBatch(key, []BatchItem{{TID: tid, Done: done}})
+}
+
+// SubmitBatch routes a group of same-module requests at the current
+// simulated time; see Submit for the threading contract and batching
+// semantics.
+func (r *Router) SubmitBatch(key string, items []BatchItem) error {
+	sh, ok := (*r.shards.Load())[key]
+	if !ok {
+		return ErrUnknownModule
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	if sh.obsSubmitted != nil {
+		sh.obsSubmitted.Add(int64(len(items)))
+		for i, it := range items {
+			prev := it.Done
+			items[i].Done = func(res RequestResult) {
+				sh.classify(res)
+				if prev != nil {
+					prev(res)
+				}
+			}
+		}
+	}
+	if r.cfg.Mode == RouterSingleQueue {
+		r.globalMu.Lock()
+		for _, it := range items {
+			sh.d.SubmitTID(it.TID, it.Done)
+		}
+		r.globalMu.Unlock()
+		return nil
+	}
+	sh.pending = append(sh.pending, items...)
+	if !sh.armed {
+		sh.armed = true
+		// Same-instant events run in schedule order, so every submission
+		// injected during the current event lands before this flush and
+		// coalesces into one batch.
+		r.eng.At(r.eng.Now(), func() { r.flush(sh) })
+	}
+	return nil
+}
+
+// flush admits a shard's pending batch. It detaches the batch before
+// submitting so a done callback that re-submits (a retrying client inside
+// the simulation) starts a fresh batch instead of mutating the in-flight
+// one.
+func (r *Router) flush(sh *shard) {
+	items := sh.pending
+	sh.pending = nil
+	sh.armed = false
+	if len(items) == 0 {
+		return
+	}
+	r.batches.Add(1)
+	r.batched.Add(int64(len(items)))
+	if n := int64(len(items)); n > r.maxBatch.Load() {
+		r.maxBatch.Store(n)
+	}
+	r.obsBatches.Inc()
+	r.obsBatched.Add(int64(len(items)))
+	sh.d.SubmitBatch(items)
+}
+
+// ShardStats is one shard's introspection snapshot.
+type ShardStats struct {
+	Key      string
+	Module   string
+	Stats    DispatcherStats
+	QueueLen int
+	InFlight int
+	Breaker  BreakerState
+}
+
+// IdentityHolds checks the admission conservation identity for this shard.
+func (s ShardStats) IdentityHolds() bool {
+	st := s.Stats
+	return st.Submitted == st.Completed+st.Rejected+st.Expired+st.Failed
+}
+
+// RouterStats is the router's introspection snapshot: per-shard outcome
+// counters plus their aggregate and the batch accounting.
+type RouterStats struct {
+	Mode            RouterMode
+	Shards          []ShardStats
+	Aggregate       DispatcherStats
+	Batches         int64
+	BatchedRequests int64
+	MaxBatch        int64
+}
+
+// IdentityHolds checks the conservation identity per shard and in
+// aggregate; authoritative once a run has drained.
+func (s RouterStats) IdentityHolds() bool {
+	for _, sh := range s.Shards {
+		if !sh.IdentityHolds() {
+			return false
+		}
+	}
+	agg := s.Aggregate
+	return agg.Submitted == agg.Completed+agg.Rejected+agg.Expired+agg.Failed
+}
+
+// Stats snapshots every shard (sorted by module, then key, for
+// deterministic output) and the aggregate counters. In sharded mode the
+// scrape is lock-free end to end: an atomic map load plus the dispatchers'
+// atomic accessors. In single-queue mode it takes the global lock, exactly
+// like the pre-sharding introspection it models.
+func (r *Router) Stats() RouterStats {
+	if r.cfg.Mode == RouterSingleQueue {
+		r.globalMu.Lock()
+		defer r.globalMu.Unlock()
+	}
+	shards := *r.shards.Load()
+	out := RouterStats{
+		Mode:            r.cfg.Mode,
+		Shards:          make([]ShardStats, 0, len(shards)),
+		Batches:         r.batches.Load(),
+		BatchedRequests: r.batched.Load(),
+		MaxBatch:        r.maxBatch.Load(),
+	}
+	for _, sh := range shards {
+		st := sh.d.Stats()
+		out.Shards = append(out.Shards, ShardStats{
+			Key:      sh.key,
+			Module:   sh.module,
+			Stats:    st,
+			QueueLen: sh.d.QueueLen(),
+			InFlight: sh.d.InFlight(),
+			Breaker:  sh.d.BreakerState(),
+		})
+		out.Aggregate.Submitted += st.Submitted
+		out.Aggregate.Completed += st.Completed
+		out.Aggregate.Rejected += st.Rejected
+		out.Aggregate.Expired += st.Expired
+		out.Aggregate.Failed += st.Failed
+		out.Aggregate.Retries += st.Retries
+		out.Aggregate.TimedOut += st.TimedOut
+		out.Aggregate.BreakerOpens += st.BreakerOpens
+		out.Aggregate.BreakerShortCircuits += st.BreakerShortCircuits
+	}
+	sort.Slice(out.Shards, func(i, j int) bool {
+		if out.Shards[i].Module != out.Shards[j].Module {
+			return out.Shards[i].Module < out.Shards[j].Module
+		}
+		return out.Shards[i].Key < out.Shards[j].Key
+	})
+	return out
+}
+
+// ShardLoad is the hot-path introspection read: one shard's queue length
+// and in-flight count, the numbers the gateway stamps on every response
+// (X-Queue-Len, X-In-Flight). In sharded mode it is lock-free end to end —
+// an atomic map load plus two atomic counter reads. In single-queue mode it
+// takes the global lock, reproducing the pre-sharding cost where every
+// per-request introspection read serialized against admission.
+func (r *Router) ShardLoad(key string) (queueLen, inFlight int, ok bool) {
+	if r.cfg.Mode == RouterSingleQueue {
+		r.globalMu.Lock()
+		defer r.globalMu.Unlock()
+	}
+	sh, found := (*r.shards.Load())[key]
+	if !found {
+		return 0, 0, false
+	}
+	return sh.d.QueueLen(), sh.d.InFlight(), true
+}
+
+// Modules lists the registered module names, sorted.
+func (r *Router) Modules() []string {
+	shards := *r.shards.Load()
+	out := make([]string, 0, len(shards))
+	for _, sh := range shards {
+		out = append(out, sh.module)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetDraining flips every shard's draining state. Safe from any goroutine.
+func (r *Router) SetDraining(v bool) {
+	for _, sh := range *r.shards.Load() {
+		sh.d.SetDraining(v)
+	}
+}
+
+// Quiesced reports whether every shard holds no work. Batches pending a
+// flush count as work only until their flush event runs, which under the
+// DES contract has happened whenever the engine is idle.
+func (r *Router) Quiesced() bool {
+	for _, sh := range *r.shards.Load() {
+		if !sh.d.Quiesced() {
+			return false
+		}
+	}
+	return true
+}

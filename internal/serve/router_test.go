@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/workloads"
+)
+
+// newTestRouter builds a router with n handler-variant shards (one
+// dispatcher + single-instance warm pool each) on a fresh DES engine.
+func newTestRouter(t *testing.T, mode RouterMode, n int, dcfg DispatcherConfig) (*des.Engine, *Router, []string) {
+	t.Helper()
+	sim := des.NewEngine()
+	rt := NewRouter(sim, RouterConfig{Mode: mode})
+	eng := engine.New(engine.WAMR)
+	seen := map[[32]byte]string{}
+	modules := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s%d", workloads.HandlerVariantPrefix, i)
+		bin, err := workloads.Binary(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := eng.Compile(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[cm.Digest]; dup {
+			t.Fatalf("variant %s shares a digest with %s — shards would collide", name, prev)
+		}
+		seen[cm.Digest] = name
+		pool, err := NewPool(eng, cm, Config{Size: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDispatcher(sim, pool, dcfg)
+		if err := rt.Register(name, name, d); err != nil {
+			t.Fatal(err)
+		}
+		modules = append(modules, name)
+	}
+	return sim, rt, modules
+}
+
+// routerDCfg is the dispatcher shape the router tests share: queued
+// admission with headroom so outcomes depend on ordering, not luck.
+func routerDCfg() DispatcherConfig {
+	return DispatcherConfig{
+		MaxConcurrency: 2,
+		QueueDepth:     1 << 12,
+		Policy:         PolicyQueue,
+		Export:         "handle",
+		Arg:            4,
+	}
+}
+
+// TestRouterBatchEquivalence: the same arrival script produces identical
+// per-shard outcome counters whether it runs through sharded batched
+// admission or the single-queue per-request baseline — batching changes the
+// constant factor, not the semantics.
+func TestRouterBatchEquivalence(t *testing.T) {
+	script := func(mode RouterMode) RouterStats {
+		sim, rt, modules := newTestRouter(t, mode, 4, routerDCfg())
+		// 300 submissions in bursts of 3 at 1ms spacing: every burst lands
+		// within one DES instant on one module, so sharded mode coalesces
+		// each burst into one per-shard batch.
+		for i := 0; i < 100; i++ {
+			at := des.Time(i) * des.Time(time.Millisecond)
+			for j := 0; j < 3; j++ {
+				m := modules[i%len(modules)]
+				sim.At(at, func() {
+					if err := rt.Submit(m, 0, nil); err != nil {
+						t.Errorf("submit %s: %v", m, err)
+					}
+				})
+			}
+		}
+		sim.Run()
+		return rt.Stats()
+	}
+	sharded := script(RouterSharded)
+	baseline := script(RouterSingleQueue)
+	if sharded.Batches == 0 || sharded.MaxBatch < 2 {
+		t.Fatalf("sharded run did not coalesce: batches=%d maxBatch=%d",
+			sharded.Batches, sharded.MaxBatch)
+	}
+	if len(sharded.Shards) != len(baseline.Shards) {
+		t.Fatalf("shard count mismatch: %d vs %d", len(sharded.Shards), len(baseline.Shards))
+	}
+	for i := range sharded.Shards {
+		got, want := sharded.Shards[i], baseline.Shards[i]
+		if got.Module != want.Module || got.Stats != want.Stats {
+			t.Errorf("shard %s: sharded %+v != single-queue %+v (module %s)",
+				got.Module, got.Stats, want.Stats, want.Module)
+		}
+	}
+	if !sharded.IdentityHolds() || !baseline.IdentityHolds() {
+		t.Fatalf("identity violated: sharded=%+v baseline=%+v",
+			sharded.Aggregate, baseline.Aggregate)
+	}
+}
+
+// TestRouterConcurrentRaceFree is the 8-goroutine contract test: producers
+// funnel submissions for random shards through a channel to the one DES
+// goroutine while hammering Stats scrapes, then the run drains and the
+// conservation identity must hold per shard and in aggregate. Run under
+// -race (the Makefile race target includes this package).
+func TestRouterConcurrentRaceFree(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 200
+		nShards   = 8
+	)
+	sim, rt, modules := newTestRouter(t, RouterSharded, nShards, routerDCfg())
+	keyCh := make(chan string, 256)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				keyCh <- modules[(p*perProd+i*7)%len(modules)]
+				// The mid-flight scrapes the satellite fix exists for: every
+				// accessor here is a lock-free atomic read.
+				st := rt.Stats()
+				if len(st.Shards) != nShards {
+					t.Errorf("scrape saw %d shards, want %d", len(st.Shards), nShards)
+					return
+				}
+				for _, sh := range st.Shards {
+					_ = sh.QueueLen + sh.InFlight + int(sh.Breaker)
+				}
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); close(keyCh) }()
+
+	// The consumer is the DES goroutine: it alternates draining waiting keys
+	// (injected at the same virtual instant, so they coalesce) with running
+	// the engine dry.
+	for key := range keyCh {
+		if err := rt.Submit(key, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	drain:
+		for i := 0; i < 64; i++ {
+			select {
+			case k, ok := <-keyCh:
+				if !ok {
+					break drain
+				}
+				if err := rt.Submit(k, 0, nil); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				break drain
+			}
+		}
+		sim.Run()
+	}
+	rt.SetDraining(true)
+	sim.Run()
+	if !rt.Quiesced() {
+		t.Fatal("router not quiesced after drain")
+	}
+	st := rt.Stats()
+	if got, want := st.Aggregate.Submitted, int64(producers*perProd); got != want {
+		t.Fatalf("aggregate submitted = %d, want %d", got, want)
+	}
+	for _, sh := range st.Shards {
+		if !sh.IdentityHolds() {
+			t.Errorf("shard %s identity violated: %+v", sh.Module, sh.Stats)
+		}
+	}
+	if !st.IdentityHolds() {
+		t.Fatalf("aggregate identity violated: %+v", st.Aggregate)
+	}
+	if st.Batches == 0 {
+		t.Fatal("no batches recorded")
+	}
+	if st.BatchedRequests != st.Aggregate.Submitted {
+		t.Fatalf("batched %d != submitted %d", st.BatchedRequests, st.Aggregate.Submitted)
+	}
+}
+
+// TestRouterDeterministicStats: two dilation-0 multi-module runs with the
+// same seed produce byte-identical per-shard stats.
+func TestRouterDeterministicStats(t *testing.T) {
+	run := func() string {
+		sim, rt, modules := newTestRouter(t, RouterSharded, 16, routerDCfg())
+		rep := RunMulti(sim, rt, MultiConfig{
+			RatePerSec: 4000,
+			Duration:   200 * time.Millisecond,
+			Seed:       42,
+			Modules:    modules,
+			ZipfS:      1.1,
+		})
+		st := rt.Stats()
+		if !st.IdentityHolds() {
+			t.Fatalf("identity violated: %+v", st.Aggregate)
+		}
+		out := fmt.Sprintf("offered=%d p50=%.9f p99=%.9f\n", rep.Offered, rep.Latency.P50, rep.Latency.P99)
+		for _, sh := range st.Shards {
+			out += fmt.Sprintf("%s %+v q=%d f=%d\n", sh.Module, sh.Stats, sh.QueueLen, sh.InFlight)
+		}
+		for _, m := range rep.Modules {
+			out += fmt.Sprintf("mod %s offered=%d completed=%d p99=%.9f\n", m.Module, m.Offered, m.Completed, m.Latency.P99)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two seeded dilation-0 runs diverged:\n--- run A\n%s--- run B\n%s", a, b)
+	}
+}
+
+// TestRouterZipfSkew: with s=1.1 the hottest module must actually dominate —
+// the shard ablation depends on real imbalance being exercised.
+func TestRouterZipfSkew(t *testing.T) {
+	sim, rt, modules := newTestRouter(t, RouterSharded, 16, routerDCfg())
+	rep := RunMulti(sim, rt, MultiConfig{
+		RatePerSec: 4000,
+		Duration:   250 * time.Millisecond,
+		Seed:       7,
+		Modules:    modules,
+		ZipfS:      1.1,
+	})
+	if len(rep.Modules) < 2 {
+		t.Fatalf("expected a multi-module breakdown, got %d entries", len(rep.Modules))
+	}
+	hottest := rep.Modules[0]
+	if hottest.Module != modules[0] {
+		t.Errorf("hottest module = %s, want rank-1 %s", hottest.Module, modules[0])
+	}
+	share := float64(hottest.Offered) / float64(rep.Offered)
+	if share < 0.15 {
+		t.Errorf("hottest share = %.3f, want >= 0.15 under zipf s=1.1", share)
+	}
+	if rep.Dispatcher.Submitted != rep.Offered {
+		t.Errorf("aggregate submitted %d != offered %d", rep.Dispatcher.Submitted, rep.Offered)
+	}
+}
+
+// TestRouterUnknownModule: an unregistered key is refused synchronously.
+func TestRouterUnknownModule(t *testing.T) {
+	sim, rt, _ := newTestRouter(t, RouterSharded, 1, routerDCfg())
+	ran := false
+	sim.At(0, func() {
+		if err := rt.Submit("no-such-module", 0, func(RequestResult) { ran = true }); !errors.Is(err, ErrUnknownModule) {
+			t.Errorf("err = %v, want ErrUnknownModule", err)
+		}
+	})
+	sim.Run()
+	if ran {
+		t.Fatal("done callback ran for a refused submission")
+	}
+	if got := rt.Stats().Aggregate.Submitted; got != 0 {
+		t.Fatalf("submitted = %d, want 0", got)
+	}
+}

@@ -6,6 +6,7 @@
 package workloads
 
 import (
+	"strings"
 	"sync"
 
 	"wasmcontainers/internal/wasm"
@@ -338,15 +339,69 @@ func ensureCompiled() error {
 	return compileErr
 }
 
-// Module returns the named compiled workload module.
+// Module returns the named compiled workload module. Names of the form
+// request-handler-v<suffix> synthesize a handler variant on demand (see
+// HandlerVariantPrefix).
 func Module(name string) (*wasm.Module, error) {
 	if err := ensureCompiled(); err != nil {
 		return nil, err
 	}
-	m, ok := compiled[name]
-	if !ok {
+	if m, ok := compiled[name]; ok {
+		return m, nil
+	}
+	if strings.HasPrefix(name, HandlerVariantPrefix) {
+		return handlerVariant(name)
+	}
+	return nil, &UnknownWorkloadError{Name: name}
+}
+
+// HandlerVariantPrefix names the synthesized request-handler variants:
+// request-handler-v<suffix>, where suffix is 1-16 characters of
+// [a-z0-9-]. Each variant embeds its name as a data segment in otherwise
+// unused scratch memory, so it behaves exactly like request-handler but
+// encodes — and content-addresses — differently: multi-module serving and
+// the shard ablation get N distinct module digests (N distinct shards,
+// pools, and shared-artifact charges) from one handler implementation.
+const HandlerVariantPrefix = "request-handler-v"
+
+var (
+	variantMu sync.Mutex
+	variants  map[string]*wasm.Module
+)
+
+// handlerVariant synthesizes (and caches) one named variant.
+func handlerVariant(name string) (*wasm.Module, error) {
+	suffix := strings.TrimPrefix(name, HandlerVariantPrefix)
+	if len(suffix) == 0 || len(suffix) > 16 {
 		return nil, &UnknownWorkloadError{Name: name}
 	}
+	for _, c := range suffix {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return nil, &UnknownWorkloadError{Name: name}
+		}
+	}
+	variantMu.Lock()
+	defer variantMu.Unlock()
+	if m, ok := variants[name]; ok {
+		return m, nil
+	}
+	// The tag (at most 16 bytes) lands at offset 40, between the compute
+	// sink (32) and the per-request scratch (64): handle() never touches
+	// 40..55, so behaviour is identical; only the encoded bytes (and the
+	// digest) differ.
+	src := strings.Replace(RequestHandlerWAT,
+		`(memory (export "memory") 1)`,
+		`(memory (export "memory") 1)
+  (data (i32.const 40) "`+suffix+`")`, 1)
+	m, err := wat.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name
+	if variants == nil {
+		variants = map[string]*wasm.Module{}
+	}
+	variants[name] = m
 	return m, nil
 }
 
