@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke bench figures results examples clean
+.PHONY: all build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke slo-smoke bench figures results examples clean
 
-all: build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke
+all: build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke slo-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,19 @@ obs-overhead:
 	echo "$$out"; \
 	if ! echo "$$out" | grep -qE '[[:space:]]0 allocs/op'; then \
 		echo "obs-overhead: disabled telemetry path allocates"; exit 1; fi
+	@out=$$($(GO) test -run NONE -bench 'BenchmarkAdvanceDisabled|BenchmarkAdvanceSameWindow' \
+		-benchmem -benchtime 10000x ./internal/obs/tsdb/); \
+	echo "$$out"; \
+	n=$$(echo "$$out" | grep -cE '[[:space:]]0 allocs/op'); \
+	if [ "$$n" -ne 2 ]; then \
+		echo "obs-overhead: tsdb sample path allocates"; exit 1; fi
+
+# SLO smoke: boot continuumd's gateway at dilation 0 and walk the alert
+# lifecycle — healthy traffic stays silent, a 100% trap-rate fault burst
+# fires the availability page (visible over /v1/slo), recovery clears it,
+# and the drain re-verifies the admission identity.
+slo-smoke:
+	$(GO) run ./cmd/continuumd -slo-smoke
 
 # Chaos smoke: run the full fault-injection ablation grid once. Each cell
 # verifies the admission identity (Submitted == Completed+Rejected+Expired+

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+
+	"wasmcontainers/internal/obs"
+)
+
+// startDebug serves net/http/pprof on addr and starts the Go-runtime
+// collector: goroutine count, heap sizes, and GC cost sampled into the
+// gateway's registry once per wall second, so one /metrics scrape
+// correlates simulated serving pressure with real host cost. The debug
+// surface binds its own listener so production traffic never reaches the
+// profiler.
+func startDebug(addr string, reg *obs.Registry) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// The gateway's /metrics carries the same registry; mirroring it here
+	// keeps the debug listener usable when the main port is firewalled off.
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.WritePrometheus(w, reg.Snapshot())
+	})
+	go func() { _ = http.Serve(ln, mux) }()
+
+	c := newRuntimeCollector(reg)
+	c.collect()
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for range t.C {
+			c.collect()
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "continuumd: debug server (pprof + runtime metrics) on %s\n", ln.Addr())
+	return nil
+}
+
+// runtimeCollector fills the go_* gauges declared in the obs help registry.
+type runtimeCollector struct {
+	goroutines *obs.Gauge
+	heapAlloc  *obs.Gauge
+	heapSys    *obs.Gauge
+	gcPause    *obs.Gauge
+	gcCycles   *obs.Gauge
+}
+
+func newRuntimeCollector(reg *obs.Registry) *runtimeCollector {
+	return &runtimeCollector{
+		goroutines: reg.Gauge("go_goroutines"),
+		heapAlloc:  reg.Gauge("go_heap_alloc_bytes"),
+		heapSys:    reg.Gauge("go_heap_sys_bytes"),
+		gcPause:    reg.Gauge("go_gc_pause_total_ns"),
+		gcCycles:   reg.Gauge("go_gc_cycles_total"),
+	}
+}
+
+// collect samples the runtime once. ReadMemStats stops the world briefly, so
+// the 1 Hz cadence is deliberate — do not call this per request.
+func (c *runtimeCollector) collect() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.goroutines.Set(int64(runtime.NumGoroutine()))
+	c.heapAlloc.Set(int64(ms.HeapAlloc))
+	c.heapSys.Set(int64(ms.HeapSys))
+	c.gcPause.Set(int64(ms.PauseTotalNs))
+	c.gcCycles.Set(int64(ms.NumGC))
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"wasmcontainers/internal/obs"
+)
+
+// TestRuntimeCollectorFillsGauges pins the collector to the gauge names the
+// exposition help registry declares, and checks one sample produces sane
+// values.
+func TestRuntimeCollectorFillsGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newRuntimeCollector(reg)
+	c.collect()
+	snap := reg.Snapshot()
+	got := map[string]int64{}
+	for _, g := range snap.Gauges {
+		got[g.Name] = g.Value
+	}
+	for _, name := range []string{
+		"go_goroutines", "go_heap_alloc_bytes", "go_heap_sys_bytes",
+		"go_gc_pause_total_ns", "go_gc_cycles_total",
+	} {
+		v, ok := got[name]
+		if !ok {
+			t.Fatalf("gauge %s missing: %+v", name, got)
+		}
+		if v < 0 {
+			t.Fatalf("gauge %s = %d, want >= 0", name, v)
+		}
+	}
+	if got["go_goroutines"] == 0 || got["go_heap_alloc_bytes"] == 0 {
+		t.Fatalf("live runtime reported zeros: %+v", got)
+	}
+	// The debug gauges must render with help text in the exposition.
+	var sb strings.Builder
+	if err := obs.WritePrometheus(&sb, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# HELP go_goroutines") {
+		t.Fatalf("exposition lacks go_goroutines help:\n%s", sb.String())
+	}
+}

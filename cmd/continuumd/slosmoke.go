@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"wasmcontainers/internal/faults"
+	"wasmcontainers/internal/gateway"
+	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/obs/slo"
+)
+
+// runSLOSmoke is the self-test behind `make slo-smoke`: boot at dilation 0
+// with 1 ms sample windows and the default SLO pair, then walk the alert
+// lifecycle end to end —
+//
+//  1. healthy traffic: the page alert must stay silent (zero transitions),
+//  2. a 100% trap-rate fault burst: the availability page must fire, and be
+//     visible over GET /v1/slo,
+//  3. recovery: the short burn window goes clean and the alert must clear.
+//
+// The drain then re-checks the admission identity per function, so the smoke
+// fails loudly if alert evaluation ever corrupted serving state.
+func runSLOSmoke(drainTimeout time.Duration) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "slo-smoke: FAIL: "+format+"\n", args...)
+		return 1
+	}
+
+	fc := gateway.DefaultFunction()
+	fc.MaxRetries = 0 // a trap is a final error: it must burn budget, not retry away
+	gw, err := gateway.New(gateway.Config{
+		Functions:      []gateway.FunctionConfig{fc},
+		Bridge:         gateway.BridgeConfig{Dilation: 0},
+		SampleInterval: time.Millisecond,
+		SLOObjectives:  gateway.DefaultSLOObjectives(0.99, 0.95, 50*time.Millisecond),
+		// Requests cost a few ms of sim time each; base 100 ms keeps the page
+		// rule's short window (base/12) wide enough to see sustained failure.
+		SLOBaseWindow: 100 * time.Millisecond,
+		TailSampling:  &obs.TailConfig{},
+	})
+	if err != nil {
+		return fail("gateway: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("listen: %v", err)
+	}
+	gw.Start()
+	srv := &http.Server{Handler: gw}
+	go func() { _ = srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	invokeN := func(n, wantStatus int) error {
+		for i := 0; i < n; i++ {
+			resp, err := client.Post(base+"/v1/functions/"+fc.Module,
+				"application/octet-stream", strings.NewReader("ping"))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != wantStatus {
+				return fmt.Errorf("invoke %d: status %d, want %d", i, resp.StatusCode, wantStatus)
+			}
+		}
+		return nil
+	}
+	pageTransitions := func() int64 {
+		var n int64
+		for _, o := range gw.SLO().Status().Objectives {
+			for _, a := range o.Alerts {
+				if a.Severity == slo.Page {
+					n += a.Transitions
+				}
+			}
+		}
+		return n
+	}
+
+	// Phase 1: healthy baseline stays silent.
+	if err := invokeN(40, http.StatusOK); err != nil {
+		return fail("baseline: %v", err)
+	}
+	if gw.SLO().Firing("") || pageTransitions() != 0 {
+		return fail("baseline traffic raised an alert: %+v", gw.SLO().Status())
+	}
+	resp, err := client.Get(base + "/v1/timeseries")
+	if err != nil {
+		return fail("/v1/timeseries: %v", err)
+	}
+	var tsr struct {
+		Stats struct {
+			Published int64 `json:"published"`
+		} `json:"stats"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&tsr)
+	resp.Body.Close()
+	if err != nil || tsr.Stats.Published == 0 {
+		return fail("/v1/timeseries published no windows (err=%v): %+v", err, tsr)
+	}
+
+	// Phase 2: fault burst must fire the availability page. The injector is
+	// engine state, so arming it hops onto the bridge loop goroutine.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	fn, _ := gw.Function(fc.Module)
+	if err := gw.Bridge().Do(ctx, func() {
+		fn.Engine().SetFaultInjector(faults.New(faults.Config{Seed: 42, TrapRate: 1}))
+	}); err != nil {
+		return fail("arm faults: %v", err)
+	}
+	fired := false
+	for i := 0; i < 20 && !fired; i++ {
+		if err := invokeN(10, http.StatusInternalServerError); err != nil {
+			return fail("fault burst: %v", err)
+		}
+		fired = gw.SLO().Firing(slo.Page)
+	}
+	if !fired {
+		return fail("page alert never fired under 100%% errors: %+v", gw.SLO().Status())
+	}
+	resp, err = client.Get(base + "/v1/slo")
+	if err != nil {
+		return fail("/v1/slo: %v", err)
+	}
+	var st slo.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return fail("/v1/slo decode: %v", err)
+	}
+	visible := false
+	for _, o := range st.Objectives {
+		for _, a := range o.Alerts {
+			if a.Severity == slo.Page && a.Firing {
+				visible = true
+			}
+		}
+	}
+	if !visible {
+		return fail("firing page not visible over /v1/slo: %+v", st)
+	}
+
+	// Phase 3: recovery clears the page once the short window goes clean.
+	if err := gw.Bridge().Do(ctx, func() { fn.Engine().SetFaultInjector(nil) }); err != nil {
+		return fail("disarm faults: %v", err)
+	}
+	cleared := false
+	for i := 0; i < 30 && !cleared; i++ {
+		if err := invokeN(10, http.StatusOK); err != nil {
+			return fail("recovery: %v", err)
+		}
+		cleared = !gw.SLO().Firing(slo.Page)
+	}
+	if !cleared {
+		return fail("page alert never cleared after recovery: %+v", gw.SLO().Status())
+	}
+
+	if err := gw.Shutdown(ctx); err != nil {
+		return fail("drain: %v", err)
+	}
+	_ = srv.Shutdown(ctx)
+	for _, fn := range gw.Functions() {
+		if st := fn.Dispatcher().Stats(); !identityHolds(st) {
+			return fail("%s identity violated: %+v", fn.Module(), st)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "slo-smoke: ok")
+	return 0
+}

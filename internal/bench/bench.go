@@ -12,14 +12,15 @@ import (
 
 	"wasmcontainers/internal/k8s"
 	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/obs/tsdb"
 	"wasmcontainers/internal/simos"
 )
 
 // TableSchemaVersion identifies the JSON layout of Table. Bump it when
 // renaming or removing fields so downstream consumers of results/<id>.json
-// can detect incompatible output; additive changes (like the telemetry
-// snapshot) keep the version.
-const TableSchemaVersion = 2
+// can detect incompatible output. v3 added the `timeseries` rollup block:
+// consumers at v3 may rely on sampling experiments populating it.
+const TableSchemaVersion = 3
 
 // WasmImage and PythonImage are the benchmark images (the paper's minimal
 // microservice in both forms).
@@ -103,6 +104,10 @@ type Table struct {
 	// Telemetry is the metrics snapshot of the run that produced the table,
 	// attached by cmd/continuum when -telemetry is set; omitted otherwise.
 	Telemetry *obs.Snapshot `json:"telemetry,omitempty"`
+	// TimeSeries is the windowed-metrics rollup (counter rates, gauge
+	// ranges, p99-over-time) of the run that produced the table, attached by
+	// experiments that sample a tsdb; omitted otherwise.
+	TimeSeries *tsdb.Summary `json:"timeseries,omitempty"`
 }
 
 // Format renders the table as aligned text.

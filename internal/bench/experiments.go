@@ -44,6 +44,7 @@ func Experiments() []Experiment {
 		{ID: "tiers", Description: "Ablation: execution tiers (tier0-only vs hotness tier-up vs eager tier-1)", Run: AblationTiers},
 		{ID: "gateway", Description: "Live HTTP gateway (continuumd) over loopback: concurrent clients vs the DES bridge", Run: Gateway},
 		{ID: "shard", Description: "Ablation: sharded dispatch + request batching vs single-queue baseline (64 modules, zipf)", Run: AblationShard},
+		{ID: "slo", Description: "Ablation: SLO burn-rate alerting under a mid-run fault onset (baseline silent, page fires in-window)", Run: AblationSLO},
 	}
 }
 

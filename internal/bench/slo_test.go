@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/obs/tsdb"
+)
+
+// TestTableJSONSchemaV3TimeSeries pins the results/<id>.json contract: the
+// schema version is 3 and an attached tsdb rollup renders under the
+// `timeseries` key.
+func TestTableJSONSchemaV3TimeSeries(t *testing.T) {
+	tbl := &Table{
+		Title:      "x",
+		Columns:    []string{"a"},
+		Rows:       [][]string{{"1"}},
+		TimeSeries: &tsdb.Summary{IntervalNs: int64(time.Second)},
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(tbl.JSON()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := decoded["schema_version"].(float64); int(v) != 3 {
+		t.Fatalf("schema_version = %v, want 3", decoded["schema_version"])
+	}
+	ts, ok := decoded["timeseries"].(map[string]any)
+	if !ok {
+		t.Fatalf("timeseries block missing: %v", decoded)
+	}
+	if v, _ := ts["interval_ns"].(float64); int64(v) != int64(time.Second) {
+		t.Fatalf("timeseries interval = %v", ts["interval_ns"])
+	}
+	// Without a rollup the key must stay absent, not render as null.
+	tbl.TimeSeries = nil
+	decoded = nil
+	if err := json.Unmarshal([]byte(tbl.JSON()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := decoded["timeseries"]; present {
+		t.Fatal("empty timeseries must be omitted")
+	}
+}
+
+// TestMeasureSLOServingGatesAndDeterminism runs the faulted arm twice on a
+// short window: the page must fire within one long window of onset, and both
+// runs must produce byte-identical rollups (the tsdb closes windows on the
+// DES clock, so wall time cannot leak in).
+func TestMeasureSLOServingGatesAndDeterminism(t *testing.T) {
+	run := func() SLOMeasurement {
+		m, err := MeasureSLOServing(true, 150, 600*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := run()
+	if a.FirstFireNs < 0 {
+		t.Fatalf("page never fired: %+v", a.Status)
+	}
+	if d := a.FirstFireNs - a.OnsetNs; d <= 0 || d > int64(sloBaseWindow) {
+		t.Fatalf("fire delay %.1fms outside (0, %s]", float64(d)/1e6, sloBaseWindow)
+	}
+	aj, err := json.Marshal(a.TSDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := run()
+	bj, err := json.Marshal(b.TSDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("rollups differ across identical runs:\n%s\n%s", aj, bj)
+	}
+	if a.FirstFireNs != b.FirstFireNs {
+		t.Fatalf("fire times differ: %d vs %d", a.FirstFireNs, b.FirstFireNs)
+	}
+
+	// The baseline arm stays silent.
+	m, err := MeasureSLOServing(false, 150, 600*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FirstFireNs >= 0 {
+		t.Fatalf("baseline fired: %+v", m.Status)
+	}
+}

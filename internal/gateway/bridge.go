@@ -49,6 +49,17 @@ type BridgeConfig struct {
 	// SubmitBuffer bounds the submission channel; 0 means 256. A full buffer
 	// fails Submit with ErrBridgeBusy.
 	SubmitBuffer int
+	// Sampler, when set, is called on the loop goroutine with the virtual
+	// time about to become current — immediately before each event steps, so
+	// a time-series window ending at or before that instant closes having
+	// seen exactly the events that preceded it. At Dilation 0 this is the
+	// only trigger, which is what makes the sampled series deterministic; at
+	// Dilation > 0 a wall ticker additionally reports the wall-mapped virtual
+	// time so an idle server still ages its windows.
+	Sampler func(simNowNs int64)
+	// SamplerTick is the wall interval of the idle ticker; 0 means 250ms.
+	// Used only when Dilation > 0 and Sampler is set.
+	SamplerTick time.Duration
 }
 
 // submission is one handler-goroutine request waiting to enter the DES,
@@ -290,6 +301,19 @@ func (b *Bridge) loop() {
 		<-timer.C
 	}
 	defer timer.Stop()
+	// Idle sampling ticker: with pacing on, windows must close even when no
+	// events are due. At dilation 0 there is no wall→virtual mapping, so the
+	// pre-step Sampler calls below are the sole (and deterministic) trigger.
+	var tickerC <-chan time.Time
+	if b.cfg.Sampler != nil && b.cfg.Dilation > 0 {
+		tick := b.cfg.SamplerTick
+		if tick <= 0 {
+			tick = 250 * time.Millisecond
+		}
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		tickerC = ticker.C
+	}
 	for {
 		// Step every due event; arm the timer for the earliest future one.
 		var timerC <-chan time.Time
@@ -305,6 +329,9 @@ func (b *Bridge) loop() {
 					timerC = timer.C
 					break
 				}
+			}
+			if b.cfg.Sampler != nil {
+				b.cfg.Sampler(int64(t))
 			}
 			b.eng.Step()
 			b.simNow.Store(int64(b.eng.Now()))
@@ -328,6 +355,12 @@ func (b *Bridge) loop() {
 			}
 		case <-timerC:
 			timerC = nil
+		case <-tickerC:
+			// Age windows to the wall-mapped virtual instant; the engine's own
+			// clock only moves when events step, but wall time keeps flowing.
+			if t := des.Time(float64(time.Since(wallStart)) / b.cfg.Dilation); t > b.eng.Now() {
+				b.cfg.Sampler(int64(t))
+			}
 		case <-b.stopCh:
 			return
 		}

@@ -2,12 +2,14 @@ package gateway
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +18,8 @@ import (
 	"wasmcontainers/internal/engine"
 	"wasmcontainers/internal/k8s"
 	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/obs/slo"
+	"wasmcontainers/internal/obs/tsdb"
 	"wasmcontainers/internal/serve"
 	"wasmcontainers/internal/workloads"
 )
@@ -67,6 +71,29 @@ type Config struct {
 	Telemetry *obs.Telemetry
 	// AccessLog receives one line per request; nil disables.
 	AccessLog io.Writer
+	// AccessLogFormat selects "text" (default) or "json": one JSON object per
+	// request with ids, status, shard pressure, latencies, and the
+	// sampled-trace flag.
+	AccessLogFormat string
+
+	// SampleInterval enables the windowed time-series store (tsdb): windows
+	// of this simulated length close as the bridge loop advances. 0 disables
+	// sampling entirely — /v1/timeseries then serves 404 and the sample path
+	// costs nothing.
+	SampleInterval time.Duration
+	// SampleCapacity bounds retained windows; 0 means tsdb.DefaultCapacity.
+	SampleCapacity int
+	// SLOObjectives enables the burn-rate engine over the sampled series
+	// (requires SampleInterval > 0). nil disables; DefaultSLOObjectives gives
+	// the standard availability + p99-latency pair.
+	SLOObjectives []slo.Objective
+	// SLOBaseWindow scales slo.DefaultRules for objectives that declare no
+	// rules; 0 means 1 hour.
+	SLOBaseWindow time.Duration
+	// TailSampling, when non-nil, keeps full span trees only for interesting
+	// requests (error, breaker trip, latency past the threshold) under the
+	// configured memory bound.
+	TailSampling *obs.TailConfig
 }
 
 // DefaultFunction serves the request-handler workload the serving
@@ -81,6 +108,26 @@ func DefaultFunction() FunctionConfig {
 		MaxConcurrency: 4,
 		QueueDepth:     64,
 		QueueDeadline:  time.Second,
+	}
+}
+
+// DefaultSLOObjectives declares the standard pair over the aggregate
+// dispatcher series: availability (bad = failed + rejected + expired against
+// submitted, per the conservation identity) at `target`, and latency (invoke
+// samples over `latencyThreshold`) at `latencyTarget`.
+func DefaultSLOObjectives(target, latencyTarget float64, latencyThreshold time.Duration) []slo.Objective {
+	return []slo.Objective{
+		{
+			Name: "availability", Kind: slo.Availability, Target: target,
+			BadSeries: []string{
+				"dispatch_failed_total", "dispatch_rejected_total", "dispatch_expired_total",
+			},
+			TotalSeries: "dispatch_submitted_total",
+		},
+		{
+			Name: "latency", Kind: slo.Latency, Target: latencyTarget,
+			LatencySeries: "dispatch_latency_ns", LatencyThreshold: latencyThreshold,
+		},
 	}
 }
 
@@ -104,6 +151,10 @@ func (f *Function) Pool() *serve.Pool { return f.pool }
 
 // Module names the function's workload module.
 func (f *Function) Module() string { return f.cfg.Module }
+
+// Engine exposes the function's wasm engine. Mutations (fault injection for
+// the slo smoke) must run on the bridge loop goroutine via Bridge.Do.
+func (f *Function) Engine() *engine.Engine { return f.eng }
 
 // Server is the gateway: it owns the simulated cluster (control plane, its
 // own DES engine driven synchronously under a mutex) and the serving bridge
@@ -134,10 +185,16 @@ type Server struct {
 	draining atomic.Bool
 	started  time.Time
 
+	// db and sloEng are nil when sampling / SLOs are disabled; their methods
+	// no-op on nil receivers so the hot path needs no branches.
+	db     *tsdb.DB
+	sloEng *slo.Engine
+
 	obsHTTPReqs   *obs.Counter
 	obsHTTPErrs   *obs.Counter
 	obsWallNs     *obs.Histogram
 	obsBridgeBusy *obs.Counter
+	obsWindows    *obs.Counter
 }
 
 // New builds a gateway: simulated cluster, one engine+pool+dispatcher per
@@ -165,6 +222,42 @@ func New(cfg Config) (*Server, error) {
 	sim := des.NewEngine()
 	if tr := tele.Tracer(); tr != nil {
 		tr.SetClock(func() int64 { return int64(sim.Now()) })
+		tr.SetTailSampling(cfg.TailSampling)
+	}
+	obs.StampBuildInfo(tele.Metrics())
+
+	// Windowed sampling + SLO engine: the tsdb closes windows as the bridge
+	// loop advances virtual time; the SLO engine evaluates inside the same
+	// OnWindow hook, so alert transitions land at deterministic sim times.
+	var db *tsdb.DB
+	var sloEng *slo.Engine
+	obsWindows := tele.Counter("tsdb_windows_total")
+	if cfg.SampleInterval > 0 {
+		var hook func(*tsdb.Window)
+		db = tsdb.New(tsdb.Config{
+			Interval: cfg.SampleInterval,
+			Capacity: cfg.SampleCapacity,
+			OnWindow: func(w *tsdb.Window) {
+				obsWindows.Inc()
+				if hook != nil {
+					hook(w)
+				}
+			},
+		})
+		trackDefaultSeries(db, tele)
+		if len(cfg.SLOObjectives) > 0 {
+			sloEng = slo.New(slo.Config{
+				DB:         db,
+				Objectives: cfg.SLOObjectives,
+				BaseWindow: cfg.SLOBaseWindow,
+				Telemetry:  tele,
+			})
+			hook = sloEng.Evaluate
+		}
+		cfg.Bridge.Sampler = db.Advance
+		if cfg.Bridge.SamplerTick <= 0 && cfg.Bridge.Dilation > 0 {
+			cfg.Bridge.SamplerTick = time.Duration(float64(cfg.SampleInterval) * cfg.Bridge.Dilation)
+		}
 	}
 
 	s := &Server{
@@ -176,11 +269,14 @@ func New(cfg Config) (*Server, error) {
 		router:     serve.NewRouter(sim, serve.RouterConfig{}),
 		containers: map[string]*k8s.Pod{},
 		started:    time.Now(),
+		db:         db,
+		sloEng:     sloEng,
 
 		obsHTTPReqs:   tele.Counter("gateway_http_requests_total"),
 		obsHTTPErrs:   tele.Counter("gateway_http_errors_total"),
 		obsWallNs:     tele.Histogram("gateway_wall_latency_ns"),
 		obsBridgeBusy: tele.Counter("gateway_bridge_busy_total"),
+		obsWindows:    obsWindows,
 	}
 	s.router.SetObserver(tele)
 	empty := map[string]*Function{}
@@ -199,6 +295,27 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.routes()
 	return s, nil
+}
+
+// trackDefaultSeries registers the aggregate serving series with the tsdb.
+// Dispatcher metrics are registry-shared across every function's dispatcher
+// (same names resolve the same handles), so these windows describe the whole
+// gateway — which is also what the default SLO objectives consume.
+func trackDefaultSeries(db *tsdb.DB, tele *obs.Telemetry) {
+	for _, name := range []string{
+		"dispatch_submitted_total", "dispatch_completed_total",
+		"dispatch_rejected_total", "dispatch_expired_total",
+		"dispatch_failed_total", "dispatch_retries_total",
+		"gateway_http_requests_total", "gateway_http_errors_total",
+	} {
+		db.TrackCounter(name, tele.Counter(name))
+	}
+	for _, name := range []string{"dispatch_queue_depth", "dispatch_in_flight"} {
+		db.TrackGauge(name, tele.Gauge(name))
+	}
+	for _, name := range []string{"dispatch_latency_ns", "dispatch_queue_wait_ns"} {
+		db.TrackHistogram(name, tele.Histogram(name))
+	}
 }
 
 // addFunction builds one function on the next round-robin node, registers
@@ -330,6 +447,12 @@ func (s *Server) Bridge() *Bridge { return s.bridge }
 // Router exposes the sharded dispatch layer (for introspection and tests).
 func (s *Server) Router() *serve.Router { return s.router }
 
+// TimeSeries exposes the windowed metrics store (nil when sampling is off).
+func (s *Server) TimeSeries() *tsdb.DB { return s.db }
+
+// SLO exposes the burn-rate engine (nil when disabled).
+func (s *Server) SLO() *slo.Engine { return s.sloEng }
+
 // Shutdown drains the gateway: the health check flips to draining, every
 // dispatcher refuses new work with ErrDraining, the bridge flushes accepted
 // submissions to their final results, and the loop stops. In-flight
@@ -353,6 +476,8 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/timeseries", s.handleTimeSeries)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	s.mux = mux
 }
 
@@ -379,16 +504,75 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.obsHTTPErrs.Inc()
 	}
 	if s.logger != nil {
-		reqID := sw.Header().Get("X-Request-Id")
-		tid := sw.Header().Get("X-Trace-Tid")
-		line := fmt.Sprintf("%s %s %d req_id=%s tid=%s wall=%s",
-			r.Method, r.URL.Path, sw.status, reqID, tid, wall)
-		// Shard pressure as sampled at admission (lock-free accessors).
-		if q := sw.Header().Get("X-Queue-Len"); q != "" {
-			line += " q=" + q + " in_flight=" + sw.Header().Get("X-In-Flight")
+		if s.cfg.AccessLogFormat == "json" {
+			s.logger.Print(jsonAccessLine(r, sw, wall))
+		} else {
+			reqID := sw.Header().Get("X-Request-Id")
+			tid := sw.Header().Get("X-Trace-Tid")
+			line := fmt.Sprintf("%s %s %d req_id=%s tid=%s wall=%s",
+				r.Method, r.URL.Path, sw.status, reqID, tid, wall)
+			// Shard pressure as sampled at admission (lock-free accessors).
+			if q := sw.Header().Get("X-Queue-Len"); q != "" {
+				line += " q=" + q + " in_flight=" + sw.Header().Get("X-In-Flight")
+			}
+			s.logger.Print(line)
 		}
-		s.logger.Print(line)
 	}
+}
+
+// accessRecord is one JSON access-log line. Invoke-only fields stay pointers
+// so non-invoke requests (introspection, metrics) log compact objects.
+type accessRecord struct {
+	Method       string   `json:"method"`
+	Path         string   `json:"path"`
+	Status       int      `json:"status"`
+	WallMs       float64  `json:"wall_ms"`
+	RequestID    string   `json:"request_id,omitempty"`
+	TraceTID     string   `json:"trace_tid,omitempty"`
+	Module       string   `json:"module,omitempty"`
+	QueueLen     *int     `json:"queue_len,omitempty"`
+	InFlight     *int     `json:"in_flight,omitempty"`
+	SimLatencyMs *float64 `json:"sim_latency_ms,omitempty"`
+	Cold         *bool    `json:"cold,omitempty"`
+	TraceSampled *bool    `json:"trace_sampled,omitempty"`
+}
+
+// jsonAccessLine renders one request as a JSON object, reading the
+// per-request facts the invoke handler mirrored into response headers.
+func jsonAccessLine(r *http.Request, sw *statusWriter, wall time.Duration) string {
+	rec := accessRecord{
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Status:    sw.status,
+		WallMs:    float64(wall) / 1e6,
+		RequestID: sw.Header().Get("X-Request-Id"),
+		TraceTID:  sw.Header().Get("X-Trace-Tid"),
+	}
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/v1/functions/"); ok {
+		rec.Module = rest
+	}
+	if q := sw.Header().Get("X-Queue-Len"); q != "" {
+		var ql, fl int
+		fmt.Sscanf(q, "%d", &ql)
+		fmt.Sscanf(sw.Header().Get("X-In-Flight"), "%d", &fl)
+		rec.QueueLen, rec.InFlight = &ql, &fl
+	}
+	if v := sw.Header().Get("X-Sim-Latency-Ms"); v != "" {
+		var ms float64
+		fmt.Sscanf(v, "%f", &ms)
+		rec.SimLatencyMs = &ms
+		cold := sw.Header().Get("X-Cold") == "true"
+		rec.Cold = &cold
+	}
+	if v := sw.Header().Get("X-Trace-Sampled"); v != "" {
+		sampled := v == "true"
+		rec.TraceSampled = &sampled
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Sprintf(`{"method":%q,"path":%q,"status":%d}`, r.Method, r.URL.Path, sw.status)
+	}
+	return string(b)
 }
 
 // InvokeResponse is the success body of POST /v1/functions/{module}.
@@ -401,6 +585,7 @@ type InvokeResponse struct {
 	QueueWaitMs  float64 `json:"queue_wait_ms"`
 	RetryWaitMs  float64 `json:"retry_wait_ms"`
 	PayloadBytes int64   `json:"payload_bytes"`
+	TraceSampled bool    `json:"trace_sampled"`
 }
 
 // maxPayloadBytes bounds an invoke request body.
@@ -462,6 +647,10 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		writeError(w, MapError(err, fn.hints()), err)
 		return
 	}
+	// Sampled-trace flag before the error branch: failed invocations are
+	// exactly the ones the tail sampler keeps, and the access log wants the
+	// flag either way.
+	w.Header().Set("X-Trace-Sampled", fmt.Sprintf("%t", res.TraceSampled))
 	if res.Err != nil {
 		writeError(w, MapError(res.Err, fn.hints()), res.Err)
 		return
@@ -477,6 +666,7 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		QueueWaitMs:  float64(res.QueueWait) / 1e6,
 		RetryWaitMs:  float64(res.RetryWait) / 1e6,
 		PayloadBytes: int64(len(payload)),
+		TraceSampled: res.TraceSampled,
 	})
 }
 
@@ -536,6 +726,41 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	_ = obs.WriteChromeTrace(w, s.tele.Tracer().Spans())
 }
 
+// TimeSeriesResponse is the body of GET /v1/timeseries.
+type TimeSeriesResponse struct {
+	IntervalNs int64          `json:"interval_ns"`
+	Stats      tsdb.Stats     `json:"stats"`
+	Windows    []*tsdb.Window `json:"windows"`
+}
+
+// handleTimeSeries serves the retained windows. The read is lock-free
+// (atomically published immutable windows), so scraping it cannot stall the
+// bridge loop; at dilation 0 the same request script always yields
+// byte-identical bodies.
+func (s *Server) handleTimeSeries(w http.ResponseWriter, r *http.Request) {
+	if s.db == nil {
+		writeError(w, ErrorMapping{http.StatusNotFound, "timeseries_disabled", 0},
+			errors.New("gateway: time-series sampling disabled (set SampleInterval)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, TimeSeriesResponse{
+		IntervalNs: s.db.Interval(),
+		Stats:      s.db.Stats(),
+		Windows:    s.db.Windows(0),
+	})
+}
+
+// handleSLO serves the burn-rate engine state: objectives, budgets, and
+// alert states with their long/short window burns.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.sloEng == nil {
+		writeError(w, ErrorMapping{http.StatusNotFound, "slo_disabled", 0},
+			errors.New("gateway: SLO engine disabled (set SampleInterval and SLOObjectives)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sloEng.Status())
+}
+
 // NodeStatus is one node of GET /v1/cluster.
 type NodeStatus struct {
 	Name            string `json:"name"`
@@ -578,6 +803,8 @@ type ClusterStatus struct {
 	Functions  []FunctionStatus `json:"functions"`
 	Router     RouterStatus     `json:"router"`
 	Containers int              `json:"containers"`
+	// SLO carries live burn-rate state when the SLO engine is enabled.
+	SLO *slo.Status `json:"slo,omitempty"`
 }
 
 // handleCluster is the introspection surface: node memory from the
@@ -637,5 +864,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sort.Slice(st.Functions, func(i, j int) bool { return st.Functions[i].Module < st.Functions[j].Module })
+	if s.sloEng != nil {
+		sloStatus := s.sloEng.Status()
+		st.SLO = &sloStatus
+	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		PID  int64   `json:"pid"`
+		TID  int64   `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func decodeChrome(t *testing.T, spans []Span) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+// TestChromeTraceNestedSpans checks that fully-nested intervals on one track
+// export with containment preserved in microseconds — the property the trace
+// viewer's flame layout depends on.
+func TestChromeTraceNestedSpans(t *testing.T) {
+	tr := NewTracer(8, func() int64 { return 0 })
+	tr.Span("request", "serve", 3, 1000, 9000)
+	tr.Span("queue-wait", "serve", 3, 1000, 3000)
+	tr.Span("invoke", "serve", 3, 3000, 8500)
+	doc := decodeChrome(t, tr.Spans())
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+	outer := doc.TraceEvents[0]
+	for _, inner := range doc.TraceEvents[1:] {
+		if inner.TID != outer.TID {
+			t.Fatalf("nested span moved track: %+v vs %+v", inner, outer)
+		}
+		if inner.TS < outer.TS || inner.TS+inner.Dur > outer.TS+outer.Dur {
+			t.Fatalf("nesting broken after µs conversion: %+v not inside %+v", inner, outer)
+		}
+	}
+}
+
+// TestChromeTraceUnfinishedSpan: an interval still open when exported (end
+// clamped to start by the emitter) must render as a zero-duration complete
+// event, not be dropped or given negative duration.
+func TestChromeTraceUnfinishedSpan(t *testing.T) {
+	tr := NewTracer(8, func() int64 { return 0 })
+	tr.Span("stuck-invoke", "serve", 4, 5000, 4000) // end < start clamps
+	doc := decodeChrome(t, tr.Spans())
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("events = %d, want 1", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Dur != 0 || ev.TS != 5 || ev.Ph != "X" {
+		t.Fatalf("unfinished span = %+v, want dur 0 at ts 5", ev)
+	}
+}
+
+// TestChromeTraceRingWrapTruncation: when the ring wraps, the export contains
+// exactly the retained suffix, oldest-first, with no partial or duplicated
+// events.
+func TestChromeTraceRingWrapTruncation(t *testing.T) {
+	tr := NewTracer(4, func() int64 { return 0 })
+	for i := int64(1); i <= 10; i++ {
+		tr.Span("s", "c", i, i*100, i*100+50)
+	}
+	doc := decodeChrome(t, tr.Spans())
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want ring capacity 4", len(doc.TraceEvents))
+	}
+	for i, ev := range doc.TraceEvents {
+		wantTID := int64(7 + i) // spans 7..10 survive the wrap
+		if ev.TID != wantTID || ev.TS != float64(wantTID*100)/1e3 {
+			t.Fatalf("event %d = %+v, want tid %d", i, ev, wantTID)
+		}
+	}
+}
+
+// TestChromeTraceTIDCorrelationAfterTailDrop: after the tail sampler drops a
+// healthy track, the export must contain every span of the kept track on its
+// own TID and zero spans from the dropped TID — no cross-track bleed.
+func TestChromeTraceTIDCorrelationAfterTailDrop(t *testing.T) {
+	tr := NewTracer(16, func() int64 { return 0 })
+	tr.SetTailSampling(&TailConfig{})
+	for _, tid := range []int64{11, 12} {
+		tr.Span("queue-wait", "serve", tid, 0, 10)
+		tr.Span("invoke", "serve", tid, 10, 40)
+	}
+	tr.Span("breaker-open", "breaker", 0, 15, 15) // tid-0 commits immediately
+	tr.FinishTrack(11, TrackOutcome{Err: true})
+	tr.FinishTrack(12, TrackOutcome{})
+	doc := decodeChrome(t, tr.Spans())
+	perTID := map[int64]int{}
+	for _, ev := range doc.TraceEvents {
+		perTID[ev.TID]++
+	}
+	if perTID[11] != 2 || perTID[12] != 0 || perTID[0] != 1 {
+		t.Fatalf("per-TID events = %v, want 2 on tid 11, 0 on tid 12, 1 on tid 0", perTID)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+}
+
+// TestChromeTraceEmpty: an empty span set still yields a valid document with
+// an empty (non-null) event array.
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents":[]`)) {
+		t.Fatalf("empty trace = %s", buf.String())
+	}
+}

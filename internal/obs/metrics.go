@@ -236,6 +236,64 @@ func BucketWidth(v int64) int64 {
 	return hi - lo + 1
 }
 
+// NumBuckets is the fixed bucket count shared by every Histogram. Windowed
+// consumers (the tsdb sampler) size their per-window copies with it.
+func NumBuckets() int { return histBuckets }
+
+// BucketRange returns the inclusive [lo, hi] value range of bucket idx in the
+// shared layout.
+func BucketRange(idx int) (lo, hi int64) { return bucketBounds(idx) }
+
+// ReadBuckets copies the raw (non-cumulative) bucket counts into dst, which
+// must have at least NumBuckets elements, and returns the total count and
+// sum. All reads are atomic loads — no lock, no allocation — so the tsdb
+// sample path can snapshot a live histogram while writers keep recording.
+// Nil-safe: a nil histogram zeroes dst and returns (0, 0).
+func (h *Histogram) ReadBuckets(dst []int64) (count, sum int64) {
+	if h == nil {
+		for i := range dst[:histBuckets] {
+			dst[i] = 0
+		}
+		return 0, 0
+	}
+	for i := 0; i < histBuckets; i++ {
+		dst[i] = h.counts[i].Load()
+	}
+	return h.count.Load(), h.sum.Load()
+}
+
+// QuantileOf estimates the q-quantile of a sample set described by raw
+// bucket counts in the shared layout (typically a window delta of two
+// ReadBuckets snapshots). The estimate is the midpoint of the bucket holding
+// the sample of that rank — within one bucket width of the exact order
+// statistic, without the live histogram's min/max clamp (window deltas have
+// no subtractable min/max).
+func QuantileOf(buckets []int64, q float64) int64 {
+	var total int64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, n := range buckets {
+		cum += n
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			return lo + (hi-lo)/2
+		}
+	}
+	return 0
+}
+
 // NamedValue is one counter or gauge in a snapshot.
 type NamedValue struct {
 	Name  string `json:"name"`

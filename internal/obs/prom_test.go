@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden locks the full exposition format — HELP/TYPE
+// headers, sorted label sets, histogram series, build info — against a golden
+// file. The toolchain-dependent go_version label is normalized before
+// comparison so the golden file is stable across Go releases.
+func TestWritePrometheusGolden(t *testing.T) {
+	tele := New(Config{})
+	StampBuildInfo(tele.Metrics())
+	// Labels added in reverse key order: the exporter must sort them.
+	tele.Counter(Labeled(Labeled("dispatch_completed_total", "module", "echo"), "engine", "wamr")).Add(7)
+	tele.Counter(Labeled(Labeled("dispatch_completed_total", "module", "fib"), "engine", "wamr")).Add(2)
+	tele.Counter("dispatch_submitted_total").Add(9)
+	tele.Gauge("dispatch_queue_depth").Set(3)
+	h := tele.Histogram(Labeled("dispatch_latency_ns", "module", "echo"))
+	h.Record(5)
+	h.Record(5)
+	h.Record(900)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, tele.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.ReplaceAll(buf.String(), runtime.Version(), "GOVERSION")
+
+	golden := filepath.Join("testdata", "prom_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSortLabels(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", ""},
+		{`a="1"`, `a="1"`},
+		{`b="2",a="1"`, `a="1",b="2"`},
+		{`z="9",m="5",a="1"`, `a="1",m="5",z="9"`},
+		// Quoted commas and escaped quotes must not split pairs.
+		{`b="x,y",a="1"`, `a="1",b="x,y"`},
+		{`b="x\",z=\"w",a="1"`, `a="1",b="x\",z=\"w"`},
+	} {
+		if got := sortLabels(tc.in); got != tc.want {
+			t.Errorf("sortLabels(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStampBuildInfo(t *testing.T) {
+	StampBuildInfo(nil) // nil registry must no-op
+	tele := New(Config{})
+	StampBuildInfo(tele.Metrics())
+	snap := tele.Snapshot()
+	if len(snap.Gauges) != 1 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+	g := snap.Gauges[0]
+	if g.Value != 1 ||
+		!strings.HasPrefix(g.Name, "continuum_build_info{") ||
+		!strings.Contains(g.Name, `version="`+Version+`"`) ||
+		!strings.Contains(g.Name, `go_version="`+runtime.Version()+`"`) {
+		t.Fatalf("build info gauge = %+v", g)
+	}
+}

@@ -1,0 +1,453 @@
+// Package slo layers service-level objectives on the tsdb time series:
+// declared objectives (availability from counter pairs, latency from
+// histogram windows), error-budget accounting, and classic multi-window
+// multi-burn-rate alerting (the 14.4x/1h + 6x/6h page/ticket pattern, with
+// windows scaled down to simulation time).
+//
+// Burn rate is the ratio of the observed bad-event fraction to the budget the
+// objective allows: a 99.9% availability target leaves a 0.1% budget, so a
+// 1.44% bad fraction burns at 14.4x — at that pace a 30-day budget is gone in
+// ~2 days, which is what makes it the canonical paging threshold. An alert
+// fires only when both its long and short windows burn past the threshold:
+// the long window proves the problem is sustained, the short window proves it
+// is still happening, so recoveries clear quickly.
+//
+// Evaluate runs on the sampling goroutine (tsdb's OnWindow hook) after each
+// window closes; alert state is mirrored into gauges/counters and spans on
+// transitions, and Status() serves concurrent HTTP readers under an internal
+// lock.
+package slo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/obs/tsdb"
+)
+
+// Severity ranks an alert rule.
+type Severity string
+
+const (
+	// Page severity means "wake a human now": fast burn that exhausts the
+	// budget within hours.
+	Page Severity = "page"
+	// Ticket severity means "look during business hours": slow sustained
+	// burn.
+	Ticket Severity = "ticket"
+)
+
+// Kind selects how an objective derives its bad-event fraction.
+type Kind string
+
+const (
+	// Availability objectives compare a bad-event counter against a total
+	// counter window by window.
+	Availability Kind = "availability"
+	// Latency objectives count histogram samples above a threshold as bad
+	// events.
+	Latency Kind = "latency"
+)
+
+// Rule is one burn-rate alert: fire when both the long and the short trailing
+// windows burn faster than BurnRate.
+type Rule struct {
+	Severity Severity      `json:"severity"`
+	BurnRate float64       `json:"burn_rate"`
+	Long     time.Duration `json:"long_ns"`
+	Short    time.Duration `json:"short_ns"`
+}
+
+// DefaultRules scales the canonical production pair (14.4x over 1h/5m pages,
+// 6x over 6h/30m tickets) onto a base window: pass the simulation's
+// evaluation horizon (e.g. 2s of sim time) as `hour` and the windows keep
+// their 12:1 long:short shape.
+func DefaultRules(hour time.Duration) []Rule {
+	return []Rule{
+		{Severity: Page, BurnRate: 14.4, Long: hour, Short: hour / 12},
+		{Severity: Ticket, BurnRate: 6, Long: 6 * hour, Short: hour / 2},
+	}
+}
+
+// Objective declares one SLO.
+type Objective struct {
+	// Name identifies the objective in gauges, spans, and status JSON.
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Target is the good fraction promised, e.g. 0.999. The error budget is
+	// 1 - Target.
+	Target float64 `json:"target"`
+
+	// BadSeries and TotalSeries name tsdb counter series for Availability
+	// objectives: bad fraction = sum(all BadSeries) / sum(Total) per window
+	// span. Multiple bad series let the dispatcher's conservation split
+	// (failed + rejected + expired) count as one bad stream.
+	BadSeries   []string `json:"bad_series,omitempty"`
+	TotalSeries string   `json:"total_series,omitempty"`
+
+	// LatencySeries names a tsdb histogram series for Latency objectives;
+	// samples above LatencyThreshold are bad events.
+	LatencySeries    string        `json:"latency_series,omitempty"`
+	LatencyThreshold time.Duration `json:"latency_threshold_ns,omitempty"`
+
+	// Rules are the burn-rate alerts; nil means DefaultRules scaled to the
+	// engine's base window.
+	Rules []Rule `json:"rules,omitempty"`
+}
+
+// AlertState is one rule's live state within an objective.
+type AlertState struct {
+	Severity  Severity `json:"severity"`
+	BurnRate  float64  `json:"burn_rate"`
+	LongNs    int64    `json:"long_ns"`
+	ShortNs   int64    `json:"short_ns"`
+	Firing    bool     `json:"firing"`
+	LongBurn  float64  `json:"long_burn"`
+	ShortBurn float64  `json:"short_burn"`
+	// SinceNs is the sim time of the last transition (fire or clear).
+	SinceNs int64 `json:"since_ns,omitempty"`
+	// Transitions counts fire+clear edges.
+	Transitions int64 `json:"transitions"`
+}
+
+// ObjectiveStatus is one objective's live state.
+type ObjectiveStatus struct {
+	Name   string  `json:"name"`
+	Kind   Kind    `json:"kind"`
+	Target float64 `json:"target"`
+	// BadTotal/GoodTotal account the whole run (error budget bookkeeping).
+	BadTotal   int64 `json:"bad_total"`
+	EventTotal int64 `json:"event_total"`
+	// BudgetRemaining is the fraction of the error budget left, 1 when no
+	// events yet, clamped at 0.
+	BudgetRemaining float64      `json:"budget_remaining"`
+	Alerts          []AlertState `json:"alerts"`
+}
+
+// Status is the engine's live state, served by /v1/slo.
+type Status struct {
+	EvaluatedWindows int64             `json:"evaluated_windows"`
+	Objectives       []ObjectiveStatus `json:"objectives"`
+}
+
+// objective is the engine-internal state for one declared Objective.
+type objective struct {
+	decl   Objective
+	alerts []*alert
+
+	badTotal   int64
+	eventTotal int64
+
+	burnGauge   *obs.Gauge
+	budgetGauge *obs.Gauge
+}
+
+type alert struct {
+	rule        Rule
+	firing      bool
+	longBurn    float64
+	shortBurn   float64
+	sinceNs     int64
+	transitions int64
+
+	firingGauge *obs.Gauge
+	transCtr    *obs.Counter
+}
+
+// Config shapes an Engine.
+type Config struct {
+	// DB is the windowed series source. Required.
+	DB *tsdb.DB
+	// Objectives to evaluate. Required non-empty.
+	Objectives []Objective
+	// BaseWindow scales DefaultRules for objectives that declare none; 0
+	// means 1 hour (production time).
+	BaseWindow time.Duration
+	// Telemetry receives the slo_burn_rate_milli / slo_alert_firing /
+	// slo_budget_remaining_milli gauges, transition counters, and transition
+	// spans. Optional.
+	Telemetry *obs.Telemetry
+}
+
+// Engine evaluates objectives after each tsdb window closes. A nil *Engine is
+// the disabled state.
+type Engine struct {
+	db   *tsdb.DB
+	tele *obs.Telemetry
+
+	// mu guards the mutable evaluation state against concurrent Status
+	// readers; Evaluate itself stays single-caller (the sampling goroutine).
+	mu         sync.Mutex
+	objectives []*objective
+	evaluated  int64
+}
+
+// New builds an Engine. Returns nil (disabled) when cfg.DB is nil or no
+// objectives are declared.
+func New(cfg Config) *Engine {
+	if cfg.DB == nil || len(cfg.Objectives) == 0 {
+		return nil
+	}
+	base := cfg.BaseWindow
+	if base <= 0 {
+		base = time.Hour
+	}
+	e := &Engine{db: cfg.DB, tele: cfg.Telemetry}
+	for _, decl := range cfg.Objectives {
+		if decl.Target <= 0 || decl.Target >= 1 {
+			continue
+		}
+		o := &objective{decl: decl}
+		if len(o.decl.Rules) == 0 {
+			o.decl.Rules = DefaultRules(base)
+		}
+		if cfg.Telemetry != nil {
+			m := cfg.Telemetry.Metrics()
+			o.burnGauge = m.Gauge(obs.Labeled("slo_burn_rate_milli", "objective", decl.Name))
+			o.budgetGauge = m.Gauge(obs.Labeled("slo_budget_remaining_milli", "objective", decl.Name))
+			o.budgetGauge.Set(1000)
+		}
+		for _, r := range o.decl.Rules {
+			a := &alert{rule: r}
+			if cfg.Telemetry != nil {
+				m := cfg.Telemetry.Metrics()
+				name := obs.Labeled(obs.Labeled("slo_alert_firing", "objective", decl.Name),
+					"severity", string(r.Severity))
+				a.firingGauge = m.Gauge(name)
+				a.transCtr = m.Counter(obs.Labeled(obs.Labeled("slo_alert_transitions_total",
+					"objective", decl.Name), "severity", string(r.Severity)))
+			}
+			o.alerts = append(o.alerts, a)
+		}
+		e.objectives = append(e.objectives, o)
+	}
+	if len(e.objectives) == 0 {
+		return nil
+	}
+	return e
+}
+
+// badFraction computes an objective's bad-event fraction and totals over the
+// trailing span ending at the newest window.
+func (e *Engine) badFraction(o *objective, span time.Duration) (frac float64, bad, total int64) {
+	switch o.decl.Kind {
+	case Availability:
+		ws := windowsCovering(e.db, span)
+		for _, w := range ws {
+			for _, c := range w.Counters {
+				for _, name := range o.decl.BadSeries {
+					if c.Name == name {
+						bad += c.Delta
+						break
+					}
+				}
+				if c.Name == o.decl.TotalSeries {
+					total += c.Delta
+				}
+			}
+		}
+	case Latency:
+		ws := windowsCovering(e.db, span)
+		thr := int64(o.decl.LatencyThreshold)
+		for _, w := range ws {
+			for _, h := range w.Histograms {
+				if h.Name != o.decl.LatencySeries {
+					continue
+				}
+				total += h.CountDelta
+				for _, b := range h.Buckets {
+					if lo, _ := obs.BucketRange(b.Idx); lo > thr {
+						bad += b.Count
+					}
+				}
+				break
+			}
+		}
+	}
+	if total == 0 {
+		return 0, bad, total
+	}
+	return float64(bad) / float64(total), bad, total
+}
+
+// accumulate adds one closed window's deltas to the objective's cumulative
+// error-budget totals.
+func (o *objective) accumulate(w *tsdb.Window) {
+	switch o.decl.Kind {
+	case Availability:
+		for _, c := range w.Counters {
+			for _, name := range o.decl.BadSeries {
+				if c.Name == name {
+					o.badTotal += c.Delta
+					break
+				}
+			}
+			if c.Name == o.decl.TotalSeries {
+				o.eventTotal += c.Delta
+			}
+		}
+	case Latency:
+		thr := int64(o.decl.LatencyThreshold)
+		for _, h := range w.Histograms {
+			if h.Name != o.decl.LatencySeries {
+				continue
+			}
+			o.eventTotal += h.CountDelta
+			for _, b := range h.Buckets {
+				if lo, _ := obs.BucketRange(b.Idx); lo > thr {
+					o.badTotal += b.Count
+				}
+			}
+			break
+		}
+	}
+}
+
+// windowsCovering returns the retained windows intersecting the trailing span.
+func windowsCovering(db *tsdb.DB, span time.Duration) []*tsdb.Window {
+	ws := db.Windows(0)
+	if len(ws) == 0 || span <= 0 {
+		return ws
+	}
+	cutoff := ws[len(ws)-1].End - int64(span)
+	lo := 0
+	for lo < len(ws) && ws[lo].End <= cutoff {
+		lo++
+	}
+	return ws[lo:]
+}
+
+// Evaluate runs every objective's rules against the series as of window w.
+// Wire it as the tsdb OnWindow hook; it is not safe for concurrent callers
+// (Status readers are fine).
+func (e *Engine) Evaluate(w *tsdb.Window) {
+	if e == nil || w == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evaluated++
+	now := w.End
+	for _, o := range e.objectives {
+		budget := 1 - o.decl.Target
+		// Error-budget accounting is cumulative: fold in this window's deltas
+		// exactly once as it closes. Rescanning the ring instead would
+		// silently truncate the budget to the last Capacity windows.
+		o.accumulate(w)
+		if o.budgetGauge != nil {
+			o.budgetGauge.Set(int64(budgetRemaining(o.badTotal, o.eventTotal, budget) * 1000))
+		}
+		var maxLong float64
+		for _, a := range o.alerts {
+			longFrac, _, longTotal := e.badFraction(o, a.rule.Long)
+			shortFrac, _, shortTotal := e.badFraction(o, a.rule.Short)
+			a.longBurn = longFrac / budget
+			a.shortBurn = shortFrac / budget
+			if a.longBurn > maxLong {
+				maxLong = a.longBurn
+			}
+			firing := longTotal > 0 && shortTotal > 0 &&
+				a.longBurn >= a.rule.BurnRate && a.shortBurn >= a.rule.BurnRate
+			if firing != a.firing {
+				a.firing = firing
+				a.sinceNs = now
+				a.transitions++
+				if a.transCtr != nil {
+					a.transCtr.Inc()
+				}
+				if a.firingGauge != nil {
+					if firing {
+						a.firingGauge.Set(1)
+					} else {
+						a.firingGauge.Set(0)
+					}
+				}
+				if tr := e.tele.Tracer(); tr != nil {
+					verb := "clear"
+					if firing {
+						verb = "fire"
+					}
+					tr.Span(fmt.Sprintf("slo-%s-%s", a.rule.Severity, verb), "slo", 0, now, now,
+						obs.Str("objective", o.decl.Name),
+						obs.I64("long_burn_milli", int64(a.longBurn*1000)),
+						obs.I64("short_burn_milli", int64(a.shortBurn*1000)))
+				}
+			}
+		}
+		if o.burnGauge != nil {
+			o.burnGauge.Set(int64(maxLong * 1000))
+		}
+	}
+}
+
+// budgetRemaining is the fraction of the error budget left given whole-run
+// totals, clamped to [0, 1]; 1 before any events.
+func budgetRemaining(bad, total int64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 1
+	}
+	rem := 1 - (float64(bad)/float64(total))/budget
+	if rem < 0 {
+		return 0
+	}
+	if rem > 1 {
+		return 1
+	}
+	return rem
+}
+
+// Status snapshots the engine for JSON serving; safe for concurrent readers.
+// Nil engines report an empty status.
+func (e *Engine) Status() Status {
+	if e == nil {
+		return Status{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Status{EvaluatedWindows: e.evaluated}
+	for _, o := range e.objectives {
+		os := ObjectiveStatus{
+			Name:            o.decl.Name,
+			Kind:            o.decl.Kind,
+			Target:          o.decl.Target,
+			BadTotal:        o.badTotal,
+			EventTotal:      o.eventTotal,
+			BudgetRemaining: budgetRemaining(o.badTotal, o.eventTotal, 1-o.decl.Target),
+		}
+		for _, a := range o.alerts {
+			os.Alerts = append(os.Alerts, AlertState{
+				Severity:    a.rule.Severity,
+				BurnRate:    a.rule.BurnRate,
+				LongNs:      int64(a.rule.Long),
+				ShortNs:     int64(a.rule.Short),
+				Firing:      a.firing,
+				LongBurn:    a.longBurn,
+				ShortBurn:   a.shortBurn,
+				SinceNs:     a.sinceNs,
+				Transitions: a.transitions,
+			})
+		}
+		st.Objectives = append(st.Objectives, os)
+	}
+	return st
+}
+
+// Firing reports whether any rule at the given severity is currently firing
+// (any severity when sev is empty).
+func (e *Engine) Firing(sev Severity) bool {
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, o := range e.objectives {
+		for _, a := range o.alerts {
+			if a.firing && (sev == "" || a.rule.Severity == sev) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -33,6 +33,67 @@ type Span struct {
 	Attrs []Attr
 }
 
+// TailConfig shapes tail-based sampling: spans on a request track (TID != 0)
+// are buffered until the request's outcome is known, and only interesting
+// tracks — errors, breaker trips, latency outliers — are committed to the
+// ring. Healthy traffic stops wrapping the ring, so under sustained load
+// /v1/trace keeps showing the requests worth looking at.
+type TailConfig struct {
+	// LatencyThreshold keeps tracks whose reported latency exceeds it; 0
+	// keeps only errored or breaker-tripped tracks.
+	LatencyThreshold time.Duration
+	// MaxBufferedSpans is the hard memory bound on undecided spans across
+	// all pending tracks; 0 means DefaultTailBufferedSpans. When a new span
+	// would exceed it, the oldest pending track is evicted (its spans are
+	// lost and counted in TailStats.EvictedTracks).
+	MaxBufferedSpans int
+	// MaxTrackSpans bounds one track's buffered spans; 0 means
+	// DefaultTailTrackSpans. Extra spans are dropped and counted in
+	// TailStats.TruncatedSpans.
+	MaxTrackSpans int
+}
+
+// Tail sampler defaults: generous for a per-request span count of ~4-6 while
+// keeping the undecided buffer a fixed, small multiple of the in-flight set.
+const (
+	DefaultTailBufferedSpans = 4096
+	DefaultTailTrackSpans    = 64
+)
+
+// TrackOutcome carries the request facts the tail sampler decides on.
+type TrackOutcome struct {
+	// Err marks a request whose final outcome was an error.
+	Err bool
+	// BreakerTripped marks a request that ran while the circuit breaker was
+	// not closed (its failure opened it, or it was the half-open probe).
+	BreakerTripped bool
+	// LatencyNs is the request's end-to-end simulated latency.
+	LatencyNs int64
+}
+
+// TailStats counts tail-sampler activity.
+type TailStats struct {
+	// KeptTracks is the number of finished tracks committed to the ring.
+	KeptTracks int64
+	// SampledOutTracks is the number of healthy tracks dropped at finish.
+	SampledOutTracks int64
+	// EvictedTracks is the number of pending tracks evicted to keep the
+	// undecided buffer under MaxBufferedSpans.
+	EvictedTracks int64
+	// TruncatedSpans is the number of spans dropped by MaxTrackSpans.
+	TruncatedSpans int64
+	// PendingSpans is the current undecided span count (≤ MaxBufferedSpans).
+	PendingSpans int
+	// PendingPeak is the high-water mark of PendingSpans.
+	PendingPeak int
+}
+
+// pendingTrack is one undecided request's buffered spans.
+type pendingTrack struct {
+	tid   int64
+	spans []Span
+}
+
 // Tracer records spans into a fixed-capacity ring buffer: tracing a long
 // load run costs bounded memory, and the newest spans win. The zero-cost
 // disabled path is a nil *Tracer — callers emitting spans must guard with
@@ -45,6 +106,13 @@ type Tracer struct {
 	ring  []Span
 	next  int
 	total int64
+
+	// Tail sampling state (nil tail = every span commits immediately).
+	tail      *TailConfig
+	pending   map[int64]*pendingTrack
+	order     []int64 // track ids in first-span order, for bounded eviction
+	pendingN  int
+	tailStats TailStats
 }
 
 // DefaultTraceCapacity bounds the span ring when no capacity is given:
@@ -98,7 +166,10 @@ func (t *Tracer) SetPID(pid int64) {
 }
 
 // Span records one completed interval [start, end] with optional attributes.
-// end < start is clamped to a zero-duration span.
+// end < start is clamped to a zero-duration span. With tail sampling enabled,
+// spans on a request track (tid != 0) are buffered until FinishTrack decides
+// the track's fate; tid-0 spans (breaker transitions, engine and pool
+// lifecycle) always commit immediately.
 func (t *Tracer) Span(name, cat string, tid, start, end int64, attrs ...Attr) {
 	if t == nil {
 		return
@@ -107,14 +178,160 @@ func (t *Tracer) Span(name, cat string, tid, start, end int64, attrs ...Attr) {
 	if dur < 0 {
 		dur = 0
 	}
-	t.mu.Lock()
-	t.ring[t.next] = Span{
-		Name: name, Cat: cat, PID: t.pid, TID: tid,
+	s := Span{
+		Name: name, Cat: cat, TID: tid,
 		Start: start, Dur: dur, Attrs: attrs,
 	}
+	t.mu.Lock()
+	s.PID = t.pid
+	if t.tail != nil && tid != 0 {
+		t.bufferLocked(s)
+	} else {
+		t.commitLocked(s)
+	}
+	t.mu.Unlock()
+}
+
+// commitLocked writes one decided span into the ring.
+func (t *Tracer) commitLocked(s Span) {
+	t.ring[t.next] = s
 	t.next = (t.next + 1) % len(t.ring)
 	t.total++
-	t.mu.Unlock()
+}
+
+// bufferLocked parks one request span in its pending track, enforcing the
+// per-track and whole-buffer bounds.
+func (t *Tracer) bufferLocked(s Span) {
+	tr, ok := t.pending[s.TID]
+	if !ok {
+		tr = &pendingTrack{tid: s.TID}
+		t.pending[s.TID] = tr
+		t.order = append(t.order, s.TID)
+	}
+	if len(tr.spans) >= t.tail.MaxTrackSpans {
+		t.tailStats.TruncatedSpans++
+		return
+	}
+	tr.spans = append(tr.spans, s)
+	t.pendingN++
+	if t.pendingN > t.tailStats.PendingPeak {
+		t.tailStats.PendingPeak = t.pendingN
+	}
+	// Hard memory bound: evict whole oldest tracks (never the one we just
+	// appended to — its outcome may still prove interesting) until the
+	// undecided buffer fits again.
+	for t.pendingN > t.tail.MaxBufferedSpans {
+		if !t.evictOldestLocked(s.TID) {
+			// Only the current track remains; drop its newest span instead.
+			tr.spans = tr.spans[:len(tr.spans)-1]
+			t.pendingN--
+			t.tailStats.TruncatedSpans++
+			return
+		}
+	}
+}
+
+// evictOldestLocked drops the oldest pending track other than keepTID.
+// Reports false when no such track exists.
+func (t *Tracer) evictOldestLocked(keepTID int64) bool {
+	for i, tid := range t.order {
+		tr, ok := t.pending[tid]
+		if !ok || tid == keepTID { // finished already, or protected
+			continue
+		}
+		t.order = append(t.order[:i], t.order[i+1:]...)
+		delete(t.pending, tid)
+		t.pendingN -= len(tr.spans)
+		t.tailStats.EvictedTracks++
+		return true
+	}
+	return false
+}
+
+// SetTailSampling turns tail-based sampling on (non-nil cfg) or off (nil).
+// Turning it off flushes every pending track to the ring — nothing buffered
+// is lost. Safe to call at any time; typically set once at startup.
+func (t *Tracer) SetTailSampling(cfg *TailConfig) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cfg == nil {
+		for _, tid := range t.order {
+			if tr, ok := t.pending[tid]; ok {
+				for _, s := range tr.spans {
+					t.commitLocked(s)
+				}
+			}
+		}
+		t.tail, t.pending, t.order, t.pendingN = nil, nil, nil, 0
+		return
+	}
+	c := *cfg
+	if c.MaxBufferedSpans <= 0 {
+		c.MaxBufferedSpans = DefaultTailBufferedSpans
+	}
+	if c.MaxTrackSpans <= 0 {
+		c.MaxTrackSpans = DefaultTailTrackSpans
+	}
+	t.tail = &c
+	if t.pending == nil {
+		t.pending = map[int64]*pendingTrack{}
+	}
+}
+
+// FinishTrack settles one request track: interesting outcomes (error,
+// breaker involvement, latency past the threshold) commit the buffered spans
+// to the ring, healthy ones drop them. Reports whether the track was kept.
+// With tail sampling disabled it reports true — every span already
+// committed. Unknown tracks (no spans buffered, e.g. a request refused at
+// admission) settle without effect.
+func (t *Tracer) FinishTrack(tid int64, o TrackOutcome) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tail == nil {
+		return true
+	}
+	keep := o.Err || o.BreakerTripped ||
+		(t.tail.LatencyThreshold > 0 && o.LatencyNs > int64(t.tail.LatencyThreshold))
+	tr, ok := t.pending[tid]
+	if !ok {
+		return keep
+	}
+	delete(t.pending, tid)
+	t.pendingN -= len(tr.spans)
+	for i, id := range t.order {
+		if id == tid {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	if keep {
+		t.tailStats.KeptTracks++
+		for _, s := range tr.spans {
+			t.commitLocked(s)
+		}
+	} else {
+		t.tailStats.SampledOutTracks++
+	}
+	return keep
+}
+
+// TailStats snapshots the tail sampler's counters. Zero when tail sampling
+// was never enabled.
+func (t *Tracer) TailStats() TailStats {
+	if t == nil {
+		return TailStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.tailStats
+	st.PendingSpans = t.pendingN
+	return st
 }
 
 // Spans returns the retained spans oldest-first.

@@ -1,0 +1,125 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/obs"
+)
+
+// TestSummaryRollsUpWindows drives a DB through three windows and checks the
+// rollup: counter totals and rates, gauge ranges, and the per-window p99
+// series the comparator consumes.
+func TestSummaryRollsUpWindows(t *testing.T) {
+	tele := obs.New(obs.Config{})
+	db := New(Config{Interval: time.Second})
+	c := tele.Counter("reqs")
+	g := tele.Gauge("depth")
+	h := tele.Histogram("lat")
+	db.TrackCounter("reqs", c)
+	db.TrackGauge("depth", g)
+	db.TrackHistogram("lat", h)
+
+	if db.Summary() != nil {
+		t.Fatal("summary before first window must be nil")
+	}
+	now := int64(0)
+	step := func(reqs int64, depth int64, lat int64) {
+		c.Add(reqs)
+		g.Set(depth)
+		h.Record(lat)
+		now += int64(time.Second)
+		db.Advance(now)
+	}
+	step(10, 3, int64(time.Millisecond))
+	step(20, 7, int64(time.Millisecond))
+	step(30, 5, int64(100*time.Millisecond))
+
+	s := db.Summary()
+	if s == nil {
+		t.Fatal("summary nil after windows closed")
+	}
+	if s.IntervalNs != int64(time.Second) || s.Windows.Published != 3 {
+		t.Fatalf("summary shape: %+v", s)
+	}
+	if len(s.Counters) != 1 || s.Counters[0].Total != 60 {
+		t.Fatalf("counters: %+v", s.Counters)
+	}
+	if r := s.Counters[0].RatePerSec; r < 19 || r > 21 {
+		t.Fatalf("rate = %v, want ~20/s over 3s", r)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Min != 3 || s.Gauges[0].Max != 7 || s.Gauges[0].Last != 5 {
+		t.Fatalf("gauges: %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms: %+v", s.Histograms)
+	}
+	hs := s.Histograms[0]
+	if hs.Count != 3 || len(hs.P99PerWindow) != 3 {
+		t.Fatalf("histogram rollup: %+v", hs)
+	}
+	// The last window's p99 must reflect the 100ms outlier; the first two
+	// must stay near 1ms.
+	if hs.P99PerWindow[2] < 10*hs.P99PerWindow[0] {
+		t.Fatalf("p99-over-time missed the outlier window: %v", hs.P99PerWindow)
+	}
+}
+
+// TestP99Drift checks the comparator on hand-built summaries: tail-aligned
+// windows, zero-baseline windows skipped, and missing series rejected.
+func TestP99Drift(t *testing.T) {
+	base := &Summary{Histograms: []HistogramSummary{{
+		Name: "lat", P99: 100, P99PerWindow: []int64{0, 100, 100, 100},
+	}}}
+	cur := &Summary{Histograms: []HistogramSummary{{
+		Name: "lat", P99: 150, P99PerWindow: []int64{100, 100, 300},
+	}}}
+	maxInc, ratio, ok := P99Drift(base, cur, "lat")
+	if !ok {
+		t.Fatal("comparator rejected matching series")
+	}
+	if ratio != 1.5 {
+		t.Fatalf("overall ratio = %v, want 1.5", ratio)
+	}
+	// Tail alignment: base [100,100,100] vs cur [100,100,300] -> worst
+	// window increase is 3x-1 = 2.0; the base's leading 0 window is ignored
+	// by alignment, not treated as an infinite regression.
+	if maxInc != 2.0 {
+		t.Fatalf("max window increase = %v, want 2.0", maxInc)
+	}
+
+	// Zero-p99 windows in the aligned range are skipped, not divided by.
+	base.Histograms[0].P99PerWindow = []int64{0, 100}
+	cur.Histograms[0].P99PerWindow = []int64{500, 100}
+	if maxInc, _, ok = P99Drift(base, cur, "lat"); !ok || maxInc != 0 {
+		t.Fatalf("zero-baseline window not skipped: inc=%v ok=%v", maxInc, ok)
+	}
+
+	if _, _, ok := P99Drift(base, cur, "missing"); ok {
+		t.Fatal("missing series must not compare")
+	}
+	if _, _, ok := P99Drift(nil, cur, "lat"); ok {
+		t.Fatal("nil baseline must not compare")
+	}
+	if _, _, ok := P99Drift(&Summary{Histograms: []HistogramSummary{{Name: "lat", P99: 0}}}, cur, "lat"); ok {
+		t.Fatal("zero overall baseline must not compare")
+	}
+}
+
+// TestSLOTableTimeSeriesSchema pins the JSON key the bench tables emit, so
+// results/<id>.json consumers can rely on the v3 `timeseries` block shape.
+func TestSLOTableTimeSeriesSchema(t *testing.T) {
+	tele := obs.New(obs.Config{})
+	db := New(Config{Interval: time.Second})
+	h := tele.Histogram("lat")
+	db.TrackHistogram("lat", h)
+	h.Record(int64(time.Millisecond))
+	db.Advance(int64(time.Second))
+	s := db.Summary()
+	if s == nil || len(s.Histograms) != 1 || s.Histograms[0].Name != "lat" {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Histograms[0].P99 <= 0 {
+		t.Fatalf("merged p99 missing: %+v", s.Histograms[0])
+	}
+}

@@ -1,0 +1,507 @@
+// Package tsdb turns the obs registry's monotonic totals into windowed time
+// series: a fixed-capacity ring of periodic snapshots storing counter deltas,
+// gauge values, and mergeable histogram windows, with the query primitives
+// (Rate, QuantileOver, EWMA) the ROADMAP's autoscaler and predictive pool
+// sizing need.
+//
+// # Sampling discipline
+//
+// The DB never samples itself. One goroutine — the DES event chain armed by
+// ArmDES in pure simulation, or the gateway bridge's loop goroutine behind
+// HTTP — calls Advance(now) with the current simulated time; every window
+// whose end has passed closes then, capturing the registry exactly once per
+// boundary. Because window edges are aligned to multiples of the interval on
+// the simulated clock and the caller advances before executing events at or
+// past the boundary, two `-dilation 0` runs of the same workload close
+// identical windows with identical contents: the series is byte-for-byte
+// reproducible.
+//
+// # Concurrency contract
+//
+// Advance is single-writer and lock-free: it touches only atomic loads of the
+// tracked handles (obs counters/gauges/histograms are plain atomics) and
+// publishes each completed, immutable Window through an atomic pointer ring.
+// Readers (HTTP handlers, the SLO engine, bench summaries) never block the
+// sampler and never see a torn window. A nil *DB is the disabled state: every
+// method no-ops at zero cost, enforced by the obs-overhead benchmark gate.
+package tsdb
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/obs"
+)
+
+// DefaultCapacity bounds the window ring when Config.Capacity is zero. At the
+// gateway's default 250ms interval this retains 64 seconds of history.
+const DefaultCapacity = 256
+
+// Config shapes a DB.
+type Config struct {
+	// Interval is the window length on the sampling clock (simulated
+	// nanoseconds in DES runs). Required > 0.
+	Interval time.Duration
+	// Capacity is the number of retained windows; 0 means DefaultCapacity.
+	Capacity int
+	// Start is the left edge of the first window (default 0, simulation
+	// start).
+	Start int64
+	// OnWindow, when set, runs synchronously on the sampling goroutine after
+	// each closed window publishes. The SLO engine evaluates its alert rules
+	// here.
+	OnWindow func(w *Window)
+}
+
+// CounterWindow is one counter's contribution to a window.
+type CounterWindow struct {
+	Name  string `json:"name"`
+	Delta int64  `json:"delta"`
+	Total int64  `json:"total"`
+}
+
+// GaugeWindow is one gauge's value at window close.
+type GaugeWindow struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketDelta is one non-empty histogram bucket's count within a window,
+// keyed by bucket index in the shared obs layout (obs.BucketRange maps an
+// index back to its value bounds).
+type BucketDelta struct {
+	Idx   int   `json:"idx"`
+	Count int64 `json:"count"`
+}
+
+// HistogramWindow is one histogram's within-window sample set. Buckets holds
+// only non-zero deltas; windows merge by summing bucket deltas, and
+// obs.QuantileOf recovers quantiles from any merge.
+type HistogramWindow struct {
+	Name       string        `json:"name"`
+	CountDelta int64         `json:"count_delta"`
+	SumDelta   int64         `json:"sum_delta"`
+	CountTotal int64         `json:"count_total"`
+	SumTotal   int64         `json:"sum_total"`
+	Buckets    []BucketDelta `json:"buckets,omitempty"`
+}
+
+// Window is one closed sampling interval [Start, End). Windows are immutable
+// after publication.
+type Window struct {
+	// Seq numbers windows from 0 in close order, including windows
+	// fast-forwarded past during idle gaps (those never materialize).
+	Seq        int64             `json:"seq"`
+	Start      int64             `json:"start_ns"`
+	End        int64             `json:"end_ns"`
+	Counters   []CounterWindow   `json:"counters,omitempty"`
+	Gauges     []GaugeWindow     `json:"gauges,omitempty"`
+	Histograms []HistogramWindow `json:"histograms,omitempty"`
+}
+
+// counterSeries through histSeries hold per-series sampler state. The prev*
+// fields belong exclusively to the sampling goroutine.
+type counterSeries struct {
+	name string
+	c    *obs.Counter
+	prev int64
+}
+
+type gaugeSeries struct {
+	name string
+	g    *obs.Gauge
+}
+
+type histSeries struct {
+	name               string
+	h                  *obs.Histogram
+	prev               []int64 // bucket counts at the previous boundary
+	scratch            []int64 // bucket counts at the current boundary
+	prevCount, prevSum int64
+}
+
+// seriesSet is the copy-on-write registration snapshot the sample path loads
+// with one atomic pointer read.
+type seriesSet struct {
+	counters []*counterSeries
+	gauges   []*gaugeSeries
+	hists    []*histSeries
+}
+
+// DB is the windowed time-series store. The zero value is not usable; New
+// constructs one. A nil *DB is the disabled state.
+type DB struct {
+	interval int64
+	capacity int
+	onWindow func(*Window)
+
+	regMu  sync.Mutex                // serializes registration only
+	series atomic.Pointer[seriesSet] // current registration snapshot
+
+	nextEnd atomic.Int64 // end of the currently-open window
+	seq     int64        // owned by the sampling goroutine
+	skipped atomic.Int64
+
+	ring []atomic.Pointer[Window]
+	head atomic.Int64 // windows ever published
+}
+
+// New creates a DB. A non-positive interval returns nil (disabled).
+func New(cfg Config) *DB {
+	if cfg.Interval <= 0 {
+		return nil
+	}
+	cap := cfg.Capacity
+	if cap <= 0 {
+		cap = DefaultCapacity
+	}
+	db := &DB{
+		interval: int64(cfg.Interval),
+		capacity: cap,
+		onWindow: cfg.OnWindow,
+		ring:     make([]atomic.Pointer[Window], cap),
+	}
+	db.series.Store(&seriesSet{})
+	db.nextEnd.Store(cfg.Start + int64(cfg.Interval))
+	return db
+}
+
+// Interval returns the window length in nanoseconds (0 when disabled).
+func (db *DB) Interval() int64 {
+	if db == nil {
+		return 0
+	}
+	return db.interval
+}
+
+// track swaps in a new registration snapshot under the registration mutex.
+func (db *DB) track(mut func(old *seriesSet) *seriesSet) {
+	db.regMu.Lock()
+	defer db.regMu.Unlock()
+	db.series.Store(mut(db.series.Load()))
+}
+
+// TrackCounter registers a counter series. The handle may be nil (disabled
+// telemetry): the series then reads as permanently zero. Registering while
+// sampling runs is safe; the series joins at the next window.
+func (db *DB) TrackCounter(name string, c *obs.Counter) {
+	if db == nil {
+		return
+	}
+	db.track(func(old *seriesSet) *seriesSet {
+		ns := &seriesSet{gauges: old.gauges, hists: old.hists}
+		ns.counters = append(append([]*counterSeries{}, old.counters...),
+			&counterSeries{name: name, c: c, prev: c.Value()})
+		return ns
+	})
+}
+
+// TrackGauge registers a gauge series.
+func (db *DB) TrackGauge(name string, g *obs.Gauge) {
+	if db == nil {
+		return
+	}
+	db.track(func(old *seriesSet) *seriesSet {
+		ns := &seriesSet{counters: old.counters, hists: old.hists}
+		ns.gauges = append(append([]*gaugeSeries{}, old.gauges...),
+			&gaugeSeries{name: name, g: g})
+		return ns
+	})
+}
+
+// TrackHistogram registers a histogram series.
+func (db *DB) TrackHistogram(name string, h *obs.Histogram) {
+	if db == nil {
+		return
+	}
+	db.track(func(old *seriesSet) *seriesSet {
+		hs := &histSeries{
+			name:    name,
+			h:       h,
+			prev:    make([]int64, obs.NumBuckets()),
+			scratch: make([]int64, obs.NumBuckets()),
+		}
+		hs.prevCount, hs.prevSum = h.ReadBuckets(hs.prev)
+		ns := &seriesSet{counters: old.counters, gauges: old.gauges}
+		ns.hists = append(append([]*histSeries{}, old.hists...), hs)
+		return ns
+	})
+}
+
+// Advance closes every window whose end is at or before now. The caller's
+// clock discipline (see the package comment) makes the series deterministic.
+// The no-boundary-crossed fast path is one atomic load; a nil DB no-ops.
+func (db *DB) Advance(now int64) {
+	if db == nil {
+		return
+	}
+	next := db.nextEnd.Load()
+	if now < next {
+		return
+	}
+	// Long idle gap: materializing every empty window would allocate
+	// proportionally to wall idle time. Fast-forward so at most `capacity`
+	// windows (the retainable set) materialize; the skipped windows never had
+	// observable deltas to lose — the first materialized window absorbs any.
+	if gap := (now - next) / db.interval; gap >= int64(db.capacity) {
+		skip := gap - int64(db.capacity) + 1
+		db.skipped.Add(skip)
+		db.seq += skip
+		next += skip * db.interval
+	}
+	for now >= next {
+		db.closeWindow(next)
+		next += db.interval
+	}
+	db.nextEnd.Store(next)
+}
+
+// closeWindow captures the registry into an immutable Window ending at end
+// and publishes it.
+func (db *DB) closeWindow(end int64) {
+	ss := db.series.Load()
+	w := &Window{Seq: db.seq, Start: end - db.interval, End: end}
+	db.seq++
+	if n := len(ss.counters); n > 0 {
+		w.Counters = make([]CounterWindow, n)
+		for i, s := range ss.counters {
+			v := s.c.Value()
+			w.Counters[i] = CounterWindow{Name: s.name, Delta: v - s.prev, Total: v}
+			s.prev = v
+		}
+	}
+	if n := len(ss.gauges); n > 0 {
+		w.Gauges = make([]GaugeWindow, n)
+		for i, s := range ss.gauges {
+			w.Gauges[i] = GaugeWindow{Name: s.name, Value: s.g.Value()}
+		}
+	}
+	if n := len(ss.hists); n > 0 {
+		w.Histograms = make([]HistogramWindow, n)
+		for i, s := range ss.hists {
+			count, sum := s.h.ReadBuckets(s.scratch)
+			hw := HistogramWindow{
+				Name:       s.name,
+				CountDelta: count - s.prevCount,
+				SumDelta:   sum - s.prevSum,
+				CountTotal: count,
+				SumTotal:   sum,
+			}
+			for b, c := range s.scratch {
+				if d := c - s.prev[b]; d != 0 {
+					hw.Buckets = append(hw.Buckets, BucketDelta{Idx: b, Count: d})
+				}
+			}
+			s.prev, s.scratch = s.scratch, s.prev
+			s.prevCount, s.prevSum = count, sum
+			w.Histograms[i] = hw
+		}
+	}
+	db.ring[int(db.head.Load())%db.capacity].Store(w)
+	db.head.Add(1)
+	if db.onWindow != nil {
+		db.onWindow(w)
+	}
+}
+
+// ArmDES schedules a self-rearming event chain on eng that calls Advance at
+// every window boundary up to and including `until`, for pure-simulation runs
+// with no external pacing loop. The chain is bounded — it never keeps the
+// event queue non-empty past `until`, so Engine.Run terminates.
+func (db *DB) ArmDES(eng *des.Engine, until int64) {
+	if db == nil || eng == nil {
+		return
+	}
+	var arm func()
+	arm = func() {
+		db.Advance(int64(eng.Now()))
+		if next := db.nextEnd.Load(); next <= until {
+			eng.At(des.Time(next), arm)
+		}
+	}
+	if next := db.nextEnd.Load(); next <= until {
+		eng.At(des.Time(next), arm)
+	}
+}
+
+// Windows returns up to max retained windows in chronological order (oldest
+// first); max <= 0 means all retained. Safe against a concurrently advancing
+// sampler: a window the ring overwrote mid-read is simply omitted.
+func (db *DB) Windows(max int) []*Window {
+	if db == nil {
+		return nil
+	}
+	h := db.head.Load()
+	n := h
+	if n > int64(db.capacity) {
+		n = int64(db.capacity)
+	}
+	if max > 0 && n > int64(max) {
+		n = int64(max)
+	}
+	out := make([]*Window, 0, n)
+	// Read newest-first so a concurrent overwrite (which replaces the oldest
+	// slots with newer windows) shows up as a Seq inversion we can drop.
+	lastSeq := int64(math.MaxInt64)
+	for i := h - 1; i >= h-n && i >= 0; i-- {
+		w := db.ring[int(i)%db.capacity].Load()
+		if w == nil || w.Seq >= lastSeq {
+			break
+		}
+		lastSeq = w.Seq
+		out = append(out, w)
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Last returns the most recently closed window (nil before the first close
+// or when disabled).
+func (db *DB) Last() *Window {
+	if db == nil {
+		return nil
+	}
+	h := db.head.Load()
+	if h == 0 {
+		return nil
+	}
+	return db.ring[int(h-1)%db.capacity].Load()
+}
+
+// lookback selects the retained windows whose [Start, End) intersects the
+// trailing `span` nanoseconds, measured back from the newest window's end;
+// span <= 0 means all retained.
+func (db *DB) lookback(span int64) []*Window {
+	ws := db.Windows(0)
+	if len(ws) == 0 || span <= 0 {
+		return ws
+	}
+	cutoff := ws[len(ws)-1].End - span
+	lo := 0
+	for lo < len(ws) && ws[lo].End <= cutoff {
+		lo++
+	}
+	return ws[lo:]
+}
+
+// Rate returns a counter's average increase per second over the trailing
+// `span` (all history when span <= 0). Unknown series and empty histories
+// read as 0.
+func (db *DB) Rate(name string, span time.Duration) float64 {
+	if db == nil {
+		return 0
+	}
+	ws := db.lookback(int64(span))
+	if len(ws) == 0 {
+		return 0
+	}
+	var delta int64
+	for _, w := range ws {
+		for _, c := range w.Counters {
+			if c.Name == name {
+				delta += c.Delta
+				break
+			}
+		}
+	}
+	covered := ws[len(ws)-1].End - ws[0].Start
+	if covered <= 0 {
+		return 0
+	}
+	return float64(delta) / (float64(covered) / 1e9)
+}
+
+// QuantileOver estimates a histogram's q-quantile over the samples recorded
+// in the trailing `span` by merging window bucket deltas — the mergeability
+// that point-in-time histogram snapshots cannot offer.
+func (db *DB) QuantileOver(name string, q float64, span time.Duration) int64 {
+	if db == nil {
+		return 0
+	}
+	ws := db.lookback(int64(span))
+	if len(ws) == 0 {
+		return 0
+	}
+	merged := make([]int64, obs.NumBuckets())
+	for _, w := range ws {
+		for _, h := range w.Histograms {
+			if h.Name == name {
+				for _, b := range h.Buckets {
+					merged[b.Idx] += b.Count
+				}
+				break
+			}
+		}
+	}
+	return obs.QuantileOf(merged, q)
+}
+
+// EWMA returns the exponentially-weighted moving average over the retained
+// windows, oldest to newest, seeded with the first observation. For a counter
+// series the per-window observation is its rate per second; for a gauge it is
+// the sampled value. alpha outside (0, 1] reads as 0.
+func (db *DB) EWMA(name string, alpha float64) float64 {
+	if db == nil || alpha <= 0 || alpha > 1 {
+		return 0
+	}
+	ws := db.Windows(0)
+	winSec := float64(db.interval) / 1e9
+	var ewma float64
+	seeded := false
+	for _, w := range ws {
+		var x float64
+		found := false
+		for _, c := range w.Counters {
+			if c.Name == name {
+				x, found = float64(c.Delta)/winSec, true
+				break
+			}
+		}
+		if !found {
+			for _, g := range w.Gauges {
+				if g.Name == name {
+					x, found = float64(g.Value), true
+					break
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		if !seeded {
+			ewma, seeded = x, true
+			continue
+		}
+		ewma = alpha*x + (1-alpha)*ewma
+	}
+	return ewma
+}
+
+// Stats reports sampler totals.
+type Stats struct {
+	// Published counts windows materialized into the ring.
+	Published int64 `json:"published"`
+	// Skipped counts empty windows fast-forwarded past during idle gaps.
+	Skipped int64 `json:"skipped"`
+	// Retained is how many windows the ring currently holds.
+	Retained int `json:"retained"`
+}
+
+// Stats snapshots the sampler totals (zero when disabled).
+func (db *DB) Stats() Stats {
+	if db == nil {
+		return Stats{}
+	}
+	h := db.head.Load()
+	ret := h
+	if ret > int64(db.capacity) {
+		ret = int64(db.capacity)
+	}
+	return Stats{Published: h, Skipped: db.skipped.Load(), Retained: int(ret)}
+}

@@ -1,0 +1,339 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/obs"
+)
+
+func newTestDB(t *testing.T, cfg Config) (*DB, *obs.Telemetry) {
+	t.Helper()
+	if cfg.Interval == 0 {
+		cfg.Interval = 100 * time.Nanosecond
+	}
+	db := New(cfg)
+	if db == nil {
+		t.Fatal("New returned nil for a valid config")
+	}
+	return db, obs.New(obs.Config{})
+}
+
+func TestDisabledNilDB(t *testing.T) {
+	var db *DB
+	db.TrackCounter("c", nil)
+	db.TrackGauge("g", nil)
+	db.TrackHistogram("h", nil)
+	db.Advance(1e9)
+	db.ArmDES(des.NewEngine(), 1e9)
+	if db.Windows(0) != nil || db.Last() != nil || db.Summary() != nil {
+		t.Fatal("nil DB reads must be zero values")
+	}
+	if db.Rate("c", 0) != 0 || db.QuantileOver("h", 0.99, 0) != 0 || db.EWMA("c", 0.5) != 0 {
+		t.Fatal("nil DB queries must be zero")
+	}
+	if db.Stats() != (Stats{}) || db.Interval() != 0 {
+		t.Fatal("nil DB stats must be zero")
+	}
+	if New(Config{}) != nil {
+		t.Fatal("zero interval must construct the disabled state")
+	}
+}
+
+func TestCounterDeltasAcrossWindows(t *testing.T) {
+	db, tele := newTestDB(t, Config{})
+	c := tele.Counter("reqs_total")
+	c.Add(5)
+	db.TrackCounter("reqs_total", c) // prev seeds at 5: pre-tracking traffic is not a delta
+	c.Add(3)
+	db.Advance(100) // closes [0,100)
+	c.Add(7)
+	db.Advance(250) // closes [100,200) and fast-forwards nothing; also [200,300)? no: 250 < 300
+	ws := db.Windows(0)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	if ws[0].Counters[0].Delta != 3 || ws[0].Counters[0].Total != 8 {
+		t.Fatalf("window 0 = %+v", ws[0].Counters[0])
+	}
+	if ws[1].Counters[0].Delta != 7 || ws[1].Counters[0].Total != 15 {
+		t.Fatalf("window 1 = %+v", ws[1].Counters[0])
+	}
+	if ws[0].Start != 0 || ws[0].End != 100 || ws[1].Start != 100 || ws[1].End != 200 {
+		t.Fatalf("window edges = [%d,%d) [%d,%d)", ws[0].Start, ws[0].End, ws[1].Start, ws[1].End)
+	}
+}
+
+func TestAdvanceFastPathAndMultiClose(t *testing.T) {
+	db, tele := newTestDB(t, Config{})
+	db.TrackGauge("depth", tele.Gauge("depth"))
+	db.Advance(50) // no boundary crossed
+	if db.Stats().Published != 0 {
+		t.Fatal("no window may close before the first boundary")
+	}
+	tele.Gauge("depth").Set(4)
+	db.Advance(350) // closes [0,100) [100,200) [200,300)
+	if got := db.Stats().Published; got != 3 {
+		t.Fatalf("published = %d, want 3", got)
+	}
+	for _, w := range db.Windows(0) {
+		if w.Gauges[0].Value != 4 {
+			t.Fatalf("gauge window = %+v", w)
+		}
+	}
+}
+
+func TestHistogramWindowsMergeToQuantile(t *testing.T) {
+	db, tele := newTestDB(t, Config{})
+	h := tele.Histogram("lat")
+	db.TrackHistogram("lat", h)
+	// Window 1: 99 fast samples; window 2: one slow outlier.
+	for i := 0; i < 99; i++ {
+		h.Record(10)
+	}
+	db.Advance(100)
+	h.Record(1 << 20)
+	db.Advance(200)
+	ws := db.Windows(0)
+	if ws[0].Histograms[0].CountDelta != 99 || ws[1].Histograms[0].CountDelta != 1 {
+		t.Fatalf("count deltas = %d/%d", ws[0].Histograms[0].CountDelta, ws[1].Histograms[0].CountDelta)
+	}
+	// Merged p99 over both windows must land in the outlier's bucket range.
+	p99 := db.QuantileOver("lat", 0.995, 0)
+	lo, hi := obs.BucketRange(obsBucketOf(1 << 20))
+	if p99 < lo || p99 > hi {
+		t.Fatalf("merged p99.5 = %d, want within [%d,%d]", p99, lo, hi)
+	}
+	// A one-window lookback sees only the outlier.
+	if got := db.QuantileOver("lat", 0.5, 100*time.Nanosecond); got < lo || got > hi {
+		t.Fatalf("trailing-window p50 = %d, want outlier bucket [%d,%d]", got, lo, hi)
+	}
+}
+
+// obsBucketOf finds the shared-layout bucket index holding v.
+func obsBucketOf(v int64) int {
+	for i := 0; i < obs.NumBuckets(); i++ {
+		lo, hi := obs.BucketRange(i)
+		if v >= lo && v <= hi {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRate(t *testing.T) {
+	db, tele := newTestDB(t, Config{Interval: time.Second})
+	c := tele.Counter("reqs_total")
+	db.TrackCounter("reqs_total", c)
+	c.Add(10)
+	db.Advance(1e9)
+	c.Add(30)
+	db.Advance(2e9)
+	if got := db.Rate("reqs_total", 0); got != 20 {
+		t.Fatalf("rate over 2s = %v, want 20", got)
+	}
+	if got := db.Rate("reqs_total", time.Second); got != 30 {
+		t.Fatalf("rate over trailing 1s = %v, want 30", got)
+	}
+	if db.Rate("unknown", 0) != 0 {
+		t.Fatal("unknown series rate must be 0")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	db, tele := newTestDB(t, Config{Interval: time.Second})
+	c := tele.Counter("reqs_total")
+	g := tele.Gauge("depth")
+	db.TrackCounter("reqs_total", c)
+	db.TrackGauge("depth", g)
+	c.Add(10)
+	g.Set(100)
+	db.Advance(1e9)
+	c.Add(20)
+	g.Set(0)
+	db.Advance(2e9)
+	// Counter: rates 10, 20 → ewma(0.5) = 15. Gauge: values 100, 0 → 50.
+	if got := db.EWMA("reqs_total", 0.5); got != 15 {
+		t.Fatalf("counter EWMA = %v, want 15", got)
+	}
+	if got := db.EWMA("depth", 0.5); got != 50 {
+		t.Fatalf("gauge EWMA = %v, want 50", got)
+	}
+	if db.EWMA("reqs_total", 0) != 0 || db.EWMA("reqs_total", 1.5) != 0 {
+		t.Fatal("invalid alpha must read 0")
+	}
+}
+
+func TestRingEvictionAndWindowsMax(t *testing.T) {
+	db, tele := newTestDB(t, Config{Capacity: 4})
+	db.TrackCounter("c", tele.Counter("c"))
+	for i := int64(1); i <= 10; i++ {
+		db.Advance(i * 100)
+	}
+	ws := db.Windows(0)
+	if len(ws) != 4 {
+		t.Fatalf("retained = %d, want 4", len(ws))
+	}
+	if ws[0].Seq != 6 || ws[3].Seq != 9 {
+		t.Fatalf("retained seqs = %d..%d, want 6..9", ws[0].Seq, ws[3].Seq)
+	}
+	if got := db.Windows(2); len(got) != 2 || got[1].Seq != 9 {
+		t.Fatalf("Windows(2) = %+v", got)
+	}
+	if db.Last().Seq != 9 {
+		t.Fatalf("Last().Seq = %d", db.Last().Seq)
+	}
+}
+
+func TestIdleGapFastForward(t *testing.T) {
+	db, _ := newTestDB(t, Config{Capacity: 8})
+	db.Advance(100 * 1000) // 1000 boundaries crossed, capacity 8
+	st := db.Stats()
+	if st.Published != 8 {
+		t.Fatalf("published = %d, want capacity 8", st.Published)
+	}
+	if st.Skipped != 992 {
+		t.Fatalf("skipped = %d, want 992", st.Skipped)
+	}
+	last := db.Last()
+	if last.End != 100*1000 {
+		t.Fatalf("last window ends at %d, want 100000", last.End)
+	}
+	if last.Seq != 999 {
+		t.Fatalf("last seq = %d, want 999 (skips keep numbering)", last.Seq)
+	}
+}
+
+func TestArmDESClosesWindowsDeterministically(t *testing.T) {
+	run := func() []byte {
+		eng := des.NewEngine()
+		tele := obs.New(obs.Config{})
+		db := New(Config{Interval: 100 * time.Nanosecond})
+		c := tele.Counter("reqs_total")
+		db.TrackCounter("reqs_total", c)
+		// Workload: one increment every 30ns until t=1000.
+		for t := int64(0); t <= 1000; t += 30 {
+			eng.At(des.Time(t), func() { c.Inc() })
+		}
+		db.ArmDES(eng, 1000)
+		eng.Run()
+		out, err := json.Marshal(db.Windows(0))
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("two identical DES runs produced different series:\n%s\n%s", a, b)
+	}
+	var ws []Window
+	if err := json.Unmarshal(a, &ws); err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 10 {
+		t.Fatalf("windows = %d, want 10", len(ws))
+	}
+	var total int64
+	for _, w := range ws {
+		total += w.Counters[0].Delta
+	}
+	// 34 increments total (t=0..990 step 30); the ones at/after the last
+	// boundary may land outside a closed window depending on event order,
+	// but every closed window's deltas must be conserved.
+	if total != ws[len(ws)-1].Counters[0].Total {
+		t.Fatalf("window deltas (%d) must sum to the last total (%d)", total, ws[len(ws)-1].Counters[0].Total)
+	}
+}
+
+func TestLateRegistrationJoinsNextWindow(t *testing.T) {
+	db, tele := newTestDB(t, Config{})
+	db.Advance(100)
+	c := tele.Counter("late_total")
+	c.Add(4)
+	db.TrackCounter("late_total", c)
+	c.Add(2)
+	db.Advance(200)
+	last := db.Last()
+	if len(last.Counters) != 1 || last.Counters[0].Delta != 2 || last.Counters[0].Total != 6 {
+		t.Fatalf("late series window = %+v", last.Counters)
+	}
+	if first := db.Windows(0)[0]; len(first.Counters) != 0 {
+		t.Fatalf("pre-registration window must have no series, got %+v", first.Counters)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	db, tele := newTestDB(t, Config{Interval: time.Second})
+	c := tele.Counter("reqs_total")
+	g := tele.Gauge("depth")
+	h := tele.Histogram("lat")
+	db.TrackCounter("reqs_total", c)
+	db.TrackGauge("depth", g)
+	db.TrackHistogram("lat", h)
+	if db.Summary() != nil {
+		t.Fatal("summary before any window must be nil")
+	}
+	c.Add(10)
+	g.Set(3)
+	h.Record(100)
+	db.Advance(1e9)
+	c.Add(30)
+	g.Set(9)
+	h.Record(200)
+	h.Record(300)
+	db.Advance(2e9)
+	s := db.Summary()
+	if s == nil || s.IntervalNs != 1e9 || s.Windows.Published != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Counters[0].Total != 40 || s.Counters[0].RatePerSec != 20 {
+		t.Fatalf("counter summary = %+v", s.Counters[0])
+	}
+	if s.Gauges[0].Last != 9 || s.Gauges[0].Min != 3 || s.Gauges[0].Max != 9 {
+		t.Fatalf("gauge summary = %+v", s.Gauges[0])
+	}
+	hs := s.Histograms[0]
+	if hs.Count != 3 || len(hs.P99PerWindow) != 2 {
+		t.Fatalf("histogram summary = %+v", hs)
+	}
+	if hs.P99PerWindow[0] >= hs.P99PerWindow[1] {
+		t.Fatalf("p99-over-time must rise with the slower window: %v", hs.P99PerWindow)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("summary must marshal: %v", err)
+	}
+}
+
+func TestConcurrentReadersDoNotTear(t *testing.T) {
+	db, tele := newTestDB(t, Config{Capacity: 4})
+	c := tele.Counter("c")
+	db.TrackCounter("c", c)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			for _, w := range db.Windows(0) {
+				if len(w.Counters) != 1 || w.Counters[0].Name != "c" {
+					panic("torn window")
+				}
+			}
+			db.Rate("c", 0)
+			db.Summary()
+		}
+	}()
+	for i := int64(1); i <= 5000; i++ {
+		c.Inc()
+		db.Advance(i * 100)
+	}
+	<-done
+	// Chronological order must survive wraps.
+	ws := db.Windows(0)
+	for i := 1; i < len(ws); i++ {
+		if ws[i].Seq != ws[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs: %d then %d", ws[i-1].Seq, ws[i].Seq)
+		}
+	}
+}

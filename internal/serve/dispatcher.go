@@ -193,6 +193,11 @@ type RequestResult struct {
 	// Err is the final attempt's error, if any; wrapped by
 	// ErrRequestTimeout when the retry budget ran out of time.
 	Err error
+	// TraceSampled reports whether the tracer kept this request's span
+	// track: true for every request when tracing is on without tail
+	// sampling, and only for the interesting ones (error, breaker
+	// involvement, latency outlier) with it. Always false with tracing off.
+	TraceSampled bool
 }
 
 // inflight tracks one admitted request across its attempts. It is touched
@@ -695,16 +700,30 @@ func (d *Dispatcher) finish(r *inflight, err error) {
 	}
 	d.busyA.Store(int64(d.busy))
 	d.obsInFlight.Set(int64(d.busy))
+	tracer := d.obsTracer
+	// Breaker involvement for tail sampling: this request's failure opened
+	// it, or it ran as the half-open probe. noteSuccess/noteFailure run
+	// before finish, so d.brk already reflects this request's effect.
+	brkInvolved := d.cfg.BreakerThreshold > 0 && d.brk != BreakerClosed
 	d.mu.Unlock()
 	d.obsLatencyNs.Record(int64(latency))
+	sampled := false
+	if tracer != nil {
+		sampled = tracer.FinishTrack(r.tid, obs.TrackOutcome{
+			Err:            err != nil,
+			BreakerTripped: brkInvolved,
+			LatencyNs:      int64(latency),
+		})
+	}
 	r.done(RequestResult{
-		Admitted:  true,
-		Cold:      r.cold,
-		Latency:   latency,
-		QueueWait: r.queueWait,
-		RetryWait: r.retryWait,
-		Attempts:  r.attempts,
-		Err:       err,
+		Admitted:     true,
+		Cold:         r.cold,
+		Latency:      latency,
+		QueueWait:    r.queueWait,
+		RetryWait:    r.retryWait,
+		Attempts:     r.attempts,
+		Err:          err,
+		TraceSampled: sampled,
 	})
 	d.drainQueue()
 	d.notifyQuiesced()
