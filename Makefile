@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke slo-smoke bench figures results examples clean
+.PHONY: all build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke slo-smoke cluster-smoke bench figures results examples clean
 
-all: build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke slo-smoke
+all: build vet test race obs-overhead faults-smoke gateway-smoke tiers-smoke shard-smoke slo-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,14 @@ gateway-smoke:
 # assert the drain completed with every shard's admission identity intact.
 shard-smoke:
 	$(GO) run ./cmd/continuumd -shard-smoke
+
+# Cluster smoke: boot continuumd with three simulated nodes at dilation 0,
+# invoke over HTTP, kill the node the function is placed on via
+# POST /v1/cluster/nodes/{node}/fail mid-traffic, and assert the charge
+# re-homed to a survivor, invokes keep returning 200, /v1/cluster reports
+# the node dead, and the drain completes with the admission identity intact.
+cluster-smoke:
+	$(GO) run ./cmd/continuumd -cluster-smoke -dilation 0
 
 # Run every benchmark once (tables, figures, ablations, microbenches,
 # interpreter hot-loop and engine instantiate benches).

@@ -14,6 +14,7 @@
 //	continuumd -shard-smoke                 # self-test: 3 modules, per-module metrics, drain
 //	continuumd -slo -slo-window 5m          # burn-rate alerting over 1s sample windows
 //	continuumd -slo-smoke                   # self-test: silent -> fault burst fires page -> clears
+//	continuumd -cluster-smoke               # self-test: kill the serving node, assert re-home + 200s
 //	continuumd -log-format json             # structured access log (one JSON object per request)
 //	continuumd -debug-addr 127.0.0.1:6060   # pprof + Go runtime gauges in /metrics
 //
@@ -38,6 +39,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -88,6 +90,7 @@ func main() {
 		tailLatency  = flag.Duration("tail-latency", 0, "simulated latency above which a healthy trace is still kept (0 = errors/breaker only)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and sample Go runtime gauges on this address (empty = off)")
 		sloSmoke     = flag.Bool("slo-smoke", false, "self-test: healthy traffic stays silent, a fault burst fires the page alert, recovery clears it")
+		clusterSmoke = flag.Bool("cluster-smoke", false, "self-test: multi-node boot, kill the serving node mid-traffic, assert re-home + continued 200s + clean drain")
 	)
 	flag.Parse()
 
@@ -147,6 +150,13 @@ func main() {
 	}
 	if *sloSmoke {
 		os.Exit(runSLOSmoke(*drainTimeout))
+	}
+	if *clusterSmoke {
+		cfg.AccessLog = nil
+		if cfg.ClusterNodes < 3 {
+			cfg.ClusterNodes = 3
+		}
+		os.Exit(runClusterSmoke(cfg, *drainTimeout))
 	}
 
 	if *debugAddr != "" {
@@ -377,6 +387,141 @@ func runShardSmoke(cfg gateway.Config, drainTimeout time.Duration) int {
 		return fail("drain did not complete")
 	}
 	fmt.Fprintln(os.Stderr, "shard-smoke: ok")
+	return 0
+}
+
+// runClusterSmoke is the self-test behind `make cluster-smoke`: boot a
+// multi-node cluster, invoke over loopback, kill the node the function is
+// placed on mid-traffic via POST /v1/cluster/nodes/{node}/fail, and assert
+// the charge re-homed to a survivor while invokes keep returning 200 and
+// /v1/cluster reports the node dead — then SIGTERM ourselves and assert the
+// drain completed with the admission identity intact.
+func runClusterSmoke(cfg gateway.Config, drainTimeout time.Duration) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "cluster-smoke: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		code, err := serveUntilSignal(cfg, "127.0.0.1:0", drainTimeout, "", ready)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		exit <- code
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		return fail("server did not come up")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	module := cfg.Functions[0].Module
+	invoke := func() error {
+		resp, err := client.Post(base+"/v1/functions/"+module, "application/octet-stream",
+			strings.NewReader("ping"))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	getCluster := func() (gateway.ClusterStatus, error) {
+		var st gateway.ClusterStatus
+		resp, err := client.Get(base + "/v1/cluster")
+		if err != nil {
+			return st, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return st, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return st, json.NewDecoder(resp.Body).Decode(&st)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := invoke(); err != nil {
+			return fail("invoke before failover: %v", err)
+		}
+	}
+	st, err := getCluster()
+	if err != nil {
+		return fail("GET /v1/cluster: %v", err)
+	}
+	if len(st.Nodes) < 3 {
+		return fail("cluster has %d nodes, want >= 3", len(st.Nodes))
+	}
+	var home string
+	for _, f := range st.Functions {
+		if f.Module == module {
+			home = f.Node
+		}
+	}
+	if home == "" {
+		return fail("function %s has no placement in /v1/cluster", module)
+	}
+
+	resp, err := client.Post(base+"/v1/cluster/nodes/"+home+"/fail", "application/json", nil)
+	if err != nil {
+		return fail("fail node %s: %v", home, err)
+	}
+	var fr gateway.NodeFailResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&fr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail("fail node %s: status %d", home, resp.StatusCode)
+	}
+	if decodeErr != nil {
+		return fail("fail node %s: decode: %v", home, decodeErr)
+	}
+	rehomed := false
+	for _, m := range fr.Rehomed {
+		rehomed = rehomed || m == module
+	}
+	if !rehomed {
+		return fail("node %s failed but %s not in rehomed set %v", home, module, fr.Rehomed)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := invoke(); err != nil {
+			return fail("invoke after failover: %v", err)
+		}
+	}
+	st, err = getCluster()
+	if err != nil {
+		return fail("GET /v1/cluster after failover: %v", err)
+	}
+	for _, n := range st.Nodes {
+		if n.Name == home && n.Alive {
+			return fail("node %s still reported alive after fail", home)
+		}
+	}
+	for _, f := range st.Functions {
+		if f.Module != module {
+			continue
+		}
+		if f.Node == home || f.Node == "" {
+			return fail("function %s still placed on %q after failover", module, f.Node)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return fail("self-SIGTERM: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			return fail("drain exited %d", code)
+		}
+	case <-time.After(drainTimeout + 10*time.Second):
+		return fail("drain did not complete")
+	}
+	fmt.Fprintln(os.Stderr, "cluster-smoke: ok")
 	return 0
 }
 

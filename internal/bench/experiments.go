@@ -45,6 +45,7 @@ func Experiments() []Experiment {
 		{ID: "gateway", Description: "Live HTTP gateway (continuumd) over loopback: concurrent clients vs the DES bridge", Run: Gateway},
 		{ID: "shard", Description: "Ablation: sharded dispatch + request batching vs single-queue baseline (64 modules, zipf)", Run: AblationShard},
 		{ID: "slo", Description: "Ablation: SLO burn-rate alerting under a mid-run fault onset (baseline silent, page fires in-window)", Run: AblationSLO},
+		{ID: "cluster", Description: "Ablation: cluster routing, 1-8 nodes x locality vs spread placement, plus node-death failover", Run: AblationCluster},
 	}
 }
 

@@ -267,13 +267,16 @@ func runShardLatency(zipfS float64, rate float64) (shardLatencyCell, error) {
 	if err != nil {
 		return shardLatencyCell{}, err
 	}
-	rep := serve.RunMulti(sim, rt, serve.MultiConfig{
+	rep, err := serve.RunMulti(sim, rt, serve.MultiConfig{
 		RatePerSec: rate,
 		Duration:   time.Second,
 		Seed:       42,
 		Modules:    modules,
 		ZipfS:      zipfS,
 	})
+	if err != nil {
+		return shardLatencyCell{}, err
+	}
 	st := rt.Stats()
 	if !st.IdentityHolds() {
 		return shardLatencyCell{}, fmt.Errorf("shard latency (s=%.1f rate=%.0f): identity violated: %+v",

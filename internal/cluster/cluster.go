@@ -1,0 +1,722 @@
+// Package cluster is the cluster-level serving tier: it spreads invokes
+// across per-node serve.Routers on a simulated multi-node Kubernetes
+// cluster, scales each replica's warm pool up on queue depth or windowed p99
+// (and down on idle), and places module replicas by artifact locality — a
+// node already holding the module's shared wasm-code:/wasm-data: images is
+// preferred over an empty one, because the paper's memory win (one shared
+// artifact copy per node) and the cold-start win (a warm compile cache)
+// both compound only when replicas of a module stack on the same nodes.
+// Node death and memory-pressure episodes from internal/faults drive the
+// failover path end to end: dead nodes drain their in-flight work, lost
+// replicas are re-placed on survivors, and subsequent requests re-route.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/engine"
+	"wasmcontainers/internal/faults"
+	"wasmcontainers/internal/k8s"
+	"wasmcontainers/internal/obs"
+	"wasmcontainers/internal/obs/tsdb"
+	"wasmcontainers/internal/serve"
+	"wasmcontainers/internal/wasm/cache"
+)
+
+// ErrNoLiveNode refuses work when every node has failed.
+var ErrNoLiveNode = errors.New("cluster: no live node")
+
+// ErrUnknownModule mirrors serve.ErrUnknownModule for undeployed keys.
+var ErrUnknownModule = serve.ErrUnknownModule
+
+// Policy selects the placement strategy.
+type Policy int
+
+const (
+	// PolicyLocality (default) routes a module's traffic to nodes already
+	// hosting it, placing a new replica only for the first request or when
+	// every hosting replica's queue passes Autoscale.SpillQueue. Nodes are
+	// scored by resident shared artifacts, free memory as tiebreak.
+	PolicyLocality Policy = iota
+	// PolicySpread is the blind round-robin baseline the ablation measures
+	// against: every live node ends up hosting every module, paying one
+	// artifact copy and one cold ramp per node.
+	PolicySpread
+)
+
+// String names the policy for experiment tables.
+func (p Policy) String() string {
+	if p == PolicySpread {
+		return "spread"
+	}
+	return "locality"
+}
+
+// AutoscaleConfig shapes the horizontal autoscaler.
+type AutoscaleConfig struct {
+	// Interval is the evaluation tick on the DES clock; <= 0 disables the
+	// autoscaler entirely (pools stay at Config.PoolSize).
+	Interval time.Duration
+	// QueueHigh grows a replica's pool (doubling, capped at MaxPoolSize)
+	// when its queue depth reaches this at a tick. 0 means 8.
+	QueueHigh int
+	// P99High also grows loaded pools when the windowed p99 dispatch latency
+	// (from the tsdb sampling dispatch_latency_ns) reaches this; 0 disables
+	// the latency signal. Requires Config.Telemetry.
+	P99High time.Duration
+	// MaxPoolSize caps growth. 0 means 32.
+	MaxPoolSize int
+	// MinPoolSize floors shrink; 0 shrinks idle replicas back to cold-only.
+	MinPoolSize int
+	// ShrinkAfter halves an idle replica's pool after this many consecutive
+	// idle ticks. 0 means 3.
+	ShrinkAfter int
+	// SpillQueue lets locality placement spill a module onto one more node
+	// when every hosting replica's queue is at least this deep; 0 never
+	// spills.
+	SpillQueue int
+	// MinFreeBytes stops pool growth on a node whose metrics-server
+	// available-memory reading has dropped below this floor. 0 means 64 MiB.
+	MinFreeBytes int64
+}
+
+// Config shapes one serving cluster.
+type Config struct {
+	// Nodes is the worker-node count; <= 0 means 1.
+	Nodes int
+	// Profile is the engine profile every replica runs.
+	Profile engine.Profile
+	// Policy selects locality (default) or spread placement.
+	Policy Policy
+	// PoolSize is a new replica's initial warm size. 0 (the usual setting)
+	// starts cold and lets the autoscaler warm it on demand.
+	PoolSize int
+	// IdleTTL is each replica pool's idle eviction TTL; 0 keeps instances.
+	IdleTTL time.Duration
+	// Dispatcher configures every replica's dispatcher (admission, export,
+	// retries...).
+	Dispatcher serve.DispatcherConfig
+	// Autoscale configures the autoscaler.
+	Autoscale AutoscaleConfig
+	// Telemetry enables node-labeled cluster metrics and the tsdb p99
+	// signal; nil disables observation.
+	Telemetry *obs.Telemetry
+}
+
+// ScaleStats counts control-loop decisions.
+type ScaleStats struct {
+	// Ups / Downs count pool grow / shrink actions.
+	Ups, Downs int
+	// Placed counts replica placements; RePlaced is the subset forced by
+	// node failure; Spills the subset forced by SpillQueue overflow.
+	Placed, RePlaced, Spills int
+}
+
+// nodeState is one worker node's serving surface: its router, its shared
+// compile cache (replicas of a module on one node compile once), and its
+// liveness. alive is only touched on the DES goroutine.
+type nodeState struct {
+	idx    int
+	w      *k8s.WorkerNode
+	router *serve.Router
+	cache  *cache.Cache
+	alive  bool
+	routed int64
+
+	obsRouted   *obs.Counter
+	obsReplicas *obs.Gauge
+	obsAlive    *obs.Gauge
+}
+
+// moduleState is one deployed module and its replicas. all keeps retired
+// (dead-node) replicas so outcome stats stay conserved across failover.
+type moduleState struct {
+	name      string
+	bin       []byte
+	artifacts []string
+	live      []*replica
+	all       []*replica
+}
+
+// on returns this module's live replica on n, or nil.
+func (m *moduleState) on(n *nodeState) *replica {
+	for _, r := range m.live {
+		if r.n == n {
+			return r
+		}
+	}
+	return nil
+}
+
+// replica is one module instance on one node: engine, warm pool, dispatcher,
+// and the attachment charging it to the node.
+type replica struct {
+	m         *moduleState
+	n         *nodeState
+	eng       *engine.Engine
+	pool      *serve.Pool
+	disp      *serve.Dispatcher
+	att       *k8s.WarmPoolAttachment
+	idleTicks int
+	obsRouted *obs.Counter
+}
+
+// Serving is the cluster front door. All request-path and control-loop
+// methods run on the one goroutine driving the DES engine, like the
+// dispatcher they feed.
+type Serving struct {
+	eng      *des.Engine
+	cfg      Config
+	K        *k8s.Cluster
+	nodes    []*nodeState
+	modules  map[string]*moduleState
+	order    []string
+	db       *tsdb.DB
+	injector *faults.Injector
+	rr       int
+	attSeq   int
+	scale    ScaleStats
+
+	obsScaleUps   *obs.Counter
+	obsScaleDowns *obs.Counter
+	obsRePlaced   *obs.Counter
+}
+
+// New builds an idle serving cluster: nodes up, no modules deployed.
+func New(cfg Config) (*Serving, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Autoscale.QueueHigh <= 0 {
+		cfg.Autoscale.QueueHigh = 8
+	}
+	if cfg.Autoscale.MaxPoolSize <= 0 {
+		cfg.Autoscale.MaxPoolSize = 32
+	}
+	if cfg.Autoscale.ShrinkAfter <= 0 {
+		cfg.Autoscale.ShrinkAfter = 3
+	}
+	if cfg.Autoscale.MinFreeBytes <= 0 {
+		cfg.Autoscale.MinFreeBytes = 64 << 20
+	}
+	kc := k8s.DefaultClusterConfig()
+	kc.NumNodes = cfg.Nodes
+	k, err := k8s.NewCluster(kc)
+	if err != nil {
+		return nil, err
+	}
+	s := &Serving{
+		eng:     k.Engine,
+		cfg:     cfg,
+		K:       k,
+		modules: map[string]*moduleState{},
+	}
+	tele := cfg.Telemetry
+	k.SetObserver(tele)
+	for i, w := range k.Nodes {
+		n := &nodeState{
+			idx:    i,
+			w:      w,
+			router: serve.NewRouter(s.eng, serve.RouterConfig{}),
+			cache:  cache.New(engine.DefaultModuleCacheBytes),
+			alive:  true,
+		}
+		if tele != nil {
+			n.router.SetObserver(tele)
+			n.obsRouted = tele.Counter(obs.Labeled("cluster_routed_total", "node", w.Name))
+			n.obsReplicas = tele.Gauge(obs.Labeled("cluster_replicas", "node", w.Name))
+			n.obsAlive = tele.Gauge(obs.Labeled("cluster_node_alive", "node", w.Name))
+			n.obsAlive.Set(1)
+		}
+		s.nodes = append(s.nodes, n)
+	}
+	if tele != nil {
+		s.obsScaleUps = tele.Counter("cluster_scale_ups_total")
+		s.obsScaleDowns = tele.Counter("cluster_scale_downs_total")
+		s.obsRePlaced = tele.Counter("cluster_replaced_total")
+		if cfg.Autoscale.Interval > 0 && cfg.Autoscale.P99High > 0 {
+			s.db = tsdb.New(tsdb.Config{Interval: cfg.Autoscale.Interval})
+			s.db.TrackHistogram("dispatch_latency_ns", tele.Histogram("dispatch_latency_ns"))
+		}
+	}
+	return s, nil
+}
+
+// Engine exposes the DES engine driving the cluster.
+func (s *Serving) Engine() *des.Engine { return s.eng }
+
+// Run drives the simulation until quiescent.
+func (s *Serving) Run() des.Time { return s.eng.Run() }
+
+// SetFaultInjector wires in onto every replica engine created from now on.
+func (s *Serving) SetFaultInjector(in *faults.Injector) { s.injector = in }
+
+// Deploy registers a module for serving. Placement is lazy: the first routed
+// request creates the first replica.
+func (s *Serving) Deploy(name string, bin []byte) error {
+	if _, dup := s.modules[name]; dup {
+		return fmt.Errorf("cluster: module %q already deployed", name)
+	}
+	s.modules[name] = &moduleState{name: name, bin: bin}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Modules lists deployed module names in deploy order.
+func (s *Serving) Modules() []string { return append([]string(nil), s.order...) }
+
+// Submit routes one request to the named module, placing a replica if the
+// module has none reachable. Implements serve.MultiTarget.
+func (s *Serving) Submit(key string, tid int64, done func(serve.RequestResult)) error {
+	m, ok := s.modules[key]
+	if !ok {
+		return ErrUnknownModule
+	}
+	r, err := s.route(m)
+	if err != nil {
+		return err
+	}
+	r.n.routed++
+	r.n.obsRouted.Inc()
+	r.obsRouted.Inc()
+	return r.n.router.Submit(key, tid, done)
+}
+
+// route picks (or places) the replica serving this request.
+func (s *Serving) route(m *moduleState) (*replica, error) {
+	if s.cfg.Policy == PolicySpread {
+		// Blind round-robin over live nodes: every node ends up hosting its
+		// own replica of every module — one artifact copy and one cold ramp
+		// per node, the baseline the locality gate measures against.
+		for range s.nodes {
+			n := s.nodes[s.rr%len(s.nodes)]
+			s.rr++
+			if !n.alive {
+				continue
+			}
+			if r := m.on(n); r != nil {
+				return r, nil
+			}
+			return s.place(m, n, false)
+		}
+		return nil, ErrNoLiveNode
+	}
+	var best *replica
+	bestLoad := 0
+	for _, r := range m.live {
+		load := r.disp.QueueLen() + r.disp.InFlight()
+		if best == nil || load < bestLoad {
+			best, bestLoad = r, load
+		}
+	}
+	if best == nil {
+		n := s.bestNode(m, false)
+		if n == nil {
+			return nil, ErrNoLiveNode
+		}
+		return s.place(m, n, false)
+	}
+	if sp := s.cfg.Autoscale.SpillQueue; sp > 0 && bestLoad >= sp {
+		if n := s.bestNode(m, true); n != nil {
+			s.scale.Spills++
+			return s.place(m, n, false)
+		}
+	}
+	return best, nil
+}
+
+// bestNode scores live nodes for m: resident shared artifacts first (cache
+// locality beats spreading), free memory as capacity tiebreak, then index
+// for determinism. excludeHosting skips nodes already running a replica
+// (the spill path wants a fresh node).
+func (s *Serving) bestNode(m *moduleState, excludeHosting bool) *nodeState {
+	var best *nodeState
+	bestScore, bestFree := -1, int64(-1)
+	for _, n := range s.nodes {
+		if !n.alive {
+			continue
+		}
+		if excludeHosting && m.on(n) != nil {
+			continue
+		}
+		score := 0
+		for _, art := range m.artifacts {
+			if n.w.OS.HasSharedLib(art) {
+				score++
+			}
+		}
+		free := n.w.OS.Free().AvailableBytes
+		if score > bestScore || (score == bestScore && free > bestFree) {
+			best, bestScore, bestFree = n, score, free
+		}
+	}
+	return best
+}
+
+// place creates m's replica on n: compile through the node's shared cache,
+// pool, dispatcher, router shard, and the attachment that splits the pool's
+// charge into node-shared artifacts (SyncShared, one copy per node) and the
+// private remainder.
+func (s *Serving) place(m *moduleState, n *nodeState, replaced bool) (*replica, error) {
+	eng := engine.NewWithCache(s.cfg.Profile, n.cache)
+	if s.cfg.Telemetry != nil {
+		eng.SetObserver(s.cfg.Telemetry)
+	}
+	if s.injector != nil {
+		eng.SetFaultInjector(s.injector)
+	}
+	cm, err := eng.Compile(m.bin)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := serve.NewPool(eng, cm, serve.Config{Size: s.cfg.PoolSize, IdleTTL: s.cfg.IdleTTL})
+	if err != nil {
+		return nil, err
+	}
+	s.attSeq++
+	att, err := n.w.AttachWarmPool(fmt.Sprintf("%s-%d", m.name, s.attSeq))
+	if err != nil {
+		return nil, err
+	}
+	att.SetObserver(s.cfg.Telemetry)
+	pool.SetMemoryListener(func(total int64) {
+		var shared int64
+		for _, a := range pool.SharedArtifacts() {
+			att.SyncShared(a.Name, a.Bytes)
+			shared += a.Bytes
+		}
+		if total < shared {
+			total = shared // a just-published artifact the pool has not charged yet
+		}
+		att.Sync(total - shared)
+	})
+	att.SetDrainer(func() int { return pool.DrainIdle(s.eng.Now()) })
+	m.artifacts = m.artifacts[:0]
+	for _, a := range pool.SharedArtifacts() {
+		m.artifacts = append(m.artifacts, a.Name)
+	}
+	d := serve.NewDispatcher(s.eng, pool, s.cfg.Dispatcher)
+	if s.cfg.Telemetry != nil {
+		d.SetObserver(s.cfg.Telemetry)
+	}
+	if err := n.router.Register(m.name, m.name, d); err != nil {
+		return nil, err
+	}
+	r := &replica{m: m, n: n, eng: eng, pool: pool, disp: d, att: att}
+	if s.cfg.Telemetry != nil {
+		r.obsRouted = s.cfg.Telemetry.Counter(
+			obs.Labeled2("cluster_routed_total", "module", m.name, "node", n.w.Name))
+	}
+	m.live = append(m.live, r)
+	m.all = append(m.all, r)
+	n.obsReplicas.Set(int64(len(s.replicasOn(n))))
+	s.scale.Placed++
+	if replaced {
+		s.scale.RePlaced++
+		s.obsRePlaced.Inc()
+	}
+	return r, nil
+}
+
+// replicasOn lists live replicas hosted by n.
+func (s *Serving) replicasOn(n *nodeState) []*replica {
+	var out []*replica
+	for _, name := range s.order {
+		if r := s.modules[name].on(n); r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FailNode kills node idx fail-stop: the k8s node goes down, the node's
+// replicas drain (queued and in-flight requests finish, then the attachment
+// detaches and the node's memory charge disappears), and every module whose
+// last replica died is immediately re-placed on a surviving node so traffic
+// re-routes without waiting for the next request.
+func (s *Serving) FailNode(idx int) error {
+	if idx < 0 || idx >= len(s.nodes) {
+		return fmt.Errorf("cluster: FailNode: no node %d", idx)
+	}
+	n := s.nodes[idx]
+	if !n.alive {
+		return nil
+	}
+	n.alive = false
+	n.obsAlive.Set(0)
+	if err := s.K.FailNode(n.w.Name); err != nil {
+		return err
+	}
+	var lost []*moduleState
+	for _, name := range s.order {
+		m := s.modules[name]
+		r := m.on(n)
+		if r == nil {
+			continue
+		}
+		for i, lr := range m.live {
+			if lr == r {
+				m.live = append(m.live[:i], m.live[i+1:]...)
+				break
+			}
+		}
+		s.drainReplica(r)
+		if len(m.live) == 0 {
+			lost = append(lost, m)
+		}
+	}
+	n.obsReplicas.Set(0)
+	for _, m := range lost {
+		tgt := s.bestNode(m, false)
+		if tgt == nil {
+			return ErrNoLiveNode
+		}
+		if _, err := s.place(m, tgt, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainReplica retires one replica with connection-drain semantics: no new
+// work (the router no longer selects it), queued and in-flight requests run
+// to completion, then the pool's charge leaves the node.
+func (s *Serving) drainReplica(r *replica) {
+	r.disp.SetDraining(true)
+	pool, att, disp := r.pool, r.att, r.disp
+	finish := func() {
+		pool.SetMemoryListener(nil)
+		att.SetDrainer(nil)
+		att.Detach()
+	}
+	if disp.Quiesced() {
+		finish()
+		return
+	}
+	disp.SetQuiesceHook(func() {
+		disp.SetQuiesceHook(nil)
+		finish()
+	})
+}
+
+// MemoryPressure fires a memory-pressure episode on node idx, draining every
+// attached pool's idle instances, and returns the eviction count.
+func (s *Serving) MemoryPressure(idx int) int {
+	if idx < 0 || idx >= len(s.nodes) {
+		return 0
+	}
+	return s.nodes[idx].w.MemoryPressure()
+}
+
+// NodeCount is the configured node count, dead nodes included.
+func (s *Serving) NodeCount() int { return len(s.nodes) }
+
+// LiveNodes counts nodes still up.
+func (s *Serving) LiveNodes() int {
+	live := 0
+	for _, n := range s.nodes {
+		if n.alive {
+			live++
+		}
+	}
+	return live
+}
+
+// NodeAlive reports node idx's liveness.
+func (s *Serving) NodeAlive(idx int) bool {
+	return idx >= 0 && idx < len(s.nodes) && s.nodes[idx].alive
+}
+
+// RoutedByNode returns per-node routed-request counts, in node order.
+func (s *Serving) RoutedByNode() []int64 {
+	out := make([]int64, len(s.nodes))
+	for i, n := range s.nodes {
+		out[i] = n.routed
+	}
+	return out
+}
+
+// ReplicaNodes returns the node names hosting live replicas of module, in
+// node order (empty when the module is unknown or unplaced).
+func (s *Serving) ReplicaNodes(module string) []string {
+	m, ok := s.modules[module]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, n := range s.nodes {
+		if m.on(n) != nil {
+			out = append(out, n.w.Name)
+		}
+	}
+	return out
+}
+
+// Arm starts the autoscaler tick chain (and the tsdb window clock when the
+// p99 signal is configured) until the given horizon of simulated time. Call
+// before Run / the load generator; without it pools stay at Config.PoolSize.
+func (s *Serving) Arm(until time.Duration) {
+	a := s.cfg.Autoscale
+	if a.Interval <= 0 {
+		return
+	}
+	if s.db != nil {
+		s.db.ArmDES(s.eng, int64(until))
+	}
+	var tick func()
+	tick = func() {
+		s.tick()
+		if time.Duration(s.eng.Now())+a.Interval <= until {
+			s.eng.After(a.Interval, tick)
+		}
+	}
+	s.eng.After(a.Interval, tick)
+}
+
+// tick is one autoscaler evaluation: per live replica, grow the pool on
+// queue depth or windowed p99 (skipping nodes the metrics-server reports
+// memory-starved), shrink it after ShrinkAfter consecutive idle ticks.
+func (s *Serving) tick() {
+	a := s.cfg.Autoscale
+	var p99 time.Duration
+	if s.db != nil && a.P99High > 0 {
+		p99 = time.Duration(s.db.QuantileOver("dispatch_latency_ns", 0.99, 2*a.Interval))
+	}
+	free := s.K.Metrics.NodeFree()
+	for _, name := range s.order {
+		for _, r := range s.modules[name].live {
+			q := r.disp.QueueLen()
+			target := r.pool.TargetSize()
+			hot := q >= a.QueueHigh || (a.P99High > 0 && p99 >= a.P99High && q > 0)
+			switch {
+			case hot:
+				r.idleTicks = 0
+				if free[r.n.idx].AvailableBytes < a.MinFreeBytes {
+					continue // the node can't carry more warm instances
+				}
+				next := target * 2
+				if next < 1 {
+					next = 1
+				}
+				if next > a.MaxPoolSize {
+					next = a.MaxPoolSize
+				}
+				if next > target {
+					if _, err := r.pool.Resize(next); err == nil {
+						s.scale.Ups++
+						s.obsScaleUps.Inc()
+					}
+				}
+			case q == 0 && r.disp.InFlight() == 0:
+				r.idleTicks++
+				if r.idleTicks >= a.ShrinkAfter && target > a.MinPoolSize {
+					next := target / 2
+					if next < a.MinPoolSize {
+						next = a.MinPoolSize
+					}
+					if _, err := r.pool.Resize(next); err == nil {
+						s.scale.Downs++
+						s.obsScaleDowns.Inc()
+					}
+					r.idleTicks = 0
+				}
+			default:
+				r.idleTicks = 0
+			}
+		}
+	}
+}
+
+// ScaleStats snapshots the control-loop counters.
+func (s *Serving) ScaleStats() ScaleStats { return s.scale }
+
+// ColdStarts sums dry-pool fallback instantiations over every replica ever
+// placed (retired ones included): the cluster-wide cold-start bill.
+func (s *Serving) ColdStarts() int64 {
+	var total int64
+	for _, name := range s.order {
+		for _, r := range s.modules[name].all {
+			total += r.pool.Stats().ColdStarts
+		}
+	}
+	return total
+}
+
+// SharedArtifactBytes sums the wasm-* shared artifacts resident on live
+// nodes and how many copies exist cluster-wide: the number locality
+// placement minimizes (spread pays one copy of every artifact per node).
+func (s *Serving) SharedArtifactBytes() (bytes int64, copies int) {
+	for _, n := range s.nodes {
+		if !n.alive {
+			continue
+		}
+		for _, lib := range n.w.OS.SharedLibs() {
+			if strings.HasPrefix(lib.Name, "wasm-") {
+				bytes += lib.Bytes
+				copies++
+			}
+		}
+	}
+	return bytes, copies
+}
+
+// Quiesced reports whether every node's router holds no work.
+func (s *Serving) Quiesced() bool {
+	for _, n := range s.nodes {
+		if !n.router.Quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats aggregates one ShardStats per module over every replica it ever had
+// (live and retired), so the conservation identity spans failover.
+// Implements serve.MultiTarget.
+func (s *Serving) Stats() serve.RouterStats {
+	out := serve.RouterStats{Mode: serve.RouterSharded}
+	for _, name := range s.order {
+		m := s.modules[name]
+		var st serve.DispatcherStats
+		q, inf := 0, 0
+		for _, r := range m.all {
+			d := r.disp.Stats()
+			st.Submitted += d.Submitted
+			st.Completed += d.Completed
+			st.Rejected += d.Rejected
+			st.Expired += d.Expired
+			st.Failed += d.Failed
+			st.Retries += d.Retries
+			st.TimedOut += d.TimedOut
+			st.BreakerOpens += d.BreakerOpens
+			st.BreakerShortCircuits += d.BreakerShortCircuits
+			q += r.disp.QueueLen()
+			inf += r.disp.InFlight()
+		}
+		out.Shards = append(out.Shards, serve.ShardStats{
+			Key: name, Module: name, Stats: st, QueueLen: q, InFlight: inf,
+		})
+		out.Aggregate.Submitted += st.Submitted
+		out.Aggregate.Completed += st.Completed
+		out.Aggregate.Rejected += st.Rejected
+		out.Aggregate.Expired += st.Expired
+		out.Aggregate.Failed += st.Failed
+		out.Aggregate.Retries += st.Retries
+		out.Aggregate.TimedOut += st.TimedOut
+		out.Aggregate.BreakerOpens += st.BreakerOpens
+		out.Aggregate.BreakerShortCircuits += st.BreakerShortCircuits
+	}
+	for _, n := range s.nodes {
+		rs := n.router.Stats()
+		out.Batches += rs.Batches
+		out.BatchedRequests += rs.BatchedRequests
+		if rs.MaxBatch > out.MaxBatch {
+			out.MaxBatch = rs.MaxBatch
+		}
+	}
+	return out
+}

@@ -52,6 +52,9 @@ type Config struct {
 	// PressureAt lists simulated instants of node memory-pressure episodes
 	// for ArmPressure.
 	PressureAt []time.Duration
+	// NodeDeathAt lists simulated instants of whole-node fail-stop episodes
+	// for ArmNodeDeath.
+	NodeDeathAt []time.Duration
 }
 
 // Stats counts injected faults. All counters are monotone.
@@ -64,6 +67,8 @@ type Stats struct {
 	SlowColdStarts int64
 	// PressureEvents counts fired memory-pressure episodes.
 	PressureEvents int64
+	// NodeDeaths counts fired node-death episodes.
+	NodeDeaths int64
 	// Draws counts PRNG consultations (a determinism fingerprint: two runs
 	// of the same scenario must agree on it exactly).
 	Draws int64
@@ -180,6 +185,29 @@ func (in *Injector) ArmPressure(eng *des.Engine, fn func()) int {
 			in.stats.PressureEvents++
 			in.mu.Unlock()
 			fn()
+		})
+	}
+	return len(times)
+}
+
+// ArmNodeDeath schedules fn at every Config.NodeDeathAt instant on the DES
+// clock and returns how many episodes were armed. fn receives the episode
+// index (0-based) so the caller can pick which node dies; the cluster layer
+// answers by failing a node — drain, re-place, re-route.
+func (in *Injector) ArmNodeDeath(eng *des.Engine, fn func(episode int)) int {
+	if in == nil || eng == nil || fn == nil {
+		return 0
+	}
+	in.mu.Lock()
+	times := append([]time.Duration(nil), in.cfg.NodeDeathAt...)
+	in.mu.Unlock()
+	for i, at := range times {
+		i := i
+		eng.At(des.Time(at), func() {
+			in.mu.Lock()
+			in.stats.NodeDeaths++
+			in.mu.Unlock()
+			fn(i)
 		})
 	}
 	return len(times)

@@ -125,6 +125,26 @@ func TestArmPressureFiresOnDESClock(t *testing.T) {
 	}
 }
 
+func TestArmNodeDeathFiresOnDESClock(t *testing.T) {
+	eng := des.NewEngine()
+	in := New(Config{NodeDeathAt: []time.Duration{2 * time.Second}})
+	var episodes []int
+	if n := in.ArmNodeDeath(eng, func(ep int) { episodes = append(episodes, ep) }); n != 1 {
+		t.Fatalf("armed %d, want 1", n)
+	}
+	eng.Run()
+	if !reflect.DeepEqual(episodes, []int{0}) {
+		t.Fatalf("episodes = %v, want [0]", episodes)
+	}
+	if st := in.Stats(); st.NodeDeaths != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Disabled states arm nothing.
+	if n := (*Injector)(nil).ArmNodeDeath(eng, func(int) {}); n != 0 {
+		t.Fatalf("nil injector armed %d", n)
+	}
+}
+
 // TestConcurrentDrawsRaceFree hammers one injector from 8 goroutines under
 // the race detector. Determinism is a single-goroutine (DES) property; this
 // only asserts memory safety and counter conservation.

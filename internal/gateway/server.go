@@ -132,7 +132,9 @@ func DefaultSLOObjectives(target, latencyTarget float64, latencyThreshold time.D
 }
 
 // Function is one registered module: engine, pool, dispatcher, and the
-// node attachment charging pool memory to the simulated cluster.
+// node attachment charging pool memory to the simulated cluster. node and
+// att are rewritten when a node failure re-homes the function; both are
+// only touched on the bridge loop goroutine (or before Start).
 type Function struct {
 	cfg  FunctionConfig
 	key  string // router shard key: the compiled module's content digest
@@ -140,6 +142,28 @@ type Function struct {
 	pool *serve.Pool
 	disp *serve.Dispatcher
 	att  *k8s.WarmPoolAttachment
+	node *k8s.WorkerNode
+}
+
+// Node names the cluster node currently charged for the function's pool.
+func (f *Function) Node() string { return f.node.Name }
+
+// syncMem pushes the pool's accounted memory to the current attachment,
+// splitting it into node-shared artifacts (code, baseline data image,
+// tier-1 code — charged once per node however many pools share them) and
+// the per-instance private remainder. Runs on the bridge loop via the
+// pool's memory listener.
+func (f *Function) syncMem(total int64) {
+	att := f.att
+	var shared int64
+	for _, a := range f.pool.SharedArtifacts() {
+		att.SyncShared(a.Name, a.Bytes)
+		shared += a.Bytes
+	}
+	if total < shared {
+		total = shared // an artifact published ahead of the pool's charge
+	}
+	att.Sync(total - shared)
 }
 
 // Dispatcher exposes the function's dispatcher (observer-safe accessors
@@ -172,9 +196,8 @@ type Server struct {
 	// fns is a copy-on-write snapshot map (module name → function): the
 	// invoke hot path reads it with one atomic load; lazy registration
 	// copies under regMu and publishes a new map.
-	fns      atomic.Pointer[map[string]*Function]
-	regMu    sync.Mutex
-	nextNode int // round-robin node index for pool attachments (under regMu)
+	fns   atomic.Pointer[map[string]*Function]
+	regMu sync.Mutex
 
 	// clusterMu serializes control-surface calls: each one mutates API
 	// objects and then drives the cluster's engine to quiescence.
@@ -318,13 +341,14 @@ func trackDefaultSeries(db *tsdb.DB, tele *obs.Telemetry) {
 	}
 }
 
-// addFunction builds one function on the next round-robin node, registers
-// its dispatcher as a router shard keyed by module digest, and publishes it
-// in the snapshot map. Serialized under regMu. With live set (lazy creation
-// on a running server), the engine/pool/attachment construction runs on the
-// bridge loop goroutine via Do, because pool pre-instantiation syncs node
-// memory accounting that in-flight requests of co-located pools are
-// mutating on that goroutine.
+// addFunction builds one function, registers its dispatcher as a router
+// shard keyed by module digest, and publishes it in the snapshot map. The
+// node is chosen by artifact locality (see pickNode), not round-robin.
+// Serialized under regMu. With live set (lazy creation on a running
+// server), the engine/pool/attachment construction runs on the bridge loop
+// goroutine via Do, because pool pre-instantiation syncs node memory
+// accounting that in-flight requests of co-located pools are mutating on
+// that goroutine.
 func (s *Server) addFunction(ctx context.Context, fc FunctionConfig, live bool) (*Function, error) {
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
@@ -332,10 +356,9 @@ func (s *Server) addFunction(ctx context.Context, fc FunctionConfig, live bool) 
 	if fn, ok := old[fc.Module]; ok {
 		return fn, nil
 	}
-	node := s.cluster.Nodes[s.nextNode%len(s.cluster.Nodes)]
 	var fn *Function
 	var err error
-	build := func() { fn, err = s.newFunction(fc, node) }
+	build := func() { fn, err = s.newFunction(fc) }
 	if live {
 		if doErr := s.bridge.Do(ctx, build); doErr != nil {
 			return nil, doErr
@@ -349,7 +372,6 @@ func (s *Server) addFunction(ctx context.Context, fc FunctionConfig, live bool) 
 	if err := s.router.Register(fn.key, fc.Module, fn.disp); err != nil {
 		return nil, err
 	}
-	s.nextNode++
 	next := make(map[string]*Function, len(old)+1)
 	for k, v := range old {
 		next[k] = v
@@ -359,9 +381,37 @@ func (s *Server) addFunction(ctx context.Context, fc FunctionConfig, live bool) 
 	return fn, nil
 }
 
-// newFunction wires one module end to end: compile, warm pool, cluster
-// memory attachment, dispatcher.
-func (s *Server) newFunction(fc FunctionConfig, node *k8s.WorkerNode) (*Function, error) {
+// pickNode scores live nodes for a module's shared artifacts: a node
+// already holding the module's wasm-code:/wasm-data: images beats an empty
+// one (the artifact is charged once per node, so stacking is free), free
+// memory breaks ties, and node order makes the choice deterministic.
+func (s *Server) pickNode(arts []string) (*k8s.WorkerNode, error) {
+	var best *k8s.WorkerNode
+	bestScore, bestFree := -1, int64(-1)
+	for _, n := range s.cluster.Nodes {
+		if !n.Alive() {
+			continue
+		}
+		score := 0
+		for _, a := range arts {
+			if n.OS.HasSharedLib(a) {
+				score++
+			}
+		}
+		free := n.OS.Free().AvailableBytes
+		if score > bestScore || (score == bestScore && free > bestFree) {
+			best, bestScore, bestFree = n, score, free
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gateway: no live node to place on")
+	}
+	return best, nil
+}
+
+// newFunction wires one module end to end: compile, place by artifact
+// locality, warm pool, cluster memory attachment, dispatcher.
+func (s *Server) newFunction(fc FunctionConfig) (*Function, error) {
 	if fc.Profile == "" {
 		fc.Profile = "wamr"
 	}
@@ -382,6 +432,14 @@ func (s *Server) newFunction(fc FunctionConfig, node *k8s.WorkerNode) (*Function
 	if err != nil {
 		return nil, fmt.Errorf("gateway: compile %s: %w", fc.Module, err)
 	}
+	node, err := s.pickNode([]string{
+		fmt.Sprintf("wasm-code:%x", cm.Digest[:8]),
+		fmt.Sprintf("wasm-data:%x", cm.Digest[:8]),
+		fmt.Sprintf("wasm-t1:%x", cm.Digest[:8]),
+	})
+	if err != nil {
+		return nil, err
+	}
 	pool, err := serve.NewPool(eng, cm, serve.Config{Size: fc.PoolSize, IdleTTL: fc.IdleTTL})
 	if err != nil {
 		return nil, fmt.Errorf("gateway: pool %s: %w", fc.Module, err)
@@ -391,7 +449,6 @@ func (s *Server) newFunction(fc FunctionConfig, node *k8s.WorkerNode) (*Function
 		return nil, err
 	}
 	att.SetObserver(s.tele)
-	pool.SetMemoryListener(att.Sync)
 	disp := serve.NewDispatcher(s.sim, pool, serve.DispatcherConfig{
 		MaxConcurrency:   fc.MaxConcurrency,
 		QueueDepth:       fc.QueueDepth,
@@ -406,14 +463,18 @@ func (s *Server) newFunction(fc FunctionConfig, node *k8s.WorkerNode) (*Function
 		BreakerCooldown:  fc.BreakerCooldown,
 	})
 	disp.SetObserver(s.tele)
-	return &Function{
+	fn := &Function{
 		cfg:  fc,
 		key:  fmt.Sprintf("%x", cm.Digest),
 		eng:  eng,
 		pool: pool,
 		disp: disp,
 		att:  att,
-	}, nil
+		node: node,
+	}
+	pool.SetMemoryListener(fn.syncMem)
+	att.SetDrainer(func() int { return pool.DrainIdle(s.sim.Now()) })
+	return fn, nil
 }
 
 // Start launches the bridge event loop; the server is ready to serve once
@@ -473,6 +534,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/containers/json", s.handleContainerList)
 	mux.HandleFunc("GET /v1/containers/{id}/stats", s.handleContainerStats)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	mux.HandleFunc("POST /v1/cluster/nodes/{node}/fail", s.handleNodeFail)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
@@ -761,9 +823,21 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sloEng.Status())
 }
 
+// sharedArtifactBytes sums the pool's node-shared artifact sizes (charged
+// to the node once per artifact name, outside the attachment's private
+// charge).
+func sharedArtifactBytes(p *serve.Pool) int64 {
+	var total int64
+	for _, a := range p.SharedArtifacts() {
+		total += a.Bytes
+	}
+	return total
+}
+
 // NodeStatus is one node of GET /v1/cluster.
 type NodeStatus struct {
 	Name            string `json:"name"`
+	Alive           bool   `json:"alive"`
 	Pods            int    `json:"pods"`
 	MemUsedBytes    int64  `json:"mem_used_bytes"`
 	MemTotalBytes   int64  `json:"mem_total_bytes"`
@@ -774,11 +848,13 @@ type NodeStatus struct {
 type FunctionStatus struct {
 	Module          string                `json:"module"`
 	Profile         string                `json:"profile"`
+	Node            string                `json:"node"`
 	PoolSize        int                   `json:"pool_size"`
 	PoolIdle        int                   `json:"pool_idle"`
 	PoolLeased      int                   `json:"pool_leased"`
 	PoolMemoryBytes int64                 `json:"pool_memory_bytes"`
 	ChargedBytes    int64                 `json:"charged_bytes"`
+	SharedBytes     int64                 `json:"shared_bytes"`
 	QueueLen        int                   `json:"queue_len"`
 	InFlight        int                   `json:"in_flight"`
 	Breaker         string                `json:"breaker"`
@@ -828,6 +904,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			free := n.OS.Free()
 			st.Nodes = append(st.Nodes, NodeStatus{
 				Name:            n.Name,
+				Alive:           n.Alive(),
 				Pods:            podsByNode[n.Name],
 				MemUsedBytes:    free.UsedBytes,
 				MemTotalBytes:   free.TotalBytes,
@@ -846,11 +923,13 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			st.Functions = append(st.Functions, FunctionStatus{
 				Module:          fn.cfg.Module,
 				Profile:         fn.cfg.Profile,
+				Node:            fn.node.Name,
 				PoolSize:        fn.cfg.PoolSize,
 				PoolIdle:        fn.pool.Idle(),
 				PoolLeased:      fn.pool.Leased(),
 				PoolMemoryBytes: fn.pool.MemoryBytes(),
 				ChargedBytes:    fn.att.ChargedBytes(),
+				SharedBytes:     sharedArtifactBytes(fn.pool),
 				QueueLen:        fn.disp.QueueLen(),
 				InFlight:        fn.disp.InFlight(),
 				Breaker:         fn.disp.BreakerState().String(),
@@ -869,4 +948,76 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		st.SLO = &sloStatus
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// NodeFailResponse is the body of POST /v1/cluster/nodes/{node}/fail.
+type NodeFailResponse struct {
+	Node string `json:"node"`
+	// Rehomed lists the functions whose memory charge moved to a surviving
+	// node, in module order.
+	Rehomed []string `json:"rehomed"`
+}
+
+// handleNodeFail kills one node fail-stop: the control plane marks it dead
+// and fails its pods, and every function charged to that node is re-homed —
+// a fresh warm-pool attachment on a surviving node picked by artifact
+// locality, the dead node's charge detached. The serving state (pool,
+// dispatcher, router shard) is untouched, so in-flight and subsequent
+// invokes keep completing across the failure; only the placement moves.
+// Idempotent: failing a dead node re-homes nothing and returns 200.
+func (s *Server) handleNodeFail(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("node")
+	resp := NodeFailResponse{Node: name}
+	var failErr error
+	err := s.bridge.Do(r.Context(), func() {
+		s.clusterMu.Lock()
+		defer s.clusterMu.Unlock()
+		if failErr = s.cluster.FailNode(name); failErr != nil {
+			return
+		}
+		s.cluster.Run()
+		// Deterministic re-home order: module-name sorted.
+		fns := *s.fns.Load()
+		modules := make([]string, 0, len(fns))
+		for m, fn := range fns {
+			if fn.node.Name == name {
+				modules = append(modules, m)
+			}
+		}
+		sort.Strings(modules)
+		for _, m := range modules {
+			fn := fns[m]
+			arts := make([]string, 0, 3)
+			for _, a := range fn.pool.SharedArtifacts() {
+				arts = append(arts, a.Name)
+			}
+			target, err := s.pickNode(arts)
+			if err != nil {
+				failErr = fmt.Errorf("gateway: re-home %s: %w", m, err)
+				return
+			}
+			att, err := target.AttachWarmPool(fmt.Sprintf("%s-%s", fn.cfg.Module, fn.cfg.Profile))
+			if err != nil {
+				failErr = fmt.Errorf("gateway: re-home %s: %w", m, err)
+				return
+			}
+			att.SetObserver(s.tele)
+			old := fn.att
+			fn.att, fn.node = att, target
+			att.SetDrainer(func() int { return fn.pool.DrainIdle(s.sim.Now()) })
+			fn.syncMem(fn.pool.MemoryBytes())
+			old.SetDrainer(nil)
+			old.Detach()
+			resp.Rehomed = append(resp.Rehomed, m)
+		}
+	})
+	if err != nil {
+		writeError(w, MapError(err, retryHints{}), err)
+		return
+	}
+	if failErr != nil {
+		writeError(w, ErrorMapping{http.StatusNotFound, "unknown_node", 0}, failErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -340,10 +340,21 @@ func TestClusterIntrospection(t *testing.T) {
 	if f.Stats.Completed != 5 {
 		t.Fatalf("completed = %d, want 5", f.Stats.Completed)
 	}
-	// The attachment charges whole pages, so charged >= raw pool bytes.
-	if f.PoolMemoryBytes <= 0 || f.ChargedBytes < f.PoolMemoryBytes {
-		t.Fatalf("pool memory %d not charged to node (charged %d)",
-			f.PoolMemoryBytes, f.ChargedBytes)
+	// The pool's charge reaches the node split in two: shared artifacts
+	// (code, baseline image — one per-node copy) plus the page-rounded
+	// private remainder, which together cover the raw pool bytes.
+	if f.PoolMemoryBytes <= 0 || f.ChargedBytes+f.SharedBytes < f.PoolMemoryBytes {
+		t.Fatalf("pool memory %d not charged to node (private %d + shared %d)",
+			f.PoolMemoryBytes, f.ChargedBytes, f.SharedBytes)
+	}
+	if f.SharedBytes <= 0 {
+		t.Fatal("no shared artifacts charged to the node")
+	}
+	if f.Node == "" {
+		t.Fatal("function reports no placement node")
+	}
+	if !st.Nodes[0].Alive {
+		t.Fatal("healthy node reported dead")
 	}
 	if st.Nodes[0].MemUsedBytes <= 0 {
 		t.Fatal("node reports no memory in use")
@@ -464,5 +475,100 @@ func TestDilationPacesWallClock(t *testing.T) {
 	if wall < minWall {
 		t.Fatalf("wall latency %s < dilated sim latency %s (sim %.3fms × %g)",
 			wall, minWall, simMs, dilation)
+	}
+}
+
+// TestNodeFailover: POST /v1/cluster/nodes/{node}/fail kills the node
+// hosting a function, re-homes its memory charge to a survivor, and keeps
+// the function serving across the failure.
+func TestNodeFailover(t *testing.T) {
+	fc := DefaultFunction()
+	gw, err := New(Config{
+		Functions:    []FunctionConfig{fc},
+		Bridge:       BridgeConfig{Dilation: 0},
+		ClusterNodes: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	ts := httptest.NewServer(gw)
+	defer func() {
+		ts.Close()
+		gw.Bridge().Stop()
+	}()
+	client := &http.Client{Timeout: 30 * time.Second}
+	invoke(t, client, ts.URL+"/v1/functions/"+fc.Module, nil)
+
+	clusterStatus := func() ClusterStatus {
+		resp, err := client.Get(ts.URL + "/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st ClusterStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	home := clusterStatus().Functions[0].Node
+	if home == "" {
+		t.Fatal("function reports no node")
+	}
+
+	resp, err := client.Post(ts.URL+"/v1/cluster/nodes/"+home+"/fail", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr NodeFailResponse
+	err = json.NewDecoder(resp.Body).Decode(&fr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail returned %d", resp.StatusCode)
+	}
+	if len(fr.Rehomed) != 1 || fr.Rehomed[0] != fc.Module {
+		t.Fatalf("rehomed = %v, want [%s]", fr.Rehomed, fc.Module)
+	}
+
+	st := clusterStatus()
+	for _, n := range st.Nodes {
+		if n.Name == home && n.Alive {
+			t.Fatalf("node %s still reported alive after fail", home)
+		}
+	}
+	f := st.Functions[0]
+	if f.Node == home || f.Node == "" {
+		t.Fatalf("function still homed on %q after node death", f.Node)
+	}
+	if f.ChargedBytes+f.SharedBytes < f.PoolMemoryBytes {
+		t.Fatalf("re-homed charge %d+%d does not cover pool %d",
+			f.ChargedBytes, f.SharedBytes, f.PoolMemoryBytes)
+	}
+	// The function keeps serving across the failure.
+	r2, _ := invoke(t, client, ts.URL+"/v1/functions/"+fc.Module, nil)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("invoke after failover: %d", r2.StatusCode)
+	}
+	// Idempotent on a dead node; 404 on an unknown one.
+	r3, err := client.Post(ts.URL+"/v1/cluster/nodes/"+home+"/fail", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("second fail returned %d, want 200", r3.StatusCode)
+	}
+	r4, err := client.Post(ts.URL+"/v1/cluster/nodes/worker-99/fail", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown node fail returned %d, want 404", r4.StatusCode)
 	}
 }

@@ -22,8 +22,10 @@ func DefaultSchedulerConfig() SchedulerConfig {
 	return SchedulerConfig{BindLatency: 10 * time.Millisecond}
 }
 
-// Scheduler binds pending pods to nodes (single-node placement with a max
-// pods cap, matching the paper's one-worker testbed).
+// Scheduler binds pending pods to nodes. Placement is decided at bind time
+// (after BindLatency) against live node state: dead or full nodes are
+// filtered out, artifact-hinted pods prefer nodes already holding their
+// shared images, and the rest spread round-robin.
 type Scheduler struct {
 	cfg   SchedulerConfig
 	api   *APIServer
@@ -44,14 +46,76 @@ func (s *Scheduler) handle(p *Pod) {
 		return
 	}
 	p.Status.Phase = PodScheduled // claim immediately; bind after latency
-	s.eng.After(s.cfg.BindLatency, func() {
-		node := s.nodes[s.next%len(s.nodes)]
+	s.eng.After(s.cfg.BindLatency, func() { s.bind(p) })
+}
+
+// bind picks a node at bind time, not admission time: BindLatency later the
+// world has moved — nodes fill toward MaxPods or die — so the candidate set
+// is re-evaluated here instead of trusting a pick made when the pod was
+// admitted. A pod whose node fails while it waits in the bind queue simply
+// lands elsewhere.
+func (s *Scheduler) bind(p *Pod) {
+	if p.Status.Phase != PodScheduled {
+		return // failed or deleted while waiting to bind
+	}
+	node := s.pick(p)
+	if node == nil {
+		p.Status.Phase = PodFailed
+		p.Status.Message = "scheduler: no viable node (all failed or at max pods)"
+		s.api.Record("PodFailed", p.Namespace+"/"+p.Name, p.Status.Message)
+		s.api.UpdatePod(p)
+		return
+	}
+	p.Spec.NodeName = node.Name
+	p.Status.ScheduledAt = s.eng.Now()
+	s.api.Record("PodScheduled", p.Namespace+"/"+p.Name, "bound to "+node.Name)
+	node.Kubelet.HandlePod(p)
+}
+
+// pick filters the cluster down to viable nodes (alive and below MaxPods)
+// and chooses among them. Pods carrying artifact hints are scored by how
+// many of their shared images each node already holds resident — cache
+// locality beats spreading — with free pod capacity as the tiebreak.
+// Hint-less pods keep the round-robin spread.
+func (s *Scheduler) pick(p *Pod) *WorkerNode {
+	viable := make([]*WorkerNode, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		if n.Alive() && n.Kubelet.PodCount() < n.Kubelet.MaxPods() {
+			viable = append(viable, n)
+		}
+	}
+	if len(viable) == 0 {
+		return nil
+	}
+	if len(p.Spec.ArtifactHints) > 0 {
+		var best *WorkerNode
+		bestScore, bestCap := -1, -1
+		for _, n := range viable {
+			score := 0
+			for _, h := range p.Spec.ArtifactHints {
+				if n.OS.HasSharedLib(h) {
+					score++
+				}
+			}
+			capacity := n.Kubelet.MaxPods() - n.Kubelet.PodCount()
+			if score > bestScore || (score == bestScore && capacity > bestCap) {
+				best, bestScore, bestCap = n, score, capacity
+			}
+		}
+		return best
+	}
+	// The cursor walks the full node list so the spread stays stable as
+	// nodes fail: skip non-viable entries rather than re-indexing.
+	for range s.nodes {
+		n := s.nodes[s.next%len(s.nodes)]
 		s.next++
-		p.Spec.NodeName = node.Name
-		p.Status.ScheduledAt = s.eng.Now()
-		s.api.Record("PodScheduled", p.Namespace+"/"+p.Name, "bound to "+node.Name)
-		node.Kubelet.HandlePod(p)
-	})
+		for _, v := range viable {
+			if v == n {
+				return n
+			}
+		}
+	}
+	return viable[0]
 }
 
 // ClusterConfig assembles a cluster.
@@ -132,6 +196,9 @@ type DeployOptions struct {
 	Replicas         int
 	Args             []string
 	Env              []string
+	// ArtifactHints steer placement toward nodes already holding these
+	// shared artifacts (see PodSpec.ArtifactHints).
+	ArtifactHints []string
 }
 
 // Deploy creates Replicas single-container pods (the paper's unit: one
@@ -152,6 +219,7 @@ func (c *Cluster) Deploy(opts DeployOptions) ([]*Pod, error) {
 			UID:       fmt.Sprintf("uid-%06d", c.podSeq),
 			Spec: PodSpec{
 				RuntimeClassName: opts.RuntimeClassName,
+				ArtifactHints:    opts.ArtifactHints,
 				Containers: []ContainerSpec{{
 					Name:  "app",
 					Image: opts.Image,
@@ -176,6 +244,36 @@ func (c *Cluster) SetObserver(t *obs.Telemetry) {
 	for _, n := range c.Nodes {
 		n.Kubelet.SetObserver(t)
 	}
+}
+
+// Node returns the named worker node, or nil.
+func (c *Cluster) Node(name string) *WorkerNode { return c.nodeByName(name) }
+
+// FailNode marks a node dead: the scheduler stops binding to it, its kubelet
+// refuses new pods, and every pod already bound there flips to Failed with
+// the node named in the reason. Idempotent; unknown names are an error.
+func (c *Cluster) FailNode(name string) error {
+	node := c.nodeByName(name)
+	if node == nil {
+		return fmt.Errorf("k8s: FailNode: unknown node %q", name)
+	}
+	if !node.Alive() {
+		return nil
+	}
+	node.Fail()
+	c.API.Record("NodeFailed", name, "node marked down")
+	for _, p := range c.API.Pods() {
+		if p.Spec.NodeName != name {
+			continue
+		}
+		if p.Status.Phase == PodScheduled || p.Status.Phase == PodRunning {
+			p.Status.Phase = PodFailed
+			p.Status.Message = "node " + name + " failed"
+			c.API.Record("PodFailed", p.Namespace+"/"+p.Name, p.Status.Message)
+			c.API.UpdatePod(p)
+		}
+	}
+	return nil
 }
 
 // Run drives the simulation until quiescent and returns the final time.

@@ -2,6 +2,7 @@ package k8s
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"wasmcontainers/internal/containerd"
@@ -41,6 +42,22 @@ type WorkerNode struct {
 	// attachments are the warm pools charged to this node, drained in
 	// attachment order when the node comes under memory pressure.
 	attachments []*WarmPoolAttachment
+
+	// dead is atomic because the gateway flips it from the bridge goroutine
+	// while HTTP control-surface handlers read it concurrently.
+	dead atomic.Bool
+}
+
+// Alive reports whether the node is up. New clusters start with every node
+// alive.
+func (n *WorkerNode) Alive() bool { return !n.dead.Load() }
+
+// Fail marks the node down: its kubelet refuses and abandons pod work, and
+// the scheduler stops considering it. There is no recovery path — the
+// simulated failure model is fail-stop.
+func (n *WorkerNode) Fail() {
+	n.dead.Store(true)
+	n.Kubelet.setDown()
 }
 
 // Kubelet drives pods assigned to its node through the CRI, pacing the work
@@ -55,6 +72,7 @@ type Kubelet struct {
 	taskLock *des.Resource
 	proc     *simos.Process
 	podCount int
+	down     atomic.Bool
 
 	// Telemetry handles, nil when observation is disabled (nil handles no-op
 	// without allocating).
@@ -100,6 +118,15 @@ func NewKubelet(cfg KubeletConfig, api *APIServer, eng *des.Engine, node *simos.
 	}, nil
 }
 
+// PodCount is the number of pods the kubelet has accepted (viability input
+// for bind-time scheduling).
+func (k *Kubelet) PodCount() int { return k.podCount }
+
+// MaxPods is the node's pod capacity.
+func (k *Kubelet) MaxPods() int { return k.cfg.MaxPods }
+
+func (k *Kubelet) setDown() { k.down.Store(true) }
+
 // CPUPool exposes the node's core pool (used by benchmarks for utilization).
 func (k *Kubelet) CPUPool() *des.CPUPool { return k.cpu }
 
@@ -110,6 +137,10 @@ func (k *Kubelet) TaskLock() *des.Resource { return k.taskLock }
 // start sequence on the discrete-event engine.
 func (k *Kubelet) HandlePod(p *Pod) {
 	if p.Status.Phase != PodScheduled {
+		return
+	}
+	if k.down.Load() {
+		k.failPod(p, "kubelet: node "+k.node.Config().Name+" is down")
 		return
 	}
 	if k.podCount >= k.cfg.MaxPods {
@@ -129,6 +160,11 @@ func (k *Kubelet) HandlePod(p *Pod) {
 // syncPod runs sandbox + container creation, then paces each container's
 // start through the task lock and the CPU pool.
 func (k *Kubelet) syncPod(p *Pod) {
+	// The pod may have been failed (node death) between HandlePod and the
+	// sync firing; a dead kubelet also abandons queued syncs.
+	if p.Status.Phase != PodScheduled || k.down.Load() {
+		return
+	}
 	rcName := p.Spec.RuntimeClassName
 	handler := containerd.HandlerRunc
 	if rcName != "" {
@@ -170,6 +206,9 @@ func (k *Kubelet) syncPod(p *Pod) {
 		k.eng.After(report.Cost.FixedDelay, func() {
 			k.taskLock.Acquire(report.Cost.TaskLockHold, func() {
 				k.cpu.Submit(report.Cost.CPUWork, func() {
+					if p.Status.Phase != PodScheduled {
+						return // failed mid-start (node death)
+					}
 					p.Status.Containers[i] = ContainerStatus{
 						Name:      cs.Name,
 						Ready:     true,

@@ -27,18 +27,34 @@ func NewMetricsServer(nodes []*WorkerNode) *MetricsServer {
 	return &MetricsServer{nodes: nodes}
 }
 
-// PodMetrics scrapes one pod.
+// PodMetrics scrapes one pod, resolving the cgroup through the pod's bound
+// node. Scanning every node would return the first hierarchy whose path
+// matches — and the same /kubepods/pod-<uid> path can exist on more than one
+// node (a stale hierarchy left by a failed placement, say), silently
+// attributing another node's charge to this pod. Unbound pods report false.
 func (m *MetricsServer) PodMetrics(p *Pod) (PodMetrics, bool) {
+	n := m.nodeByName(p.Spec.NodeName)
+	if n == nil {
+		return PodMetrics{}, false
+	}
+	cg, ok := n.OS.Cgroup(p.CgroupParent())
+	if !ok {
+		return PodMetrics{}, false
+	}
+	return PodMetrics{
+		Namespace:   p.Namespace,
+		Name:        p.Name,
+		MemoryBytes: cg.MemoryCurrent(),
+	}, true
+}
+
+func (m *MetricsServer) nodeByName(name string) *WorkerNode {
 	for _, n := range m.nodes {
-		if cg, ok := n.OS.Cgroup(p.CgroupParent()); ok {
-			return PodMetrics{
-				Namespace:   p.Namespace,
-				Name:        p.Name,
-				MemoryBytes: cg.MemoryCurrent(),
-			}, true
+		if n.Name == name {
+			return n
 		}
 	}
-	return PodMetrics{}, false
+	return nil
 }
 
 // AllPodMetrics scrapes every pod in the list, sorted by name.

@@ -75,11 +75,14 @@ func TestWarmPoolAttachmentTelemetry(t *testing.T) {
 	}
 }
 
-// TestKubeletFailureCounter overflows MaxPods and checks the failure counter
-// catches the rejected pods.
+// TestKubeletFailureCounter drives pods into a kubelet-level failure (runC
+// rejecting a wasm image at container start) and checks the failure counter
+// catches them. Capacity overflow no longer reaches the kubelet: the
+// scheduler rejects those pods at bind time, and that must NOT count as a
+// kubelet failure.
 func TestKubeletFailureCounter(t *testing.T) {
 	cfg := DefaultClusterConfig()
-	cfg.KubeletConfig.MaxPods = 2
+	cfg.KubeletConfig.MaxPods = 4
 	c, err := NewCluster(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -89,14 +92,32 @@ func TestKubeletFailureCounter(t *testing.T) {
 	if _, err := c.Deploy(DeployOptions{
 		RuntimeClassName: "crun-wamr",
 		Image:            "minimal-service:wasm",
-		Replicas:         4,
+		Replicas:         2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy(DeployOptions{
+		RuntimeClassName: "runc",
+		Image:            "minimal-service:wasm", // runC cannot run wasm: CRI fails the pod
+		Replicas:         2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	// Overflow wave: the node is at MaxPods (2 running + 2 failed counted on
+	// admission... the two runc pods were accepted then failed), so these are
+	// turned away by the scheduler, not the kubelet.
+	if _, err := c.Deploy(DeployOptions{
+		RuntimeClassName: "crun-wamr",
+		Image:            "minimal-service:wasm",
+		Replicas:         2,
 	}); err != nil {
 		t.Fatal(err)
 	}
 	c.Run()
 	failed := tele.Metrics().Counter(obs.Labeled("kubelet_pods_failed_total", "node", "worker-0"))
 	if failed.Value() != 2 {
-		t.Fatalf("kubelet_pods_failed_total = %d, want 2", failed.Value())
+		t.Fatalf("kubelet_pods_failed_total = %d, want 2 (CRI failures only)", failed.Value())
 	}
 	started := tele.Metrics().Counter(obs.Labeled("kubelet_pods_started_total", "node", "worker-0"))
 	if started.Value() != 2 {

@@ -1,0 +1,256 @@
+package k8s
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/simos"
+)
+
+// Regression for the bind-time placement bug: the scheduler used to pick a
+// node round-robin at admission semantics (blind cursor) and bind to it
+// BindLatency later without re-checking node state, so a pod whose pick died
+// in the window flipped straight to Failed. The fix re-evaluates candidates
+// at bind time, so every pod here must land on the surviving node.
+func TestBindTimeReEvaluationOnNodeDeath(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.NumNodes = 2
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node dies inside the bind window (1ms < BindLatency of 10ms).
+	c.Engine.After(time.Millisecond, func() {
+		if err := c.FailNode("worker-1"); err != nil {
+			t.Errorf("FailNode: %v", err)
+		}
+	})
+	pods, err := c.Deploy(DeployOptions{
+		RuntimeClassName: "crun-wamr", Image: "minimal-service:wasm", Replicas: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	for _, p := range pods {
+		if p.Status.Phase != PodRunning {
+			t.Fatalf("pod %s: %s (%s) — bound to a dead node?", p.Name, p.Status.Phase, p.Status.Message)
+		}
+		if p.Spec.NodeName != "worker-0" {
+			t.Fatalf("pod %s bound to %s, want worker-0", p.Name, p.Spec.NodeName)
+		}
+	}
+}
+
+// When no node is viable at bind time (survivors full), pods fail with a
+// descriptive scheduler reason instead of binding blindly.
+func TestBindTimeCapacityReEvaluation(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.NumNodes = 2
+	cfg.KubeletConfig.MaxPods = 5
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave1, err := c.Deploy(DeployOptions{
+		RuntimeClassName: "crun-wamr", Image: "minimal-service:wasm", Replicas: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	for _, p := range wave1 {
+		if p.Status.Phase != PodRunning {
+			t.Fatalf("wave1 pod %s: %s (%s)", p.Name, p.Status.Phase, p.Status.Message)
+		}
+	}
+	if err := c.FailNode("worker-1"); err != nil {
+		t.Fatal(err)
+	}
+	// Survivor worker-0 holds 2 pods, capacity 5: exactly 3 of the 7 fit.
+	wave2, err := c.Deploy(DeployOptions{
+		RuntimeClassName: "crun-wamr", Image: "minimal-service:wasm", Replicas: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	running, failed := 0, 0
+	for _, p := range wave2 {
+		switch p.Status.Phase {
+		case PodRunning:
+			running++
+			if p.Spec.NodeName != "worker-0" {
+				t.Fatalf("pod %s running on %s, want worker-0", p.Name, p.Spec.NodeName)
+			}
+		case PodFailed:
+			failed++
+			if !strings.Contains(p.Status.Message, "no viable node") {
+				t.Fatalf("pod %s failed with %q, want scheduler no-viable-node reason", p.Name, p.Status.Message)
+			}
+		default:
+			t.Fatalf("pod %s stuck in %s", p.Name, p.Status.Phase)
+		}
+	}
+	if running != 3 || failed != 4 {
+		t.Fatalf("wave2 running=%d failed=%d, want 3/5 after capacity re-check", running, failed)
+	}
+}
+
+// Artifact-hinted pods land on the node already holding their shared images
+// (cache locality), not the round-robin pick.
+func TestSchedulerArtifactLocality(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.NumNodes = 3
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// worker-2 already holds the module's code image (e.g. a warm pool).
+	holder, err := c.Nodes[2].OS.Spawn("warm-holder", "/kubepods/warm-holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	holder.MapShared("wasm-code:cafe0123", 8*simos.MiB)
+	pods, err := c.Deploy(DeployOptions{
+		RuntimeClassName: "crun-wamr", Image: "minimal-service:wasm", Replicas: 4,
+		ArtifactHints: []string{"wasm-code:cafe0123"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	for _, p := range pods {
+		if p.Status.Phase != PodRunning {
+			t.Fatalf("pod %s: %s (%s)", p.Name, p.Status.Phase, p.Status.Message)
+		}
+		if p.Spec.NodeName != "worker-2" {
+			t.Fatalf("hinted pod %s bound to %s, want artifact holder worker-2", p.Name, p.Spec.NodeName)
+		}
+	}
+}
+
+// Regression for the metrics-server attribution bug: PodMetrics used to scan
+// every node and return the first cgroup whose path matched, so with several
+// nodes a stale hierarchy on an earlier node shadowed the pod's real charge.
+// The fix resolves through the pod's bound Spec.NodeName.
+func TestMetricsServerNodeCollision(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.NumNodes = 2
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pods, err := c.Deploy(DeployOptions{
+		RuntimeClassName: "crun-wamr", Image: "minimal-service:wasm", Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	// Round-robin put pod 2 on worker-1. Plant a ghost hierarchy with the
+	// same cgroup path on worker-0 (node scanned first), charged far beyond
+	// anything the real pod uses.
+	victim := pods[1]
+	if victim.Spec.NodeName != "worker-1" {
+		t.Fatalf("setup: pod on %s, want worker-1", victim.Spec.NodeName)
+	}
+	const ghostBytes = 512 * simos.MiB
+	ghost, err := c.Nodes[0].OS.Spawn("ghost", victim.CgroupParent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ghost.MapPrivate(ghostBytes); err != nil {
+		t.Fatal(err)
+	}
+	pm, ok := c.Metrics.PodMetrics(victim)
+	if !ok {
+		t.Fatal("pod not scraped")
+	}
+	if pm.MemoryBytes >= ghostBytes {
+		t.Fatalf("metrics-server attributed the ghost node's cgroup: %d bytes", pm.MemoryBytes)
+	}
+	cg, ok := c.Nodes[1].OS.Cgroup(victim.CgroupParent())
+	if !ok {
+		t.Fatal("real cgroup missing on worker-1")
+	}
+	if pm.MemoryBytes != cg.MemoryCurrent() {
+		t.Fatalf("scraped %d bytes, want worker-1's %d", pm.MemoryBytes, cg.MemoryCurrent())
+	}
+	// An unbound pod (never scheduled) reports absent rather than a guess.
+	if _, ok := c.Metrics.PodMetrics(&Pod{UID: "uid-999999"}); ok {
+		t.Fatal("unbound pod scraped")
+	}
+}
+
+// Churn: two waves of pods race onto three nodes while one node dies between
+// the waves' bind windows. Conservation must hold — every pod either runs on
+// a live node or fails with a reason — and the whole run is deterministic.
+func TestSchedulerChurnWithMidBindNodeDeath(t *testing.T) {
+	run := func() (running, failed int, end int64) {
+		cfg := DefaultClusterConfig()
+		cfg.NumNodes = 3
+		cfg.KubeletConfig.MaxPods = 25
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := c.Deploy(DeployOptions{
+			RuntimeClassName: "crun-wamr", Image: "minimal-service:wasm", Replicas: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Engine.After(7*time.Millisecond, func() {
+			wave2, err := c.Deploy(DeployOptions{
+				RuntimeClassName: "crun-wamr", Image: "minimal-service:wasm", Replicas: 40,
+			})
+			if err != nil {
+				t.Errorf("wave2 deploy: %v", err)
+				return
+			}
+			all = append(all, wave2...)
+		})
+		// Death at 12ms: wave 1 (bound at 10ms) loses its worker-1 pods
+		// mid-sync; wave 2 (binding at 17ms) must avoid the dead node.
+		c.Engine.After(12*time.Millisecond, func() {
+			if err := c.FailNode("worker-1"); err != nil {
+				t.Errorf("FailNode: %v", err)
+			}
+		})
+		endT := c.Run()
+		for _, p := range all {
+			switch p.Status.Phase {
+			case PodRunning:
+				running++
+				node := c.Node(p.Spec.NodeName)
+				if node == nil || !node.Alive() {
+					t.Fatalf("pod %s running on dead/unknown node %q", p.Name, p.Spec.NodeName)
+				}
+			case PodFailed:
+				failed++
+				if p.Status.Message == "" {
+					t.Fatalf("pod %s failed without a reason", p.Name)
+				}
+			default:
+				t.Fatalf("pod %s stuck in phase %s — conservation violated", p.Name, p.Status.Phase)
+			}
+		}
+		if running+failed != len(all) {
+			t.Fatalf("conservation: %d running + %d failed != %d pods", running, failed, len(all))
+		}
+		return running, failed, int64(endT)
+	}
+	r1, f1, e1 := run()
+	r2, f2, e2 := run()
+	if r1 != r2 || f1 != f2 || e1 != e2 {
+		t.Fatalf("non-deterministic churn: (%d,%d,%d) vs (%d,%d,%d)", r1, f1, e1, r2, f2, e2)
+	}
+	if f1 == 0 {
+		t.Fatal("churn scenario produced no failures — node death not exercised")
+	}
+	if r1 == 0 {
+		t.Fatal("churn scenario produced no running pods")
+	}
+}

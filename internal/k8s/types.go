@@ -36,6 +36,10 @@ type PodSpec struct {
 	RuntimeClassName string
 	Containers       []ContainerSpec
 	NodeName         string // set by the scheduler
+	// ArtifactHints names shared artifacts (wasm-code:/wasm-data: images) the
+	// pod's workload will map. The scheduler prefers nodes that already hold
+	// them resident, so warm artifact caches beat blind spreading.
+	ArtifactHints []string
 }
 
 // ContainerStatus is per-container observed state.

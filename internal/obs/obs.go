@@ -84,3 +84,11 @@ func Labeled(name, key, value string) string {
 	}
 	return name + `{` + key + `="` + value + `"}`
 }
+
+// Labeled2 renders a metric name with two label pairs, in argument order:
+// Labeled2("cluster_routed_total", "module", "m", "node", "worker-0") →
+// `cluster_routed_total{module="m",node="worker-0"}`. The cluster serving
+// layer uses this for its {module, node} metric grid.
+func Labeled2(name, k1, v1, k2, v2 string) string {
+	return Labeled(Labeled(name, k1, v1), k2, v2)
+}

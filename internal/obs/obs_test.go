@@ -180,6 +180,9 @@ func TestLabeled(t *testing.T) {
 	if got := Labeled("m", "k", `va"l`+"\n"); got != `m{k="va\"l\n"}` {
 		t.Fatalf("escaped Labeled = %s", got)
 	}
+	if got := Labeled2("cluster_routed_total", "module", "m1", "node", "worker-0"); got != `cluster_routed_total{module="m1",node="worker-0"}` {
+		t.Fatalf("Labeled2 = %s", got)
+	}
 }
 
 func TestWritePrometheus(t *testing.T) {

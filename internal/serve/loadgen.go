@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"sort"
 	"time"
@@ -107,7 +109,8 @@ func Run(eng *des.Engine, d *Dispatcher, cfg LoadConfig) Report {
 	return rep
 }
 
-// MultiConfig shapes one open-loop multi-module load run against a Router.
+// MultiConfig shapes one open-loop multi-module load run against a
+// MultiTarget (a Router or a cluster.Serving).
 type MultiConfig struct {
 	// RatePerSec is the mean aggregate arrival rate of the Poisson process.
 	RatePerSec float64
@@ -116,23 +119,58 @@ type MultiConfig struct {
 	// Seed makes the arrival and module-pick sequences reproducible.
 	Seed int64
 	// Modules are the routing keys traffic is spread over, in popularity
-	// order: with Zipf popularity, Modules[0] is the hottest.
+	// order. Rank 0 is hottest: Modules[0] receives the most traffic under
+	// Zipf popularity, Modules[len-1] the least.
 	Modules []string
-	// ZipfS > 1 draws each arrival's module from a Zipf distribution with
-	// exponent s over Modules (rank 1 = Modules[0]); anything else spreads
-	// arrivals uniformly.
+	// ZipfS selects the popularity distribution: 0 spreads arrivals
+	// uniformly; > 1 draws each arrival's module from a Zipf distribution
+	// with exponent s over Modules. Any other value (including the
+	// 0 < s <= 1 range, where Go's rand.Zipf is undefined) is a
+	// configuration error, and Zipf skew needs at least two modules —
+	// RunMulti rejects both instead of silently degrading to uniform.
 	ZipfS float64
 }
 
+// validate enforces the MultiConfig contract documented on the fields.
+func (cfg MultiConfig) validate() error {
+	if len(cfg.Modules) == 0 {
+		return errors.New("serve: MultiConfig.Modules is empty")
+	}
+	if cfg.RatePerSec <= 0 {
+		return fmt.Errorf("serve: MultiConfig.RatePerSec = %g, need > 0", cfg.RatePerSec)
+	}
+	if cfg.ZipfS != 0 && cfg.ZipfS <= 1 {
+		return fmt.Errorf("serve: MultiConfig.ZipfS = %g: Zipf popularity needs an exponent > 1 (use 0 for uniform)", cfg.ZipfS)
+	}
+	if cfg.ZipfS > 1 && len(cfg.Modules) < 2 {
+		return fmt.Errorf("serve: MultiConfig.ZipfS = %g is meaningless over %d module (use 0 for a single module)", cfg.ZipfS, len(cfg.Modules))
+	}
+	return nil
+}
+
+// MultiTarget is the routing surface RunMulti drives: the single-node Router
+// and the cluster-level Serving front both implement it.
+type MultiTarget interface {
+	// Submit routes one request to the named module's dispatcher.
+	Submit(key string, tenant int64, done func(RequestResult)) error
+	// Stats snapshots per-module outcomes for the report breakdown.
+	Stats() RouterStats
+}
+
 // RunMulti generates one open-loop Poisson arrival stream whose requests
-// are spread over the router's modules — Zipf-skewed when cfg.ZipfS > 1 —
-// and drives the DES engine to completion. The same seed and configuration
-// always reproduce the same report, including the per-module breakdown.
-func RunMulti(eng *des.Engine, rt *Router, cfg MultiConfig) Report {
+// are spread over the target's modules — Zipf-skewed when cfg.ZipfS > 1,
+// uniform when cfg.ZipfS == 0 — and drives the DES engine to completion.
+// The same seed and configuration always reproduce the same report,
+// including the per-module breakdown. Invalid configurations (see
+// MultiConfig.ZipfS) return an error before generating any load.
+func RunMulti(eng *des.Engine, rt MultiTarget, cfg MultiConfig) (Report, error) {
+	if err := cfg.validate(); err != nil {
+		return Report{}, err
+	}
 	rep := Report{}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var zipf *rand.Zipf
-	if cfg.ZipfS > 1 && len(cfg.Modules) > 1 {
+	if cfg.ZipfS > 1 {
 		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Modules)-1))
 	}
 	pick := func() string {
@@ -194,5 +232,5 @@ func RunMulti(eng *des.Engine, rt *Router, cfg MultiConfig) Report {
 		}
 		return rep.Modules[i].Module < rep.Modules[j].Module
 	})
-	return rep
+	return rep, nil
 }

@@ -174,6 +174,53 @@ func NewPool(eng *engine.Engine, cm *engine.CompiledModule, cfg Config) (*Pool, 
 // Engine returns the pool's engine.
 func (p *Pool) Engine() *engine.Engine { return p.eng }
 
+// TargetSize is the pool's current warm-size target.
+func (p *Pool) TargetSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.Size
+}
+
+// Resize retargets the warm size — the autoscaler's lever. Growing
+// pre-instantiates enough idle instances (through the real engine path, not
+// counted as cold starts: this is proactive warming) to bring idle + leased
+// up to the new target; shrinking drops surplus idle instances immediately,
+// counting them as evictions, and lets Release's recycle check enforce the
+// smaller target as leases return. Returns the net instance delta applied.
+func (p *Pool) Resize(n int) (int, error) {
+	if n < 0 {
+		n = 0
+	}
+	p.mu.Lock()
+	p.cfg.Size = n
+	delta := 0
+	for len(p.idle) > n {
+		wi := p.idle[len(p.idle)-1]
+		p.idle = p.idle[:len(p.idle)-1]
+		p.stats.Evicted++
+		p.obsEvicted.Inc()
+		p.addMemLocked(-wi.footprint)
+		delta--
+	}
+	if delta < 0 {
+		p.obsIdle.Set(int64(len(p.idle)))
+	}
+	want := n - len(p.idle) - p.leased
+	p.mu.Unlock()
+	for i := 0; i < want; i++ {
+		wi, err := p.newInstance(false)
+		if err != nil {
+			return delta, err
+		}
+		p.mu.Lock()
+		p.idle = append(p.idle, wi)
+		p.obsIdle.Set(int64(len(p.idle)))
+		p.mu.Unlock()
+		delta++
+	}
+	return delta, nil
+}
+
 // newInstance instantiates and accounts one instance (not yet idle). The
 // first instantiation also captures the module's baseline image, charged
 // once for the pool's lifetime.

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wasmcontainers/internal/des"
+	"wasmcontainers/internal/engine"
+)
+
+func TestPoolResize(t *testing.T) {
+	pool := newTestPool(t, engine.WAMR, Config{Size: 1})
+	if pool.TargetSize() != 1 || pool.Idle() != 1 {
+		t.Fatalf("start: target=%d idle=%d, want 1/1", pool.TargetSize(), pool.Idle())
+	}
+	before := pool.Stats()
+
+	// Grow: the missing instances appear idle, as warming, not cold starts.
+	delta, err := pool.Resize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != 3 || pool.Idle() != 4 || pool.TargetSize() != 4 {
+		t.Fatalf("grow: delta=%d idle=%d target=%d, want 3/4/4", delta, pool.Idle(), pool.TargetSize())
+	}
+	if got := pool.Stats().ColdStarts; got != before.ColdStarts {
+		t.Fatalf("grow counted %d cold starts", got-before.ColdStarts)
+	}
+
+	// Grow counts leased instances toward the target: with one leased and
+	// four idle, a target of 5 adds nothing.
+	wi, ok := pool.Acquire(0)
+	if !ok {
+		t.Fatal("pool dry after grow")
+	}
+	delta, err = pool.Resize(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != 1 || pool.Idle() != 4 {
+		t.Fatalf("grow under lease: delta=%d idle=%d, want 1/4", delta, pool.Idle())
+	}
+	pool.Release(wi, 0)
+	if pool.Idle() != 5 {
+		t.Fatalf("idle = %d after release, want 5", pool.Idle())
+	}
+
+	// Shrink: surplus idle instances are evicted now and their memory released.
+	memBefore := pool.MemoryBytes()
+	delta, err = pool.Resize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != -3 || pool.Idle() != 2 || pool.TargetSize() != 2 {
+		t.Fatalf("shrink: delta=%d idle=%d target=%d, want -3/2/2", delta, pool.Idle(), pool.TargetSize())
+	}
+	if pool.MemoryBytes() >= memBefore {
+		t.Fatal("shrink released no memory")
+	}
+	if evicted := pool.Stats().Evicted - before.Evicted; evicted != 3 {
+		t.Fatalf("shrink evicted %d, want 3", evicted)
+	}
+}
+
+func TestRunMultiValidation(t *testing.T) {
+	sim := des.NewEngine()
+	cases := []struct {
+		name string
+		cfg  MultiConfig
+		want string
+	}{
+		{"no modules", MultiConfig{RatePerSec: 100, Duration: time.Millisecond}, "Modules is empty"},
+		{"zero rate", MultiConfig{Modules: []string{"a"}, Duration: time.Millisecond}, "RatePerSec"},
+		{"zipf exponent in (0,1]", MultiConfig{
+			RatePerSec: 100, Duration: time.Millisecond, Modules: []string{"a", "b"}, ZipfS: 0.9,
+		}, "exponent > 1"},
+		{"zipf over one module", MultiConfig{
+			RatePerSec: 100, Duration: time.Millisecond, Modules: []string{"a"}, ZipfS: 1.1,
+		}, "meaningless over 1 module"},
+	}
+	for _, tc := range cases {
+		_, err := RunMulti(sim, nil, tc.cfg)
+		if err == nil {
+			t.Fatalf("%s: config accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -194,13 +194,16 @@ func TestRouterConcurrentRaceFree(t *testing.T) {
 func TestRouterDeterministicStats(t *testing.T) {
 	run := func() string {
 		sim, rt, modules := newTestRouter(t, RouterSharded, 16, routerDCfg())
-		rep := RunMulti(sim, rt, MultiConfig{
+		rep, err := RunMulti(sim, rt, MultiConfig{
 			RatePerSec: 4000,
 			Duration:   200 * time.Millisecond,
 			Seed:       42,
 			Modules:    modules,
 			ZipfS:      1.1,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		st := rt.Stats()
 		if !st.IdentityHolds() {
 			t.Fatalf("identity violated: %+v", st.Aggregate)
@@ -224,13 +227,16 @@ func TestRouterDeterministicStats(t *testing.T) {
 // the shard ablation depends on real imbalance being exercised.
 func TestRouterZipfSkew(t *testing.T) {
 	sim, rt, modules := newTestRouter(t, RouterSharded, 16, routerDCfg())
-	rep := RunMulti(sim, rt, MultiConfig{
+	rep, err := RunMulti(sim, rt, MultiConfig{
 		RatePerSec: 4000,
 		Duration:   250 * time.Millisecond,
 		Seed:       7,
 		Modules:    modules,
 		ZipfS:      1.1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rep.Modules) < 2 {
 		t.Fatalf("expected a multi-module breakdown, got %d entries", len(rep.Modules))
 	}

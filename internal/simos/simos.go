@@ -430,6 +430,16 @@ func (n *Node) Processes() []ProcessInfo {
 	return out
 }
 
+// HasSharedLib reports whether a shared library (or digest-keyed shared
+// artifact) named name is resident on the node. The scheduler's locality
+// scoring uses this to find nodes already holding a module's images.
+func (n *Node) HasSharedLib(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.libs[name]
+	return ok
+}
+
 // SharedLibs lists resident shared libraries sorted by name.
 func (n *Node) SharedLibs() []SharedLib {
 	n.mu.Lock()
